@@ -1,0 +1,252 @@
+//! First-order CPU pipeline bottleneck model (paper Figure 10).
+//!
+//! The paper uses Intel VTune's top-down methodology to attribute each
+//! kernel's pipeline slots to front-end, bad-speculation and back-end
+//! stalls, concluding that "even with all stall cycles removed ... the
+//! maximum speed-up is bound by around 3×". We reproduce that analysis with
+//! a simple issue model over per-kernel operation mixes: a 4-wide core where
+//! branch mispredicts and cache misses insert stall cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// Issue width of the modeled core (Haswell: 4 µops/cycle sustained).
+pub const ISSUE_WIDTH: f64 = 4.0;
+/// Branch mispredict penalty in cycles.
+pub const MISPREDICT_PENALTY: f64 = 15.0;
+/// L1-miss (L2 hit) penalty in cycles.
+pub const L2_PENALTY: f64 = 12.0;
+/// Last-level-cache miss (memory) penalty in cycles.
+pub const MEMORY_PENALTY: f64 = 180.0;
+
+/// Dynamic operation mix of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Fraction of instructions that are branches.
+    pub branch_ratio: f64,
+    /// Mispredict rate among branches.
+    pub mispredict_rate: f64,
+    /// Fraction of instructions that access memory.
+    pub mem_ratio: f64,
+    /// L1 miss rate among memory accesses.
+    pub l1_miss_rate: f64,
+    /// LLC miss rate among memory accesses.
+    pub llc_miss_rate: f64,
+    /// Exploitable instruction-level parallelism (independent µops/cycle).
+    pub ilp: f64,
+    /// Front-end supply limit in µops/cycle (i-cache pressure, decode).
+    pub frontend_limit: f64,
+}
+
+/// Top-down pipeline-slot breakdown, fractions summing to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bottleneck {
+    /// Achieved instructions per cycle.
+    pub ipc: f64,
+    /// Useful (retiring) slot fraction.
+    pub retiring: f64,
+    /// Front-end bound fraction.
+    pub frontend: f64,
+    /// Bad-speculation fraction.
+    pub bad_speculation: f64,
+    /// Back-end (memory/core) bound fraction.
+    pub backend: f64,
+}
+
+impl Bottleneck {
+    /// Speedup if every stall were removed (the paper's ≈3× bound argument):
+    /// ideal IPC limited only by ILP and issue width.
+    pub fn stall_free_speedup(&self, mix: &OpMix) -> f64 {
+        let ideal_ipc = mix.ilp.min(ISSUE_WIDTH);
+        ideal_ipc / self.ipc
+    }
+}
+
+/// Analyzes an operation mix under the issue model.
+pub fn analyze(mix: &OpMix) -> Bottleneck {
+    // Cycles per instruction contributed by each mechanism.
+    let base_cpi = 1.0 / mix.ilp.min(ISSUE_WIDTH);
+    let frontend_cpi = (1.0 / mix.frontend_limit - 1.0 / ISSUE_WIDTH).max(0.0);
+    let spec_cpi = mix.branch_ratio * mix.mispredict_rate * MISPREDICT_PENALTY;
+    let backend_cpi = mix.mem_ratio
+        * (mix.l1_miss_rate * L2_PENALTY + mix.llc_miss_rate * MEMORY_PENALTY);
+    let total_cpi = base_cpi + frontend_cpi + spec_cpi + backend_cpi;
+    let ipc = 1.0 / total_cpi;
+    // Slot accounting: retiring uses ipc/WIDTH of the slots; stalls split
+    // the rest proportionally to their CPI contributions.
+    let retiring = ipc / ISSUE_WIDTH;
+    let stall_total = frontend_cpi + spec_cpi + backend_cpi + (base_cpi - 1.0 / ISSUE_WIDTH);
+    let stall_share = 1.0 - retiring;
+    let share = |cpi: f64| {
+        if stall_total <= 0.0 {
+            0.0
+        } else {
+            stall_share * cpi / stall_total
+        }
+    };
+    Bottleneck {
+        ipc,
+        retiring,
+        frontend: share(frontend_cpi),
+        bad_speculation: share(spec_cpi),
+        backend: share(backend_cpi + (base_cpi - 1.0 / ISSUE_WIDTH)),
+    }
+}
+
+/// Calibrated operation mixes for the seven Sirius Suite kernels, chosen to
+/// reproduce Figure 10's findings: DNN and Regex run efficiently (IPC close
+/// to 2), the branchy NLP kernels suffer bad speculation, GMM/FE are
+/// backend-bound, and no kernel gains more than ≈4× from removing stalls.
+pub fn kernel_mixes() -> Vec<(&'static str, OpMix)> {
+    vec![
+        (
+            "GMM",
+            OpMix {
+                branch_ratio: 0.05,
+                mispredict_rate: 0.02,
+                mem_ratio: 0.45,
+                l1_miss_rate: 0.08,
+                llc_miss_rate: 0.004,
+                ilp: 2.6,
+                frontend_limit: 4.0,
+            },
+        ),
+        (
+            "DNN",
+            OpMix {
+                branch_ratio: 0.03,
+                mispredict_rate: 0.01,
+                mem_ratio: 0.40,
+                l1_miss_rate: 0.03,
+                llc_miss_rate: 0.001,
+                ilp: 3.2,
+                frontend_limit: 4.0,
+            },
+        ),
+        (
+            "Stemmer",
+            OpMix {
+                branch_ratio: 0.28,
+                mispredict_rate: 0.10,
+                mem_ratio: 0.35,
+                l1_miss_rate: 0.04,
+                llc_miss_rate: 0.002,
+                ilp: 1.8,
+                frontend_limit: 3.0,
+            },
+        ),
+        (
+            "Regex",
+            OpMix {
+                branch_ratio: 0.25,
+                mispredict_rate: 0.025,
+                mem_ratio: 0.30,
+                l1_miss_rate: 0.02,
+                llc_miss_rate: 0.001,
+                ilp: 2.8,
+                frontend_limit: 4.0,
+            },
+        ),
+        (
+            "CRF",
+            OpMix {
+                branch_ratio: 0.15,
+                mispredict_rate: 0.06,
+                mem_ratio: 0.40,
+                l1_miss_rate: 0.07,
+                llc_miss_rate: 0.003,
+                ilp: 2.0,
+                frontend_limit: 3.5,
+            },
+        ),
+        (
+            "FE",
+            OpMix {
+                branch_ratio: 0.10,
+                mispredict_rate: 0.04,
+                mem_ratio: 0.50,
+                l1_miss_rate: 0.09,
+                llc_miss_rate: 0.004,
+                ilp: 2.4,
+                frontend_limit: 4.0,
+            },
+        ),
+        (
+            "FD",
+            OpMix {
+                branch_ratio: 0.08,
+                mispredict_rate: 0.03,
+                mem_ratio: 0.42,
+                l1_miss_rate: 0.05,
+                llc_miss_rate: 0.002,
+                ilp: 2.8,
+                frontend_limit: 4.0,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        for (name, mix) in kernel_mixes() {
+            let b = analyze(&mix);
+            let sum = b.retiring + b.frontend + b.bad_speculation + b.backend;
+            assert!((sum - 1.0).abs() < 1e-9, "{name}: {sum}");
+            assert!(b.ipc > 0.0 && b.ipc <= ISSUE_WIDTH);
+        }
+    }
+
+    #[test]
+    fn dnn_and_regex_are_most_efficient() {
+        // Paper Figure 10: "A few of the service components including DNN
+        // and Regex execute relatively efficiently on Xeon cores."
+        let mixes = kernel_mixes();
+        let ipc = |name: &str| {
+            analyze(&mixes.iter().find(|(n, _)| *n == name).expect("kernel").1).ipc
+        };
+        let dnn = ipc("DNN");
+        let regex = ipc("Regex");
+        for name in ["GMM", "Stemmer", "CRF", "FE"] {
+            assert!(dnn > ipc(name), "DNN vs {name}");
+        }
+        assert!(regex > ipc("Stemmer") && regex > ipc("CRF"));
+    }
+
+    #[test]
+    fn stall_free_speedup_is_bounded_near_3x() {
+        // Paper: "even with all stall cycles removed the maximum speed-up is
+        // bound by around 3×".
+        for (name, mix) in kernel_mixes() {
+            let b = analyze(&mix);
+            let s = b.stall_free_speedup(&mix);
+            assert!((1.0..=4.0).contains(&s), "{name}: stall-free speedup {s:.2}");
+        }
+    }
+
+    #[test]
+    fn stemmer_is_speculation_heavy() {
+        let mixes = kernel_mixes();
+        let stem = analyze(&mixes.iter().find(|(n, _)| *n == "Stemmer").expect("kernel").1);
+        let dnn = analyze(&mixes.iter().find(|(n, _)| *n == "DNN").expect("kernel").1);
+        assert!(stem.bad_speculation > dnn.bad_speculation * 3.0);
+    }
+
+    #[test]
+    fn perfect_mix_has_no_stalls() {
+        let mix = OpMix {
+            branch_ratio: 0.0,
+            mispredict_rate: 0.0,
+            mem_ratio: 0.0,
+            l1_miss_rate: 0.0,
+            llc_miss_rate: 0.0,
+            ilp: 4.0,
+            frontend_limit: 4.0,
+        };
+        let b = analyze(&mix);
+        assert!((b.ipc - 4.0).abs() < 1e-9);
+        assert!((b.retiring - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! # sirius-accel
+//!
+//! Accelerator platform modeling for the Sirius reproduction (Hauswald et
+//! al., ASPLOS 2015): platform specifications (paper Tables 3/6), an
+//! analytic per-kernel speedup model calibrated against the paper's
+//! Table 5 (GPU/Phi/FPGA cannot be executed here — see DESIGN.md), the
+//! service-level latency/energy composition (Figures 14/15), and a
+//! top-down CPU bottleneck model (Figure 10).
+
+#![warn(missing_docs)]
+
+pub mod cpu_model;
+pub mod model;
+pub mod platform;
+pub mod roofline;
+pub mod service;
+
+pub use model::{kernel_profiles, paper, KernelProfile};
+pub use platform::{all_specs, spec, PlatformKind, PlatformSpec};
+pub use service::{service_latency, service_speedup, ServiceKind};

@@ -1,0 +1,282 @@
+//! Analytic accelerator performance model.
+//!
+//! We cannot execute CUDA, Phi or RTL in this reproduction, so GPU, Phi and
+//! FPGA speedups are *modeled* from first-order platform parameters (paper
+//! Table 3) and per-kernel achieved-utilization parameters calibrated
+//! against the paper's measured Table 5 (DESIGN.md documents this
+//! substitution; the multicore port in `sirius-suite` is measured for real).
+//!
+//! Model structure, per kernel `k` and platform `p`:
+//!
+//! * **CMP** (threads): Amdahl's law over the parallel fraction `f_k` with
+//!   `4 × yield_k` effective threads (SMT and framework-level overlap give
+//!   yields above 1).
+//! * **GPU / Phi** (offload): `S = R_p × B_k × U_{k,p} / (1 + x_p)` where
+//!   `R_p` is the platform:single-core peak-FLOPS ratio from Table 3,
+//!   `B_k ≈ 8` is how far the scalar baseline sits below one core's peak,
+//!   `U_{k,p} ∈ (0, 1]` is the achieved fraction of platform peak
+//!   (coalescing, divergence, vector friendliness), and `x_p` is the
+//!   host-device transfer overhead.
+//! * **FPGA** (custom datapath): `S = s_k × n_k / (1 + x_p)` where `s_k` is
+//!   the single-core pipeline speedup of the custom datapath and `n_k` is
+//!   the number of cores that fit the fabric (the paper instantiates
+//!   multiple cores to fill the FPGA, e.g. 3 GMM cores → 169×).
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::{spec, PlatformKind};
+
+/// Single-core peak TFLOPS of the baseline Haswell (0.5 TFLOPS / 4 cores).
+pub const CORE_PEAK_TFLOPS: f64 = 0.125;
+
+/// Host-device transfer overhead per platform (fraction of kernel time).
+pub fn transfer_overhead(kind: PlatformKind) -> f64 {
+    match kind {
+        PlatformKind::Multicore => 0.0,
+        PlatformKind::Gpu => 0.05,
+        PlatformKind::Phi => 0.08,
+        PlatformKind::Fpga => 0.02,
+    }
+}
+
+/// Calibrated model parameters for one Sirius Suite kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name, matching `sirius-suite` ("GMM", "DNN", ...).
+    pub name: &'static str,
+    /// Parallelizable fraction of the kernel (Amdahl, CMP port).
+    pub parallel_fraction: f64,
+    /// Effective-thread yield on the CMP (1.0 = physical cores only;
+    /// >1 captures SMT or framework-level overlap).
+    pub cmp_thread_yield: f64,
+    /// How far the scalar baseline sits below single-core peak FLOPS.
+    pub baseline_inefficiency: f64,
+    /// Achieved fraction of GPU peak (coalescing, divergence).
+    pub gpu_utilization: f64,
+    /// Achieved fraction of Phi peak (auto-vectorization quality).
+    pub phi_utilization: f64,
+    /// Pipeline speedup of one custom FPGA core.
+    pub fpga_core_speedup: f64,
+    /// FPGA cores instantiated to fill the fabric.
+    pub fpga_cores: f64,
+}
+
+impl KernelProfile {
+    /// Modeled speedup of this kernel on `kind`, relative to the
+    /// single-threaded baseline.
+    pub fn modeled_speedup(&self, kind: PlatformKind) -> f64 {
+        let x = transfer_overhead(kind);
+        match kind {
+            PlatformKind::Multicore => {
+                let threads = 4.0 * self.cmp_thread_yield;
+                let f = self.parallel_fraction;
+                1.0 / ((1.0 - f) + f / threads)
+            }
+            PlatformKind::Gpu => {
+                let ratio = spec(kind).peak_tflops / CORE_PEAK_TFLOPS;
+                ratio * self.baseline_inefficiency * self.gpu_utilization / (1.0 + x)
+            }
+            PlatformKind::Phi => {
+                let ratio = spec(kind).peak_tflops / CORE_PEAK_TFLOPS;
+                ratio * self.baseline_inefficiency * self.phi_utilization / (1.0 + x)
+            }
+            PlatformKind::Fpga => self.fpga_core_speedup * self.fpga_cores / (1.0 + x),
+        }
+    }
+}
+
+/// The calibrated profiles for the seven Sirius Suite kernels, in Table 4
+/// order. Parameter values are chosen so the modeled Table 5 lands within
+/// tolerance of the paper's measured/cited Table 5 (see `paper::TABLE5`).
+pub fn kernel_profiles() -> Vec<KernelProfile> {
+    vec![
+        KernelProfile {
+            name: "GMM",
+            parallel_fraction: 0.952,
+            cmp_thread_yield: 1.0,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.359,
+            phi_utilization: 0.0088,
+            fpga_core_speedup: 57.5,
+            fpga_cores: 3.0,
+        },
+        KernelProfile {
+            name: "DNN",
+            parallel_fraction: 0.952,
+            cmp_thread_yield: 2.0,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.280,
+            phi_utilization: 0.090,
+            fpga_core_speedup: 37.6,
+            fpga_cores: 3.0,
+        },
+        KernelProfile {
+            name: "Stemmer",
+            parallel_fraction: 1.0,
+            cmp_thread_yield: 1.0,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.0318,
+            phi_utilization: 0.045,
+            fpga_core_speedup: 6.12,
+            fpga_cores: 5.0,
+        },
+        KernelProfile {
+            name: "Regex",
+            parallel_fraction: 0.991,
+            cmp_thread_yield: 1.0,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.246,
+            phi_utilization: 0.0088,
+            fpga_core_speedup: 57.2,
+            fpga_cores: 3.0,
+        },
+        KernelProfile {
+            name: "CRF",
+            parallel_fraction: 0.973,
+            cmp_thread_yield: 1.0,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.0226,
+            phi_utilization: 0.0378,
+            fpga_core_speedup: 6.94,
+            fpga_cores: 1.0,
+        },
+        KernelProfile {
+            name: "FE",
+            parallel_fraction: 0.969,
+            cmp_thread_yield: 1.5,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.0615,
+            phi_utilization: 0.0201,
+            fpga_core_speedup: 30.6,
+            fpga_cores: 1.0,
+        },
+        KernelProfile {
+            name: "FD",
+            parallel_fraction: 0.997,
+            cmp_thread_yield: 1.5,
+            baseline_inefficiency: 8.0,
+            gpu_utilization: 0.692,
+            phi_utilization: 0.102,
+            fpga_core_speedup: 65.3,
+            fpga_cores: 1.0,
+        },
+    ]
+}
+
+/// Looks up a kernel profile by name.
+pub fn profile(name: &str) -> Option<KernelProfile> {
+    kernel_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// The paper's published numbers, for comparison and shape tests.
+pub mod paper {
+    /// Table 5 of the paper: speedup of each kernel on each platform,
+    /// rows in Table 4 order, columns (CMP, GPU, Phi, FPGA).
+    pub const TABLE5: [(&str, [f64; 4]); 7] = [
+        ("GMM", [3.5, 70.0, 1.1, 169.0]),
+        ("DNN", [6.0, 54.7, 11.2, 110.5]),
+        ("Stemmer", [4.0, 6.2, 5.6, 30.0]),
+        ("Regex", [3.9, 48.0, 1.1, 168.2]),
+        ("CRF", [3.7, 3.8, 4.7, 7.5]),
+        ("FE", [5.2, 10.5, 2.5, 34.6]),
+        ("FD", [5.9, 120.5, 12.7, 75.5]),
+    ];
+
+    /// Paper speedup of `kernel` on platform column `col` (CMP=0 .. FPGA=3).
+    pub fn table5(kernel: &str, col: usize) -> Option<f64> {
+        TABLE5
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, row)| row[col])
+    }
+
+    /// Average query-latency reduction of GPU-accelerated datacenters
+    /// (Section 5.2.5).
+    pub const GPU_MEAN_LATENCY_REDUCTION: f64 = 10.0;
+    /// Average query-latency reduction of FPGA-accelerated datacenters.
+    pub const FPGA_MEAN_LATENCY_REDUCTION: f64 = 16.0;
+    /// Average TCO reduction of GPU-accelerated datacenters.
+    pub const GPU_MEAN_TCO_REDUCTION: f64 = 2.6;
+    /// Average TCO reduction of FPGA-accelerated datacenters.
+    pub const FPGA_MEAN_TCO_REDUCTION: f64 = 1.4;
+    /// The scalability gap: machine-scaling required for IPA-query parity
+    /// with web search on general-purpose servers (Figure 7a).
+    pub const SCALABILITY_GAP: f64 = 165.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COLS: [PlatformKind; 4] = PlatformKind::ALL;
+
+    #[test]
+    fn modeled_table5_is_within_tolerance_of_paper() {
+        for profile in kernel_profiles() {
+            for (col, &kind) in COLS.iter().enumerate() {
+                let modeled = profile.modeled_speedup(kind);
+                let published = paper::table5(profile.name, col).expect("kernel in table");
+                let ratio = modeled / published;
+                assert!(
+                    (0.8..=1.25).contains(&ratio),
+                    "{} on {kind}: modeled {modeled:.1} vs paper {published:.1}",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winners_match_the_paper() {
+        // Paper: FPGA wins every kernel except FD, where the GPU wins.
+        for profile in kernel_profiles() {
+            let best = COLS
+                .iter()
+                .max_by(|a, b| {
+                    profile
+                        .modeled_speedup(**a)
+                        .total_cmp(&profile.modeled_speedup(**b))
+                })
+                .copied()
+                .expect("non-empty");
+            let expected = if profile.name == "FD" {
+                PlatformKind::Gpu
+            } else {
+                PlatformKind::Fpga
+            };
+            assert_eq!(best, expected, "kernel {}", profile.name);
+        }
+    }
+
+    #[test]
+    fn phi_loses_to_cmp_where_the_paper_says_so() {
+        // Table 5: the Phi trails the pthreaded CMP on GMM (1.1 vs 3.5),
+        // Regex (1.1 vs 3.9) and FE (2.5 vs 5.2) — the compiler-only port
+        // fails to recover a good data layout there.
+        for name in ["GMM", "Regex", "FE"] {
+            let p = profile(name).expect("kernel");
+            assert!(
+                p.modeled_speedup(PlatformKind::Phi)
+                    < p.modeled_speedup(PlatformKind::Multicore),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_cover_the_suite() {
+        let names: Vec<&str> = kernel_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]);
+        assert!(profile("GMM").is_some());
+        assert!(profile("nope").is_none());
+    }
+
+    #[test]
+    fn utilizations_are_physical() {
+        for p in kernel_profiles() {
+            assert!((0.0..=1.0).contains(&p.gpu_utilization), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.phi_utilization), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.parallel_fraction), "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Accelerator platform specifications (paper Tables 3 and 6).
+
+use serde::{Deserialize, Serialize};
+
+/// The four platforms the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Intel Xeon E3-1240 v3 multicore CPU (the baseline host).
+    Multicore,
+    /// NVIDIA GTX 770 GPU.
+    Gpu,
+    /// Intel Xeon Phi 5110P manycore co-processor.
+    Phi,
+    /// Xilinx Virtex-6 ML605 FPGA.
+    Fpga,
+}
+
+impl PlatformKind {
+    /// All platforms in the paper's column order.
+    pub const ALL: [PlatformKind; 4] = [
+        PlatformKind::Multicore,
+        PlatformKind::Gpu,
+        PlatformKind::Phi,
+        PlatformKind::Fpga,
+    ];
+
+    /// Accelerators only (everything but the multicore baseline).
+    pub const ACCELERATORS: [PlatformKind; 3] =
+        [PlatformKind::Gpu, PlatformKind::Phi, PlatformKind::Fpga];
+}
+
+impl std::fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformKind::Multicore => f.write_str("CMP"),
+            PlatformKind::Gpu => f.write_str("GPU"),
+            PlatformKind::Phi => f.write_str("Phi"),
+            PlatformKind::Fpga => f.write_str("FPGA"),
+        }
+    }
+}
+
+/// Hardware specification of one platform (paper Table 3) plus its power
+/// and purchase cost (paper Table 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Which platform this is.
+    pub kind: PlatformKind,
+    /// Marketing model name.
+    pub model: &'static str,
+    /// Core clock in GHz.
+    pub frequency_ghz: f64,
+    /// Number of cores (SMs for the GPU; `None` for the FPGA fabric).
+    pub cores: Option<u32>,
+    /// Hardware threads (`None` for the FPGA).
+    pub hw_threads: Option<u32>,
+    /// On-board memory in GB.
+    pub memory_gb: f64,
+    /// Memory bandwidth in GB/s.
+    pub memory_bw_gbs: f64,
+    /// Peak single-precision TFLOPS.
+    pub peak_tflops: f64,
+    /// Thermal design power in watts (Table 6).
+    pub tdp_watts: f64,
+    /// Purchase cost in USD (Table 6).
+    pub cost_usd: f64,
+}
+
+/// Returns the Table 3 + Table 6 specification for a platform.
+pub fn spec(kind: PlatformKind) -> PlatformSpec {
+    match kind {
+        PlatformKind::Multicore => PlatformSpec {
+            kind,
+            model: "Intel Xeon E3-1240 V3",
+            frequency_ghz: 3.40,
+            cores: Some(4),
+            hw_threads: Some(8),
+            memory_gb: 12.0,
+            memory_bw_gbs: 25.6,
+            peak_tflops: 0.5,
+            tdp_watts: 80.0,
+            cost_usd: 250.0,
+        },
+        PlatformKind::Gpu => PlatformSpec {
+            kind,
+            model: "NVIDIA GTX 770",
+            frequency_ghz: 1.05,
+            cores: Some(8),
+            hw_threads: Some(12_288),
+            memory_gb: 2.0,
+            memory_bw_gbs: 224.0,
+            peak_tflops: 3.2,
+            tdp_watts: 230.0,
+            cost_usd: 399.0,
+        },
+        PlatformKind::Phi => PlatformSpec {
+            kind,
+            model: "Intel Xeon Phi 5110P",
+            frequency_ghz: 1.05,
+            cores: Some(60),
+            hw_threads: Some(240),
+            memory_gb: 8.0,
+            memory_bw_gbs: 320.0,
+            peak_tflops: 2.1,
+            tdp_watts: 225.0,
+            cost_usd: 2_437.0,
+        },
+        PlatformKind::Fpga => PlatformSpec {
+            kind,
+            model: "Xilinx Virtex-6 ML605",
+            frequency_ghz: 0.40,
+            cores: None,
+            hw_threads: None,
+            memory_gb: 0.5,
+            memory_bw_gbs: 6.40,
+            peak_tflops: 0.5,
+            tdp_watts: 22.0,
+            cost_usd: 1_795.0,
+        },
+    }
+}
+
+/// All four specs, in the paper's column order.
+pub fn all_specs() -> Vec<PlatformSpec> {
+    PlatformKind::ALL.iter().map(|&k| spec(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table3_and_table6() {
+        let cmp = spec(PlatformKind::Multicore);
+        assert_eq!(cmp.frequency_ghz, 3.40);
+        assert_eq!(cmp.cores, Some(4));
+        assert_eq!(cmp.tdp_watts, 80.0);
+        assert_eq!(cmp.cost_usd, 250.0);
+
+        let gpu = spec(PlatformKind::Gpu);
+        assert_eq!(gpu.peak_tflops, 3.2);
+        assert_eq!(gpu.memory_bw_gbs, 224.0);
+        assert_eq!(gpu.cost_usd, 399.0);
+
+        let phi = spec(PlatformKind::Phi);
+        assert_eq!(phi.cores, Some(60));
+        assert_eq!(phi.hw_threads, Some(240));
+        assert_eq!(phi.cost_usd, 2_437.0);
+
+        let fpga = spec(PlatformKind::Fpga);
+        assert_eq!(fpga.frequency_ghz, 0.40);
+        assert_eq!(fpga.tdp_watts, 22.0);
+        assert!(fpga.cores.is_none());
+    }
+
+    #[test]
+    fn fpga_has_lowest_power_gpu_highest() {
+        let specs = all_specs();
+        let min = specs
+            .iter()
+            .min_by(|a, b| a.tdp_watts.total_cmp(&b.tdp_watts))
+            .expect("non-empty");
+        let max = specs
+            .iter()
+            .max_by(|a, b| a.tdp_watts.total_cmp(&b.tdp_watts))
+            .expect("non-empty");
+        assert_eq!(min.kind, PlatformKind::Fpga);
+        assert_eq!(max.kind, PlatformKind::Gpu);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PlatformKind::Multicore.to_string(), "CMP");
+        assert_eq!(PlatformKind::Fpga.to_string(), "FPGA");
+    }
+}

@@ -1,0 +1,143 @@
+//! Roofline analysis of the Sirius Suite kernels across platforms.
+//!
+//! A roofline model bounds a kernel's attainable throughput by
+//! `min(peak_flops, arithmetic_intensity × memory_bandwidth)`. The paper's
+//! acceleration results (Table 5) are consistent with this first-order
+//! view: high-intensity kernels (GMM, DNN, FD) ride the compute roof of the
+//! GPU, while the FPGA's custom datapaths escape the instruction-issue roof
+//! entirely. This module makes that analysis explicit and testable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::{spec, PlatformKind};
+
+/// Arithmetic characteristics of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelArithmetic {
+    /// Kernel name (matching `sirius-suite`).
+    pub name: &'static str,
+    /// Arithmetic intensity in FLOPs per byte of memory traffic.
+    pub intensity_flops_per_byte: f64,
+}
+
+/// Estimated arithmetic intensities for the seven kernels.
+///
+/// GMM/DNN/FD stream large parameter matrices but reuse each frame many
+/// times (moderate-to-high intensity); the NLP kernels are byte-oriented
+/// with little arithmetic (low intensity); FE is stencil-like.
+pub fn kernel_arithmetic() -> Vec<KernelArithmetic> {
+    vec![
+        KernelArithmetic { name: "GMM", intensity_flops_per_byte: 1.5 },
+        KernelArithmetic { name: "DNN", intensity_flops_per_byte: 2.0 },
+        KernelArithmetic { name: "Stemmer", intensity_flops_per_byte: 0.1 },
+        KernelArithmetic { name: "Regex", intensity_flops_per_byte: 0.15 },
+        KernelArithmetic { name: "CRF", intensity_flops_per_byte: 0.5 },
+        KernelArithmetic { name: "FE", intensity_flops_per_byte: 0.8 },
+        KernelArithmetic { name: "FD", intensity_flops_per_byte: 1.2 },
+    ]
+}
+
+/// Which roof binds a kernel on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Limited by peak arithmetic throughput.
+    Compute,
+    /// Limited by memory bandwidth.
+    Memory,
+}
+
+/// One point under a platform's roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Platform evaluated.
+    pub platform: PlatformKind,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Attainable GFLOP/s under the roofline.
+    pub attainable_gflops: f64,
+    /// The binding roof.
+    pub bound: Bound,
+}
+
+/// The ridge point of a platform: the arithmetic intensity (FLOPs/byte) at
+/// which the compute and memory roofs meet.
+pub fn ridge_point(platform: PlatformKind) -> f64 {
+    let s = spec(platform);
+    s.peak_tflops * 1e3 / s.memory_bw_gbs
+}
+
+/// Evaluates a kernel under a platform's roofline.
+pub fn attainable(platform: PlatformKind, kernel: &KernelArithmetic) -> RooflinePoint {
+    let s = spec(platform);
+    let compute_roof = s.peak_tflops * 1e3; // GFLOP/s
+    let memory_roof = kernel.intensity_flops_per_byte * s.memory_bw_gbs;
+    let (attainable_gflops, bound) = if memory_roof < compute_roof {
+        (memory_roof, Bound::Memory)
+    } else {
+        (compute_roof, Bound::Compute)
+    };
+    RooflinePoint {
+        platform,
+        kernel: kernel.name,
+        attainable_gflops,
+        bound,
+    }
+}
+
+/// Full roofline sweep: every kernel on every platform.
+pub fn sweep() -> Vec<RooflinePoint> {
+    let kernels = kernel_arithmetic();
+    PlatformKind::ALL
+        .iter()
+        .flat_map(|&p| kernels.iter().map(move |k| attainable(p, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sirius_kernel_is_memory_bound_on_every_platform() {
+        // With intensities ≤ 2 FLOP/byte and ridge points ≥ 6 FLOP/byte on
+        // every platform except the FPGA, these kernels sit left of the
+        // ridge — which is exactly why data layout (coalescing) mattered so
+        // much in the paper's GPU ports.
+        for point in sweep() {
+            if point.platform == PlatformKind::Fpga {
+                continue; // the FPGA's DRAM roof is uniquely low
+            }
+            assert_eq!(point.bound, Bound::Memory, "{point:?}");
+        }
+    }
+
+    #[test]
+    fn gpu_attainable_exceeds_cpu_for_every_kernel() {
+        for k in kernel_arithmetic() {
+            let cpu = attainable(PlatformKind::Multicore, &k).attainable_gflops;
+            let gpu = attainable(PlatformKind::Gpu, &k).attainable_gflops;
+            assert!(gpu > cpu * 5.0, "{}: gpu {gpu} cpu {cpu}", k.name);
+        }
+    }
+
+    #[test]
+    fn ridge_points_match_specs() {
+        // CPU: 500 GFLOPS / 25.6 GB/s ≈ 19.5 FLOP/byte.
+        assert!((ridge_point(PlatformKind::Multicore) - 19.53).abs() < 0.1);
+        // GPU: 3200 / 224 ≈ 14.3.
+        assert!((ridge_point(PlatformKind::Gpu) - 14.29).abs() < 0.1);
+        // FPGA: 500 / 6.4 ≈ 78 — starved for DRAM bandwidth, which is why
+        // its wins come from on-fabric data reuse, not streaming.
+        assert!(ridge_point(PlatformKind::Fpga) > 70.0);
+    }
+
+    #[test]
+    fn intensity_orders_attainable_throughput() {
+        let ks = kernel_arithmetic();
+        let dnn = ks.iter().find(|k| k.name == "DNN").expect("DNN");
+        let stem = ks.iter().find(|k| k.name == "Stemmer").expect("Stemmer");
+        let a = attainable(PlatformKind::Gpu, dnn).attainable_gflops;
+        let b = attainable(PlatformKind::Gpu, stem).attainable_gflops;
+        assert!(a > b * 10.0);
+    }
+}

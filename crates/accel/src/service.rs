@@ -1,0 +1,230 @@
+//! Service-level latency composition (paper Figure 14).
+//!
+//! A Sirius service is a weighted mix of Sirius Suite kernels plus a
+//! residual (HMM search for ASR, orchestration otherwise). Given per-kernel
+//! speedups from [`crate::model`], the service latency on a platform follows
+//! from the cycle shares: `S_service = 1 / Σ_c (share_c / S_c)`.
+//!
+//! The residual HMM search is assumed to gain 3.7× on accelerators,
+//! following the paper ("we assume a 3.7× speedup for the HMM \[35\] as a
+//! reasonable lower bound", Section 4.4.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{profile, KernelProfile};
+use crate::platform::PlatformKind;
+
+/// The four service configurations of paper Figures 14–19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Speech recognition with GMM scoring (Sphinx path).
+    AsrGmm,
+    /// Speech recognition with DNN scoring (Kaldi/RASR path).
+    AsrDnn,
+    /// Question answering (OpenEphyra NLP components).
+    Qa,
+    /// Image matching.
+    Imm,
+}
+
+impl ServiceKind {
+    /// All services in the paper's figure order.
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::AsrGmm,
+        ServiceKind::AsrDnn,
+        ServiceKind::Qa,
+        ServiceKind::Imm,
+    ];
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceKind::AsrGmm => f.write_str("ASR (GMM)"),
+            ServiceKind::AsrDnn => f.write_str("ASR (DNN)"),
+            ServiceKind::Qa => f.write_str("QA"),
+            ServiceKind::Imm => f.write_str("IMM"),
+        }
+    }
+}
+
+/// Speedup assumed for the HMM search residual on accelerators [paper 35].
+pub const HMM_ACCEL_SPEEDUP: f64 = 3.7;
+
+/// One component of a service: a kernel (by Sirius Suite name) or the
+/// residual, with its share of the service's single-core cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Sirius Suite kernel name, or "HMM" / "other" for residuals.
+    pub name: &'static str,
+    /// Fraction of the service's baseline cycles (shares sum to 1).
+    pub share: f64,
+}
+
+/// Cycle-share decomposition of a service (paper Figure 9).
+pub fn components(service: ServiceKind) -> Vec<Component> {
+    match service {
+        ServiceKind::AsrGmm => vec![
+            Component { name: "GMM", share: 0.85 },
+            Component { name: "HMM", share: 0.15 },
+        ],
+        ServiceKind::AsrDnn => vec![
+            Component { name: "DNN", share: 0.85 },
+            Component { name: "HMM", share: 0.15 },
+        ],
+        // The three NLP kernels are 85% of QA cycles (Figure 9); the paper
+        // focuses on the NLP components comprising 88% of QA, leaving a
+        // small non-NLP residue.
+        ServiceKind::Qa => vec![
+            Component { name: "Stemmer", share: 0.378 },
+            Component { name: "Regex", share: 0.334 },
+            Component { name: "CRF", share: 0.238 },
+            Component { name: "other", share: 0.05 },
+        ],
+        // IMM is dominated by FE + FD (Figure 9); the ANN lookup residue is
+        // negligible, matching the paper's Figure 16 throughput numbers.
+        ServiceKind::Imm => vec![
+            Component { name: "FE", share: 0.61 },
+            Component { name: "FD", share: 0.39 },
+        ],
+    }
+}
+
+fn component_speedup(name: &str, kind: PlatformKind) -> f64 {
+    match name {
+        "HMM" => match kind {
+            // The CMP port threads the search too, with modest gains.
+            PlatformKind::Multicore => 1.8,
+            // GPU hosts run the rescoring-style hybrid search a bit above
+            // the paper's 3.7x lower bound [62]; Phi/FPGA use the bound.
+            PlatformKind::Gpu => 4.2,
+            _ => HMM_ACCEL_SPEEDUP,
+        },
+        "other" => match kind {
+            PlatformKind::Multicore => 1.5,
+            _ => 1.0,
+        },
+        kernel => profile(kernel)
+            .as_ref()
+            .map(|p: &KernelProfile| p.modeled_speedup(kind))
+            .unwrap_or(1.0),
+    }
+}
+
+/// Modeled end-to-end service speedup on a platform (paper Figure 14,
+/// expressed as baseline-latency / platform-latency).
+pub fn service_speedup(service: ServiceKind, kind: PlatformKind) -> f64 {
+    // RWTH RASR's out-of-the-box CMP and GPU ports parallelize the entire
+    // framework — HMM search included (Table 5 footnote: "* This includes
+    // DNN and HMM combined") — so the whole-service speedup is the kernel
+    // number itself on those platforms.
+    if service == ServiceKind::AsrDnn
+        && matches!(kind, PlatformKind::Multicore | PlatformKind::Gpu)
+    {
+        return profile("DNN")
+            .expect("DNN profile exists")
+            .modeled_speedup(kind);
+    }
+    let total: f64 = components(service)
+        .iter()
+        .map(|c| c.share / component_speedup(c.name, kind))
+        .sum();
+    1.0 / total
+}
+
+/// Modeled service latency on a platform, given the measured single-core
+/// baseline latency in seconds.
+pub fn service_latency(service: ServiceKind, kind: PlatformKind, baseline_secs: f64) -> f64 {
+    baseline_secs / service_speedup(service, kind)
+}
+
+/// Energy efficiency (performance/W) relative to the multicore platform
+/// (paper Figure 15; performance = 1/latency, watts from Table 6).
+pub fn perf_per_watt_vs_cmp(service: ServiceKind, kind: PlatformKind) -> f64 {
+    let cmp = crate::platform::spec(PlatformKind::Multicore);
+    let p = crate::platform::spec(kind);
+    let cmp_perf = service_speedup(service, PlatformKind::Multicore);
+    let perf = service_speedup(service, kind);
+    (perf / p.tdp_watts) / (cmp_perf / cmp.tdp_watts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for s in ServiceKind::ALL {
+            let sum: f64 = components(s).iter().map(|c| c.share).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{s}: {sum}");
+        }
+    }
+
+    #[test]
+    fn fpga_beats_gpu_except_asr_dnn() {
+        // Paper 5.1.1: "The FPGA outperforms the GPU for most of the
+        // services except ASR (DNN/HMM)."
+        for s in ServiceKind::ALL {
+            let fpga = service_speedup(s, PlatformKind::Fpga);
+            let gpu = service_speedup(s, PlatformKind::Gpu);
+            if s == ServiceKind::AsrDnn {
+                assert!(gpu > fpga, "{s}: gpu {gpu:.1} <= fpga {fpga:.1}");
+            } else {
+                assert!(fpga > gpu, "{s}: fpga {fpga:.1} <= gpu {gpu:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn asr_gmm_fpga_speedup_matches_paper_band() {
+        // Paper: ASR (GMM/HMM) 4.2 s → 0.19 s on FPGA, a ~22× reduction.
+        let s = service_speedup(ServiceKind::AsrGmm, PlatformKind::Fpga);
+        assert!((15.0..=30.0).contains(&s), "ASR GMM FPGA speedup {s:.1}");
+        let latency = service_latency(ServiceKind::AsrGmm, PlatformKind::Fpga, 4.2);
+        assert!((0.1..=0.3).contains(&latency), "latency {latency:.2}s");
+    }
+
+    #[test]
+    fn qa_gains_are_limited() {
+        // Paper Figure 16: "For QA, the throughput improvement across the
+        // platforms is generally more limited than other services."
+        for kind in [PlatformKind::Gpu, PlatformKind::Fpga] {
+            let qa = service_speedup(ServiceKind::Qa, kind);
+            let asr = service_speedup(ServiceKind::AsrGmm, kind);
+            let imm = service_speedup(ServiceKind::Imm, kind);
+            assert!(qa < asr && qa < imm, "{kind}: qa {qa:.1} asr {asr:.1} imm {imm:.1}");
+        }
+    }
+
+    #[test]
+    fn phi_is_slower_than_threaded_cmp() {
+        for s in ServiceKind::ALL {
+            let phi = service_speedup(s, PlatformKind::Phi);
+            let cmp = service_speedup(s, PlatformKind::Multicore);
+            if s == ServiceKind::AsrDnn {
+                continue; // RASR's Phi port is competitive on DNN.
+            }
+            assert!(phi < cmp * 1.6, "{s}: phi {phi:.1} vs cmp {cmp:.1}");
+        }
+    }
+
+    #[test]
+    fn fpga_has_best_perf_per_watt() {
+        // Paper Figure 15: FPGA exceeds every other platform by a margin,
+        // >12× over the multicore for most services.
+        for s in ServiceKind::ALL {
+            let fpga = perf_per_watt_vs_cmp(s, PlatformKind::Fpga);
+            for other in [PlatformKind::Gpu, PlatformKind::Phi] {
+                assert!(fpga > perf_per_watt_vs_cmp(s, other), "{s} vs {other}");
+            }
+        }
+        assert!(perf_per_watt_vs_cmp(ServiceKind::AsrGmm, PlatformKind::Fpga) > 12.0);
+    }
+
+    #[test]
+    fn gpu_perf_per_watt_below_baseline_for_qa() {
+        // Paper: the GPU's perf/W "is worse than the baseline for QA".
+        let qa = perf_per_watt_vs_cmp(ServiceKind::Qa, PlatformKind::Gpu);
+        assert!(qa < 1.0, "QA GPU perf/W {qa:.2}");
+    }
+}

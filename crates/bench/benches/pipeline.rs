@@ -1,0 +1,39 @@
+//! Criterion benches for the end-to-end pipeline per query class
+//! (paper Figure 7b: VC < VQ < VIQ latency ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use sirius::pipeline::{Sirius, SiriusConfig};
+use sirius::taxonomy::QueryKind;
+use sirius::{prepare_input_set, PreparedQuery};
+
+fn context() -> &'static (Sirius, Vec<PreparedQuery>) {
+    static CTX: OnceLock<(Sirius, Vec<PreparedQuery>)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let sirius = Sirius::build(SiriusConfig::default());
+        let prepared = prepare_input_set(&sirius, 88_888);
+        (sirius, prepared)
+    })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (sirius, prepared) = context();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for kind in QueryKind::ALL {
+        let query = prepared
+            .iter()
+            .find(|p| p.spec.kind == kind)
+            .expect("input set covers all kinds");
+        let input = query.input();
+        group.bench_function(BenchmarkId::new("query", kind.short_name()), |b| {
+            b.iter(|| black_box(sirius.process(&input)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

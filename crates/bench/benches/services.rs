@@ -1,0 +1,47 @@
+//! Criterion benches for the three Sirius services (paper Figure 14's
+//! measured baseline): ASR with GMM and DNN scoring, QA, and IMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use sirius::pipeline::{Sirius, SiriusConfig};
+use sirius::prepare_input_set;
+use sirius::PreparedQuery;
+use sirius_speech::asr::AcousticModelKind;
+
+fn context() -> &'static (Sirius, Vec<PreparedQuery>) {
+    static CTX: OnceLock<(Sirius, Vec<PreparedQuery>)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let sirius = Sirius::build(SiriusConfig::default());
+        let prepared = prepare_input_set(&sirius, 77_777);
+        (sirius, prepared)
+    })
+}
+
+fn bench_services(c: &mut Criterion) {
+    let (sirius, prepared) = context();
+    let vc = &prepared[0]; // voice command audio
+    let viq = prepared
+        .iter()
+        .find(|p| p.image.is_some())
+        .expect("input set has VIQ queries");
+    let image = viq.image.as_ref().expect("VIQ has image");
+
+    let mut group = c.benchmark_group("services");
+    group.sample_size(10);
+    group.bench_function("asr_gmm", |b| {
+        b.iter(|| black_box(sirius.asr().recognize(&vc.utterance.samples, AcousticModelKind::Gmm)))
+    });
+    group.bench_function("asr_dnn", |b| {
+        b.iter(|| black_box(sirius.asr().recognize(&vc.utterance.samples, AcousticModelKind::Dnn)))
+    });
+    group.bench_function("qa", |b| {
+        b.iter(|| black_box(sirius.qa().answer("What is the capital of Italy?")))
+    });
+    group.bench_function("imm", |b| b.iter(|| black_box(sirius.imm().match_image(image))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_services);
+criterion_main!(benches);

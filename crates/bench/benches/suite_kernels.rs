@@ -1,0 +1,28 @@
+//! Criterion benches for the seven Sirius Suite kernels (Table 4/5):
+//! single-threaded baseline vs the multicore port. This regenerates the
+//! measured CMP column of Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sirius_suite::standard_suite;
+
+fn bench_kernels(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let suite = standard_suite(0.2, 42);
+    let mut group = c.benchmark_group("sirius_suite");
+    group.sample_size(10);
+    for kernel in &suite {
+        group.bench_function(BenchmarkId::new("baseline", kernel.name()), |b| {
+            b.iter(|| black_box(kernel.run_baseline()))
+        });
+        group.bench_function(
+            BenchmarkId::new(format!("parallel_x{threads}"), kernel.name()),
+            |b| b.iter(|| black_box(kernel.run_parallel(threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Prints the reproduction of every table and figure in the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [IDS...] [--scale S] [--threads N]
+//!
+//!   IDS        experiment ids (fig7a, table5, ...); default: all
+//!   --scale S  Sirius Suite input scale (default 1.0; paper-sized ~20)
+//!   --threads N  threads for the multicore kernel ports (default: CPUs)
+//! ```
+
+use sirius_bench::{Experiment, MeasuredContext};
+
+fn main() {
+    let mut ids: Vec<Experiment> = Vec::new();
+    let mut scale = 1.0f64;
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("figures [IDS...] [--scale S] [--threads N]");
+                println!("experiments: {}", all_ids().join(" "));
+                return;
+            }
+            id => match Experiment::parse(id) {
+                Some(e) => ids.push(e),
+                None => die(&format!("unknown experiment {id:?}; known: {}", all_ids().join(" "))),
+            },
+        }
+    }
+    if ids.is_empty() {
+        ids = Experiment::ALL.to_vec();
+    }
+
+    let needs_ctx = ids.iter().any(|e| e.needs_measurement());
+    let ctx = if needs_ctx {
+        eprintln!("building Sirius (training ASR/QA/IMM models) and running the 42-query input set...");
+        Some(MeasuredContext::build())
+    } else {
+        None
+    };
+
+    for e in ids {
+        let table = e.run(ctx.as_ref(), scale, threads);
+        println!("{table}");
+    }
+}
+
+fn all_ids() -> Vec<&'static str> {
+    Experiment::ALL.iter().map(|e| e.id()).collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,417 @@
+//! # sirius-codec
+//!
+//! A minimal, dependency-free binary codec for persisting trained Sirius
+//! models (acoustic models, language models, CRF taggers). One of the
+//! paper's three design objectives is *deployability* — "Sirius should be
+//! deployable and fully functional on real systems" — and a deployable
+//! assistant must ship trained models rather than retrain at startup.
+//!
+//! The format is little-endian, length-prefixed, and guarded by per-section
+//! tags so decoding mismatched data fails fast instead of misinterpreting
+//! bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use sirius_codec::{Decoder, Encoder};
+//!
+//! let mut enc = Encoder::new();
+//! enc.u32(7).str("hello").f32_slice(&[1.0, 2.5]);
+//! let bytes = enc.into_bytes();
+//!
+//! let mut dec = Decoder::new(&bytes);
+//! assert_eq!(dec.u32()?, 7);
+//! assert_eq!(dec.str()?, "hello");
+//! assert_eq!(dec.f32_vec()?, vec![1.0, 2.5]);
+//! dec.finish()?;
+//! # Ok::<(), sirius_codec::DecodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a section tag (asserted on decode), for format safety.
+    pub fn tag(&mut self, tag: &str) -> &mut Self {
+        self.str(tag)
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian `f32`.
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Writes a length-prefixed raw byte blob (e.g. a nested encoding).
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Writes a length-prefixed `f32` slice.
+    pub fn f32_slice(&mut self, xs: &[f32]) -> &mut Self {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f32(x);
+        }
+        self
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, xs: &[u32]) -> &mut Self {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.u32(x);
+        }
+        self
+    }
+
+    /// Writes a length-prefixed list of strings.
+    pub fn str_slice<S: AsRef<str>>(&mut self, xs: &[S]) -> &mut Self {
+        self.u32(xs.len() as u32);
+        for x in xs {
+            self.str(x.as_ref());
+        }
+        self
+    }
+}
+
+/// Sequential binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(self.err(format!(
+                "needed {n} bytes, only {} remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads and verifies a section tag.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stored tag differs from `expected`.
+    pub fn tag(&mut self, expected: &str) -> Result<(), DecodeError> {
+        let got = self.str()?;
+        if got != expected {
+            return Err(self.err(format!("expected section {expected:?}, found {got:?}")));
+        }
+        Ok(())
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any byte other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.err(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f32`.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| self.err(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    pub fn bytes_vec(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(self.err(format!("f32 vector length {n} exceeds remaining bytes")));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(self.err(format!("u32 vector length {n} exceeds remaining bytes")));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed list of strings.
+    pub fn str_vec(&mut self) -> Result<Vec<String>, DecodeError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the input was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if trailing bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(self.err(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut e = Encoder::new();
+        e.u8(9).bool(true).u32(123_456).u64(u64::MAX).f32(-1.5).f64(std::f64::consts::PI);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 9);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 123_456);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f32().unwrap(), -1.5);
+        assert_eq!(d.f64().unwrap(), std::f64::consts::PI);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_blobs_round_trip() {
+        let mut e = Encoder::new();
+        e.bytes(&[1, 2, 3]).bytes(&[]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.bytes_vec().unwrap(), vec![1, 2, 3]);
+        assert!(d.bytes_vec().unwrap().is_empty());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn tags_catch_section_mismatch() {
+        let mut e = Encoder::new();
+        e.tag("gmm").u32(4);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let err = d.tag("dnn").unwrap_err();
+        assert!(err.message.contains("expected section"));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 2]);
+        assert!(d.f32_vec().is_err());
+    }
+
+    #[test]
+    fn bogus_length_is_rejected() {
+        // A vector claiming 2^31 elements must not allocate.
+        let mut e = Encoder::new();
+        e.u32(0x8000_0000);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.f32_vec().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut d = Decoder::new(&[7]);
+        assert!(d.bool().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u32(1);
+        let mut extra = e.into_bytes();
+        extra.push(0);
+        let mut d = Decoder::new(&extra);
+        let _ = d.u32().unwrap();
+        assert!(d.finish().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn strings_round_trip(s in ".{0,80}") {
+            let mut e = Encoder::new();
+            e.str(&s);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.str().unwrap(), s);
+            prop_assert!(d.finish().is_ok());
+        }
+
+        #[test]
+        fn f32_vectors_round_trip(xs in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+            let mut e = Encoder::new();
+            e.f32_slice(&xs);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.f32_vec().unwrap(), xs);
+        }
+
+        #[test]
+        fn string_lists_round_trip(xs in prop::collection::vec("[a-z]{0,12}", 0..30)) {
+            let mut e = Encoder::new();
+            e.str_slice(&xs);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.str_vec().unwrap(), xs);
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+            let mut d = Decoder::new(&bytes);
+            let _ = d.str();
+            let _ = d.f32_vec();
+            let _ = d.u64();
+            let _ = d.finish();
+        }
+    }
+}

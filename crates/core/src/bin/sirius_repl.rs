@@ -1,0 +1,85 @@
+//! Interactive Sirius demo: type a query, the demo synthesizes speech for
+//! it, runs the full pipeline (ASR -> QC -> QA/IMM) and prints the response
+//! with per-stage timing. Venue names in square brackets attach an image,
+//! e.g. `When does this restaurant close? [Luigi Trattoria]`.
+
+use std::io::{BufRead, Write};
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome};
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+use sirius_vision::synth as vsynth;
+
+fn main() {
+    eprintln!("training Sirius (a few seconds)...");
+    let sirius = Sirius::build(SiriusConfig::default());
+    let mut voice = Synthesizer::new(0xcafe, SynthConfig::default());
+    eprintln!(
+        "ready. vocabulary: {} words; venues: {}.",
+        sirius.asr().lexicon().len(),
+        sirius.venues().join(", ")
+    );
+    eprintln!("type a query (empty line to quit):");
+
+    let stdin = std::io::stdin();
+    let mut view_seed = 1u64;
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        // Optional venue image: "... [Venue Name]".
+        let (text, image) = match (line.find('['), line.rfind(']')) {
+            (Some(a), Some(b)) if b > a => {
+                let venue = line[a + 1..b].trim();
+                match sirius
+                    .venues()
+                    .iter()
+                    .position(|v| v.eq_ignore_ascii_case(venue))
+                {
+                    Some(idx) => {
+                        view_seed += 1;
+                        let scene = sirius.venue_scene(idx);
+                        (line[..a].trim().to_owned(), Some(vsynth::random_view(&scene, view_seed)))
+                    }
+                    None => {
+                        eprintln!("(unknown venue {venue:?}; known: {})", sirius.venues().join(", "));
+                        (line[..a].trim().to_owned(), None)
+                    }
+                }
+            }
+            _ => (line.to_owned(), None),
+        };
+        if text.is_empty() {
+            continue;
+        }
+        // Words outside the trained vocabulary cannot be synthesized
+        // meaningfully; warn but continue.
+        let utt = voice.say(&text);
+        let response = sirius.process(&SiriusInput {
+            audio: utt.samples,
+            image,
+        });
+        println!("  heard : {}", response.recognized);
+        if let Some(venue) = &response.matched_venue {
+            println!("  image : matched {venue}");
+        }
+        match &response.outcome {
+            SiriusOutcome::Action(a) => println!("  action: {}", a.action),
+            SiriusOutcome::Answer(Some(ans)) => println!("  answer: {ans}"),
+            SiriusOutcome::Answer(None) => println!("  answer: (none found)"),
+        }
+        println!(
+            "  timing: asr {:.1?}, qa {:?}, imm {:?}, total {:.1?}",
+            response.timing.asr.total,
+            response.timing.qa.as_ref().map(|q| q.total),
+            response.timing.imm.as_ref().map(|i| i.total),
+            response.timing.total
+        );
+    }
+}

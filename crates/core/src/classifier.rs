@@ -1,0 +1,151 @@
+//! Query classifier (the QC stage of paper Figure 2).
+//!
+//! After ASR, the translated text "goes through a Query Classifier (QC) that
+//! decides if the speech is an action or a question. If it is an action, the
+//! command is sent back to the mobile device for execution." The classifier
+//! is regex-driven, like OpenEphyra's input filters.
+
+use sirius_nlp::regex::Regex;
+
+/// Classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// An actionable command for the device.
+    Action,
+    /// A question for the QA back-end.
+    Question,
+}
+
+/// The device action extracted from a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAction {
+    /// Canonical action name (e.g. "alarm", "call", "play").
+    pub action: String,
+    /// The full command text, for the device to parse arguments from.
+    pub command: String,
+}
+
+/// Regex-based action/question classifier.
+#[derive(Debug)]
+pub struct QueryClassifier {
+    question_start: Regex,
+    imperatives: Vec<(Regex, &'static str)>,
+}
+
+/// Imperative verb patterns and the canonical action each maps to.
+const IMPERATIVE_ACTIONS: [(&str, &str); 16] = [
+    (r"^set (my |the )?alarm", "alarm"),
+    (r"^call ", "call"),
+    (r"^(play|resume) ", "play"),
+    (r"^open ", "open"),
+    (r"^send ", "send"),
+    (r"^turn (on|off|up|down)?", "turn"),
+    (r"^start (a |the )?timer", "timer"),
+    (r"^start navigation", "navigate"),
+    (r"^take (a |the )?(quick )?note", "note"),
+    (r"^take a picture", "camera"),
+    (r"^show ", "show"),
+    (r"^stop ", "stop"),
+    (r"^(increase|decrease|raise|lower) (the )?volume", "volume"),
+    (r"^check ", "check"),
+    (r"^mute ", "mute"),
+    (r"^(remind|wake) ", "remind"),
+];
+
+impl QueryClassifier {
+    /// Builds the classifier (compiles the built-in patterns).
+    pub fn new() -> Self {
+        Self {
+            question_start: Regex::new(
+                r"^(who|what|where|when|which|why|how|is|are|was|were|does|do|did|can) ",
+            )
+            .expect("built-in pattern"),
+            imperatives: IMPERATIVE_ACTIONS
+                .iter()
+                .map(|(p, a)| (Regex::new(p).expect("built-in pattern"), *a))
+                .collect(),
+        }
+    }
+
+    /// Classifies the recognized text.
+    pub fn classify(&self, text: &str) -> QueryClass {
+        let lower = normalize(text);
+        if self.question_start.is_match(&lower) {
+            return QueryClass::Question;
+        }
+        if self.imperatives.iter().any(|(re, _)| re.is_match(&lower)) {
+            return QueryClass::Action;
+        }
+        // Default: route to QA, like the paper's pipeline (questions are the
+        // common case for non-imperative phrasings).
+        QueryClass::Question
+    }
+
+    /// Extracts the device action from a command, if it is one.
+    pub fn action(&self, text: &str) -> Option<DeviceAction> {
+        let lower = normalize(text);
+        self.imperatives
+            .iter()
+            .find(|(re, _)| re.is_match(&lower))
+            .map(|(_, action)| DeviceAction {
+                action: (*action).to_owned(),
+                command: lower.clone(),
+            })
+    }
+}
+
+impl Default for QueryClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn normalize(text: &str) -> String {
+    let mut s = text.to_lowercase();
+    s.retain(|c| c.is_alphanumeric() || c == ' ');
+    // Collapse whitespace and guarantee a trailing space so `^word $`-style
+    // anchored patterns can match single-word commands too.
+    let collapsed: String = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    format!("{collapsed} ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{VOICE_COMMANDS, VOICE_IMAGE_QUERIES, VOICE_QUERIES};
+
+    #[test]
+    fn all_voice_commands_classify_as_actions() {
+        let qc = QueryClassifier::new();
+        for (text, expected_action) in VOICE_COMMANDS {
+            assert_eq!(qc.classify(text), QueryClass::Action, "{text}");
+            let action = qc.action(text).unwrap_or_else(|| panic!("no action: {text}"));
+            assert_eq!(action.action, expected_action, "{text}");
+        }
+    }
+
+    #[test]
+    fn all_voice_queries_classify_as_questions() {
+        let qc = QueryClassifier::new();
+        for (text, _) in VOICE_QUERIES {
+            assert_eq!(qc.classify(text), QueryClass::Question, "{text}");
+            assert!(qc.action(text).is_none(), "{text}");
+        }
+        for (text, _, _) in VOICE_IMAGE_QUERIES {
+            assert_eq!(qc.classify(text), QueryClass::Question, "{text}");
+        }
+    }
+
+    #[test]
+    fn punctuation_and_case_are_ignored() {
+        let qc = QueryClassifier::new();
+        assert_eq!(qc.classify("SET MY ALARM FOR 8AM!!!"), QueryClass::Action);
+        assert_eq!(qc.classify("What... is the capital of Italy?"), QueryClass::Question);
+    }
+
+    #[test]
+    fn ambiguous_text_defaults_to_question() {
+        let qc = QueryClassifier::new();
+        assert_eq!(qc.classify("the weather in paris"), QueryClass::Question);
+    }
+}

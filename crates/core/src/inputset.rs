@@ -1,0 +1,85 @@
+//! Prepared input set: synthesized audio and images for all 42 queries.
+//!
+//! The paper's input set is recorded speech plus photographs; we synthesize
+//! both (see DESIGN.md). Audio uses a held-out synthesis seed so recognition
+//! is evaluated on unseen utterances; VIQ images are random affine views of
+//! the venue scenes indexed in the image database.
+
+use sirius_speech::synth::{SynthConfig, Synthesizer, Utterance};
+use sirius_vision::image::GrayImage;
+use sirius_vision::synth as vsynth;
+
+use crate::pipeline::{Sirius, SiriusInput};
+use crate::taxonomy::{input_set, QuerySpec};
+
+/// A query spec with its synthesized audio/image inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedQuery {
+    /// The taxonomy entry.
+    pub spec: QuerySpec,
+    /// Synthesized speech for the query text.
+    pub utterance: Utterance,
+    /// Query-view image for VIQ queries.
+    pub image: Option<GrayImage>,
+}
+
+impl PreparedQuery {
+    /// The pipeline input for this query.
+    pub fn input(&self) -> SiriusInput {
+        SiriusInput {
+            audio: self.utterance.samples.clone(),
+            image: self.image.clone(),
+        }
+    }
+}
+
+/// Synthesizes the full 42-query input set against a built [`Sirius`]
+/// instance. `seed` controls speech jitter and image viewpoints and should
+/// differ from the training seed.
+pub fn prepare_input_set(sirius: &Sirius, seed: u64) -> Vec<PreparedQuery> {
+    let mut synth = Synthesizer::new(seed, SynthConfig::default());
+    input_set()
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let utterance = synth.say(spec.text);
+            let image = spec.venue.map(|venue| {
+                let venue_index = sirius
+                    .venues()
+                    .iter()
+                    .position(|v| v.eq_ignore_ascii_case(venue))
+                    .unwrap_or_else(|| panic!("venue {venue:?} not in image database"));
+                let scene = sirius.venue_scene(venue_index);
+                vsynth::random_view(&scene, seed.wrapping_add(i as u64 * 977))
+            });
+            PreparedQuery {
+                spec,
+                utterance,
+                image,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::QueryKind;
+
+    #[test]
+    fn prepared_set_has_audio_for_all_and_images_for_viq() {
+        // A tiny Sirius build is expensive; use the shared test instance.
+        let sirius = crate::test_support::shared_sirius();
+        let prepared = prepare_input_set(sirius, 9999);
+        assert_eq!(prepared.len(), 42);
+        for p in &prepared {
+            assert!(!p.utterance.samples.is_empty(), "{}", p.spec.text);
+            assert_eq!(
+                p.image.is_some(),
+                p.spec.kind == QueryKind::VoiceImageQuery,
+                "{}",
+                p.spec.text
+            );
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The end-to-end Sirius pipeline (paper Figure 2).
+//!
+//! Voice (and optionally image) input flows through Automatic Speech
+//! Recognition, the Query Classifier, and then either back to the device as
+//! an action or into Question Answering — combined with Image Matching when
+//! an image accompanies the speech. Every stage is timed so the pipeline
+//! reproduces the paper's latency figures (7b, 8a) and cycle breakdowns
+//! (Figure 9).
+
+use std::time::{Duration, Instant};
+
+use sirius_nlp::crf::{Crf, TrainConfig};
+use sirius_nlp::pos;
+use sirius_nlp::qa::{QaBreakdown, QaConfig, QaEngine};
+use sirius_search::corpus::{CorpusConfig, FactCorpus, FactKind};
+use sirius_search::SearchEngine;
+use sirius_speech::asr::{AcousticModelKind, AsrSystem, AsrTiming, AsrTrainConfig};
+use sirius_vision::db::{ImageDatabase, ImmTiming, MatchConfig};
+use sirius_vision::image::GrayImage;
+use sirius_vision::synth as vsynth;
+
+use crate::classifier::{DeviceAction, QueryClass, QueryClassifier};
+use crate::taxonomy;
+
+/// Configuration for building a Sirius instance.
+#[derive(Debug, Clone)]
+pub struct SiriusConfig {
+    /// Master seed for all generated models and data.
+    pub seed: u64,
+    /// Fact-corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// ASR training parameters.
+    pub asr: AsrTrainConfig,
+    /// QA retrieval parameters.
+    pub qa: QaConfig,
+    /// Image-matching parameters.
+    pub imm: MatchConfig,
+    /// Venue image dimensions (width, height).
+    pub image_size: (usize, usize),
+    /// Tagged sentences used to train the CRF tagger.
+    pub crf_train_sentences: usize,
+}
+
+impl Default for SiriusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5151_7105,
+            corpus: CorpusConfig::default(),
+            asr: AsrTrainConfig::default(),
+            qa: QaConfig::default(),
+            imm: MatchConfig::default(),
+            image_size: (160, 160),
+            crf_train_sentences: 200,
+        }
+    }
+}
+
+/// Stage-level timing of one end-to-end query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTiming {
+    /// Speech-recognition stage.
+    pub asr: AsrTiming,
+    /// Query-classifier time.
+    pub classify: Duration,
+    /// Question-answering stage (absent for actions).
+    pub qa: Option<QaBreakdown>,
+    /// Image-matching stage (VIQ only).
+    pub imm: Option<ImmTiming>,
+    /// End-to-end wall-clock.
+    pub total: Duration,
+}
+
+/// What Sirius did with the query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiriusOutcome {
+    /// A device action (voice command path).
+    Action(DeviceAction),
+    /// A natural-language answer (voice query / voice-image query path).
+    Answer(Option<String>),
+}
+
+/// The full response to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiriusResponse {
+    /// The ASR transcription.
+    pub recognized: String,
+    /// Action or answer.
+    pub outcome: SiriusOutcome,
+    /// The venue identified by image matching, if an image was supplied.
+    pub matched_venue: Option<String>,
+    /// Per-stage timing.
+    pub timing: StageTiming,
+}
+
+/// One input to the pipeline: audio samples plus an optional image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiriusInput {
+    /// Mono PCM audio at 16 kHz.
+    pub audio: Vec<f32>,
+    /// Accompanying image (VIQ queries).
+    pub image: Option<GrayImage>,
+}
+
+/// The end-to-end intelligent personal assistant.
+pub struct Sirius {
+    asr: AsrSystem,
+    classifier: QueryClassifier,
+    qa: QaEngine,
+    imm: ImageDatabase,
+    venues: Vec<String>,
+    config: SiriusConfig,
+}
+
+impl std::fmt::Debug for Sirius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sirius")
+            .field("vocabulary", &self.asr.lexicon().len())
+            .field("venues", &self.venues.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sirius {
+    /// Builds and trains a complete Sirius instance: ASR models over the
+    /// input-set vocabulary, the QA engine over a generated fact corpus, and
+    /// the image database over procedurally generated venue scenes.
+    pub fn build(config: SiriusConfig) -> Self {
+        // ASR: train on the full taxonomy vocabulary.
+        let texts: Vec<&str> = taxonomy::input_set().iter().map(|q| q.text).collect();
+        let asr = AsrSystem::train(&texts, config.seed, config.asr);
+
+        // QA: fact corpus + search engine + CRF tagger.
+        let corpus = FactCorpus::generate(config.seed ^ 0xfac7, config.corpus);
+        let search = SearchEngine::build(corpus.documents().iter().map(|d| d.text.as_str()));
+        let crf = Crf::train(
+            pos::tag_set(),
+            &pos::generate(config.seed ^ 0x905, config.crf_train_sentences),
+            TrainConfig::default(),
+        );
+        let qa = QaEngine::new(search, crf, config.qa);
+
+        // IMM: one scene per venue in the knowledge base.
+        let venues: Vec<String> = corpus
+            .facts()
+            .iter()
+            .filter(|f| f.kind == FactKind::ClosingTime)
+            .map(|f| f.subject.clone())
+            .collect();
+        let (w, h) = config.image_size;
+        let scenes: Vec<GrayImage> = (0..venues.len())
+            .map(|i| vsynth::generate_scene(Self::venue_scene_seed(config.seed, i), w, h))
+            .collect();
+        let imm = ImageDatabase::build(scenes.iter(), config.imm);
+
+        Self {
+            asr,
+            classifier: QueryClassifier::new(),
+            qa,
+            imm,
+            venues,
+            config,
+        }
+    }
+
+    fn venue_scene_seed(seed: u64, venue_index: usize) -> u64 {
+        seed.wrapping_mul(0x1234_5679).wrapping_add(venue_index as u64 * 101 + 3)
+    }
+
+    /// The trained speech recognizer.
+    pub fn asr(&self) -> &AsrSystem {
+        &self.asr
+    }
+
+    /// The question-answering engine.
+    pub fn qa(&self) -> &QaEngine {
+        &self.qa
+    }
+
+    /// The image database.
+    pub fn imm(&self) -> &ImageDatabase {
+        &self.imm
+    }
+
+    /// The venues indexed in the image database, in [`ImageId`] order.
+    ///
+    /// [`ImageId`]: sirius_vision::ImageId
+    pub fn venues(&self) -> &[String] {
+        &self.venues
+    }
+
+    /// The pristine database scene for a venue (by index into
+    /// [`Sirius::venues`]); query views are derived from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `venue_index` is out of range.
+    pub fn venue_scene(&self, venue_index: usize) -> GrayImage {
+        assert!(venue_index < self.venues.len(), "venue index out of range");
+        let (w, h) = self.config.image_size;
+        vsynth::generate_scene(Self::venue_scene_seed(self.config.seed, venue_index), w, h)
+    }
+
+    /// Serializes the fully trained assistant: ASR models, QA corpus + CRF,
+    /// the image database and the venue table. Restoring with
+    /// [`Sirius::from_bytes`] skips all training.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = sirius_codec::Encoder::new();
+        e.tag("sirius_v1");
+        e.u64(self.config.seed);
+        e.u32(self.config.image_size.0 as u32);
+        e.u32(self.config.image_size.1 as u32);
+        e.str_slice(&self.venues);
+        e.bytes(&self.asr.to_bytes());
+        e.bytes(&self.qa.to_bytes());
+        e.bytes(&self.imm.to_bytes());
+        e.into_bytes()
+    }
+
+    /// Restores an assistant saved with [`Sirius::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed, truncated or inconsistent bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
+        let mut d = sirius_codec::Decoder::new(bytes);
+        d.tag("sirius_v1")?;
+        let seed = d.u64()?;
+        let w = d.u32()? as usize;
+        let h = d.u32()? as usize;
+        let venues = d.str_vec()?;
+        let asr = AsrSystem::from_bytes(&d.bytes_vec()?)?;
+        let qa = QaEngine::from_bytes(&d.bytes_vec()?)?;
+        let imm = ImageDatabase::from_bytes(&d.bytes_vec()?)?;
+        d.finish()?;
+        if imm.num_images() != venues.len() {
+            return Err(sirius_codec::DecodeError {
+                message: "image database does not match venue table".into(),
+                offset: 0,
+            });
+        }
+        let config = SiriusConfig {
+            seed,
+            image_size: (w.max(1), h.max(1)),
+            ..SiriusConfig::default()
+        };
+        Ok(Self {
+            asr,
+            classifier: QueryClassifier::new(),
+            qa,
+            imm,
+            venues,
+            config,
+        })
+    }
+
+    /// Processes a query end-to-end with the default (GMM) acoustic model.
+    pub fn process(&self, input: &SiriusInput) -> SiriusResponse {
+        self.process_with(input, AcousticModelKind::Gmm)
+    }
+
+    /// Processes a query end-to-end, choosing the acoustic model.
+    pub fn process_with(&self, input: &SiriusInput, acoustic: AcousticModelKind) -> SiriusResponse {
+        let t_total = Instant::now();
+
+        // Stage 1: ASR.
+        let asr_out = self.asr.recognize(&input.audio, acoustic);
+        let recognized = asr_out.text.clone();
+
+        // Stage 2: query classification.
+        let t = Instant::now();
+        let class = self.classifier.classify(&recognized);
+        let classify = t.elapsed();
+
+        if class == QueryClass::Action {
+            let action = self
+                .classifier
+                .action(&recognized)
+                .unwrap_or(DeviceAction {
+                    action: "unknown".to_owned(),
+                    command: recognized.clone(),
+                });
+            return SiriusResponse {
+                recognized,
+                outcome: SiriusOutcome::Action(action),
+                matched_venue: None,
+                timing: StageTiming {
+                    asr: asr_out.timing,
+                    classify,
+                    qa: None,
+                    imm: None,
+                    total: t_total.elapsed(),
+                },
+            };
+        }
+
+        // Stage 3 (VIQ only): image matching, then query rewriting.
+        let mut question = recognized.clone();
+        let mut imm_timing = None;
+        let mut matched_venue = None;
+        if let Some(image) = &input.image {
+            let result = self.imm.match_image(image);
+            imm_timing = Some(result.timing);
+            if let Some(id) = result.best {
+                let venue = self.venues[id.0 as usize].clone();
+                question = rewrite_deictic(&question, &venue);
+                matched_venue = Some(venue);
+            }
+        }
+
+        // Stage 4: question answering.
+        let qa_result = self.qa.answer(&question);
+
+        SiriusResponse {
+            recognized,
+            outcome: SiriusOutcome::Answer(qa_result.answer),
+            matched_venue,
+            timing: StageTiming {
+                asr: asr_out.timing,
+                classify,
+                qa: Some(qa_result.breakdown),
+                imm: imm_timing,
+                total: t_total.elapsed(),
+            },
+        }
+    }
+}
+
+/// Replaces deictic phrases ("this restaurant", "this place", ...) with the
+/// venue name resolved by image matching.
+fn rewrite_deictic(question: &str, venue: &str) -> String {
+    let words: Vec<&str> = question.split_whitespace().collect();
+    for phrase in [
+        &["this", "restaurant"][..],
+        &["this", "place"],
+        &["this", "shop"],
+        &["this", "cafe"],
+        &["this", "store"],
+        &["it"],
+    ] {
+        if let Some(at) = words
+            .windows(phrase.len())
+            .position(|w| w.iter().zip(phrase).all(|(a, b)| a.eq_ignore_ascii_case(b)))
+        {
+            let mut out: Vec<&str> = Vec::with_capacity(words.len());
+            out.extend_from_slice(&words[..at]);
+            out.push(venue);
+            out.extend_from_slice(&words[at + phrase.len()..]);
+            return out.join(" ");
+        }
+    }
+    format!("{question} {venue}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_replaces_first_deictic_phrase() {
+        assert_eq!(
+            rewrite_deictic("when does this restaurant close", "Harbor Grill"),
+            "when does Harbor Grill close"
+        );
+        assert_eq!(
+            rewrite_deictic("when does it close", "Crown Books"),
+            "when does Crown Books close"
+        );
+        // No deictic phrase: the venue is appended as context.
+        assert_eq!(
+            rewrite_deictic("when does the kitchen close", "Harbor Grill"),
+            "when does the kitchen close Harbor Grill"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Cycle accounting across pipeline runs (paper Figures 7b, 8a, 8b, 9).
+//!
+//! [`Profiler`] accumulates per-component wall-clock time from
+//! [`SiriusResponse`] timings and reports per-service breakdowns (Figure 9),
+//! per-query-kind latency statistics (Figures 7b/8a), and the QA
+//! latency-vs-filter-hits correlation data (Figure 8c).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::pipeline::SiriusResponse;
+use crate::taxonomy::QueryKind;
+
+/// Accumulated per-component times for one service.
+pub type ComponentBreakdown = Vec<(&'static str, f64)>;
+
+/// Latency statistics for one query kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of queries observed.
+    pub count: usize,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Fastest query.
+    pub min: Duration,
+    /// Slowest query.
+    pub max: Duration,
+}
+
+/// One (filter hits, QA latency) observation for Figure 8c.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterHitSample {
+    /// Document-filter hits for this query.
+    pub hits: usize,
+    /// QA stage latency.
+    pub latency: Duration,
+}
+
+/// Accumulates pipeline timings across queries.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    per_kind: BTreeMap<&'static str, Vec<Duration>>,
+    asr_components: BTreeMap<&'static str, Duration>,
+    qa_components: BTreeMap<&'static str, Duration>,
+    imm_components: BTreeMap<&'static str, Duration>,
+    filter_samples: Vec<FilterHitSample>,
+    qa_latencies: Vec<Duration>,
+    asr_latencies: Vec<Duration>,
+    imm_latencies: Vec<Duration>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response.
+    pub fn record(&mut self, kind: QueryKind, response: &SiriusResponse) {
+        self.per_kind
+            .entry(kind.short_name())
+            .or_default()
+            .push(response.timing.total);
+
+        let asr = &response.timing.asr;
+        *self.asr_components.entry("feature extraction").or_default() +=
+            asr.feature_extraction;
+        *self.asr_components.entry("scoring").or_default() += asr.scoring;
+        *self.asr_components.entry("HMM search").or_default() += asr.search;
+        self.asr_latencies.push(asr.total);
+
+        if let Some(qa) = &response.timing.qa {
+            *self.qa_components.entry("stemmer").or_default() += qa.stemmer;
+            *self.qa_components.entry("regex").or_default() += qa.regex;
+            *self.qa_components.entry("CRF").or_default() += qa.crf;
+            *self.qa_components.entry("search").or_default() += qa.search;
+            *self.qa_components.entry("filter/extract").or_default() += qa.filtering;
+            self.filter_samples.push(FilterHitSample {
+                hits: qa.filter_hits,
+                latency: qa.total,
+            });
+            self.qa_latencies.push(qa.total);
+        }
+        if let Some(imm) = &response.timing.imm {
+            *self.imm_components.entry("FE").or_default() += imm.feature_extraction;
+            *self.imm_components.entry("FD").or_default() += imm.feature_description;
+            *self.imm_components.entry("ANN").or_default() += imm.ann_search;
+            self.imm_latencies.push(imm.total);
+        }
+    }
+
+    /// Latency statistics per query kind (Figures 7b, 8a).
+    pub fn latency_stats(&self) -> Vec<(&'static str, LatencyStats)> {
+        self.per_kind
+            .iter()
+            .map(|(kind, samples)| {
+                let sum: Duration = samples.iter().sum();
+                (
+                    *kind,
+                    LatencyStats {
+                        count: samples.len(),
+                        mean: sum / samples.len().max(1) as u32,
+                        min: samples.iter().min().copied().unwrap_or_default(),
+                        max: samples.iter().max().copied().unwrap_or_default(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn shares(map: &BTreeMap<&'static str, Duration>) -> ComponentBreakdown {
+        let total: f64 = map.values().map(Duration::as_secs_f64).sum();
+        map.iter()
+            .map(|(name, d)| (*name, d.as_secs_f64() / total.max(1e-12)))
+            .collect()
+    }
+
+    /// ASR component shares (Figure 9, left group).
+    pub fn asr_breakdown(&self) -> ComponentBreakdown {
+        Self::shares(&self.asr_components)
+    }
+
+    /// QA component shares (Figure 9, middle group / Figure 8b).
+    pub fn qa_breakdown(&self) -> ComponentBreakdown {
+        Self::shares(&self.qa_components)
+    }
+
+    /// IMM component shares (Figure 9, right group).
+    pub fn imm_breakdown(&self) -> ComponentBreakdown {
+        Self::shares(&self.imm_components)
+    }
+
+    /// Per-service mean latencies (Figure 8a): (service, mean, min, max).
+    pub fn service_latency_spread(&self) -> Vec<(&'static str, LatencyStats)> {
+        let stat = |samples: &[Duration]| LatencyStats {
+            count: samples.len(),
+            mean: samples.iter().sum::<Duration>() / samples.len().max(1) as u32,
+            min: samples.iter().min().copied().unwrap_or_default(),
+            max: samples.iter().max().copied().unwrap_or_default(),
+        };
+        vec![
+            ("ASR", stat(&self.asr_latencies)),
+            ("QA", stat(&self.qa_latencies)),
+            ("IMM", stat(&self.imm_latencies)),
+        ]
+    }
+
+    /// The (hits, latency) samples behind Figure 8c.
+    pub fn filter_hit_samples(&self) -> &[FilterHitSample] {
+        &self.filter_samples
+    }
+
+    /// Pearson correlation between filter hits and QA latency (Figure 8c
+    /// shows these are strongly correlated).
+    pub fn filter_hit_correlation(&self) -> f64 {
+        let n = self.filter_samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.filter_samples.iter().map(|s| s.hits as f64).collect();
+        let ys: Vec<f64> = self
+            .filter_samples
+            .iter()
+            .map(|s| s.latency.as_secs_f64())
+            .collect();
+        pearson(&xs, &ys)
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_linear_data_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn empty_profiler_reports_empty_stats() {
+        let p = Profiler::new();
+        assert!(p.latency_stats().is_empty());
+        assert_eq!(p.filter_hit_correlation(), 0.0);
+    }
+}

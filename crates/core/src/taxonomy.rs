@@ -1,0 +1,216 @@
+//! Query taxonomy (paper Table 1) and the 42-query input set.
+//!
+//! Three classes: Voice Command (16 queries, ASR only), Voice Query
+//! (16 queries, ASR + QA) and Voice-Image Query (10 queries, ASR + QA +
+//! IMM), mirroring the paper's input set sizes exactly.
+
+/// The class of an IPA query (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// "Set my alarm for 8am." — ASR, then an action on the device.
+    VoiceCommand,
+    /// "Who was elected 44th president?" — ASR + QA.
+    VoiceQuery,
+    /// "When does this restaurant close?" + image — ASR + QA + IMM.
+    VoiceImageQuery,
+}
+
+impl QueryKind {
+    /// All classes in taxonomy order.
+    pub const ALL: [QueryKind; 3] = [
+        QueryKind::VoiceCommand,
+        QueryKind::VoiceQuery,
+        QueryKind::VoiceImageQuery,
+    ];
+
+    /// Short name used in figures ("VC", "VQ", "VIQ").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            QueryKind::VoiceCommand => "VC",
+            QueryKind::VoiceQuery => "VQ",
+            QueryKind::VoiceImageQuery => "VIQ",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A query specification from the input set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Query class.
+    pub kind: QueryKind,
+    /// Spoken text of the query.
+    pub text: &'static str,
+    /// For VIQ queries, the venue whose image accompanies the speech.
+    pub venue: Option<&'static str>,
+    /// Ground truth: the expected action (VC) or answer (VQ/VIQ).
+    pub expected: &'static str,
+}
+
+/// The 16 voice commands.
+pub const VOICE_COMMANDS: [(&str, &str); 16] = [
+    ("Set my alarm for 8am", "alarm"),
+    ("Call mom now", "call"),
+    ("Play some jazz music", "play"),
+    ("Open the calendar app", "open"),
+    ("Send a text to John", "send"),
+    ("Turn on the lights", "turn"),
+    ("Start a timer for ten minutes", "timer"),
+    ("Take a quick note", "note"),
+    ("Show my schedule for today", "show"),
+    ("Stop the music now", "stop"),
+    ("Increase the volume a bit", "volume"),
+    ("Open the camera app", "open"),
+    ("Check my new messages", "check"),
+    ("Start navigation to home", "navigate"),
+    ("Mute the phone now", "mute"),
+    ("Take a picture of this", "camera"),
+];
+
+/// The 16 voice queries (Table 2 style), with ground-truth answers drawn
+/// from the `sirius-search` knowledge base.
+pub const VOICE_QUERIES: [(&str, &str); 16] = [
+    ("Where is Las Vegas", "Nevada"),
+    ("What is the capital of Italy", "Rome"),
+    ("Who is the author of Harry Potter", "Joanne Rowling"),
+    ("What is the capital of Cuba", "Havana"),
+    ("What is the capital of France", "Paris"),
+    ("What is the capital of Japan", "Tokyo"),
+    ("What is the capital of Canada", "Ottawa"),
+    ("What is the capital of Australia", "Canberra"),
+    ("What is the capital of Egypt", "Cairo"),
+    ("What is the capital of Brazil", "Brasilia"),
+    ("Who is the author of Hamlet", "William Shakespeare"),
+    ("Who is the author of The Odyssey", "Homer"),
+    ("Who was elected 44th president of the United States", "Barack Obama"),
+    ("Who was the first president of the United States", "George Washington"),
+    ("Where is Mount Fuji", "Japan"),
+    ("Where is the Grand Canyon", "Arizona"),
+];
+
+/// The 10 voice-image queries: a "this place" question plus a venue image.
+pub const VOICE_IMAGE_QUERIES: [(&str, &str, &str); 10] = [
+    ("When does this restaurant close", "Luigi Trattoria", "10 pm"),
+    ("When does this restaurant close", "Sakura Sushi House", "11 pm"),
+    ("When does this place close", "Blue Bottle Cafe", "6 pm"),
+    ("When does this place close", "Golden Gate Diner", "midnight"),
+    ("When does this place close", "Crown Books", "9 pm"),
+    ("When does this restaurant close", "Harbor Grill", "10 pm"),
+    ("When does this place close", "Maple Leaf Bakery", "5 pm"),
+    ("When does this restaurant close", "Casa Verde Cantina", "11 pm"),
+    ("When does this place close", "Union Square Market", "8 pm"),
+    ("When does this place close", "Riverside Tea House", "7 pm"),
+];
+
+/// Builds the full 42-query input set (16 VC + 16 VQ + 10 VIQ).
+pub fn input_set() -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(42);
+    for (text, expected) in VOICE_COMMANDS {
+        out.push(QuerySpec {
+            kind: QueryKind::VoiceCommand,
+            text,
+            venue: None,
+            expected,
+        });
+    }
+    for (text, expected) in VOICE_QUERIES {
+        out.push(QuerySpec {
+            kind: QueryKind::VoiceQuery,
+            text,
+            venue: None,
+            expected,
+        });
+    }
+    for (text, venue, expected) in VOICE_IMAGE_QUERIES {
+        out.push(QuerySpec {
+            kind: QueryKind::VoiceImageQuery,
+            text,
+            venue: Some(venue),
+            expected,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_set_matches_table1_counts() {
+        let set = input_set();
+        assert_eq!(set.len(), 42);
+        let count = |k: QueryKind| set.iter().filter(|q| q.kind == k).count();
+        assert_eq!(count(QueryKind::VoiceCommand), 16);
+        assert_eq!(count(QueryKind::VoiceQuery), 16);
+        assert_eq!(count(QueryKind::VoiceImageQuery), 10);
+    }
+
+    #[test]
+    fn viq_queries_have_venues() {
+        for q in input_set() {
+            assert_eq!(q.venue.is_some(), q.kind == QueryKind::VoiceImageQuery);
+            assert!(!q.expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(QueryKind::VoiceCommand.short_name(), "VC");
+        assert_eq!(QueryKind::VoiceImageQuery.to_string(), "VIQ");
+    }
+}
+
+#[cfg(test)]
+mod kb_consistency_tests {
+    use super::*;
+    use sirius_search::corpus::{knowledge_base, FactKind};
+
+    /// Every VIQ venue and expected closing time must exist in the
+    /// knowledge base the QA corpus is generated from — otherwise the
+    /// end-to-end VIQ path cannot succeed by construction.
+    #[test]
+    fn viq_expectations_match_the_knowledge_base() {
+        let kb = knowledge_base();
+        for (_, venue, expected) in VOICE_IMAGE_QUERIES {
+            let fact = kb
+                .iter()
+                .find(|f| f.kind == FactKind::ClosingTime && f.subject == venue)
+                .unwrap_or_else(|| panic!("venue {venue:?} missing from knowledge base"));
+            assert_eq!(fact.answer, expected, "{venue}");
+        }
+    }
+
+    /// Every VQ expected answer must be the knowledge base's answer for some
+    /// fact whose subject appears in the query text.
+    #[test]
+    fn vq_expectations_match_the_knowledge_base() {
+        let kb = knowledge_base();
+        for (text, expected) in VOICE_QUERIES {
+            let lower = text.to_lowercase();
+            let found = kb.iter().any(|f| {
+                f.answer == expected && lower.contains(&f.subject.to_lowercase())
+            });
+            assert!(found, "no supporting fact for {text:?} -> {expected:?}");
+        }
+    }
+
+    /// The 10 VIQ venues are exactly the knowledge base's venues, in order —
+    /// the pipeline maps image-database ids to venues positionally.
+    #[test]
+    fn viq_venues_cover_all_closing_time_facts_in_order() {
+        let kb_venues: Vec<String> = knowledge_base()
+            .into_iter()
+            .filter(|f| f.kind == FactKind::ClosingTime)
+            .map(|f| f.subject)
+            .collect();
+        let taxonomy_venues: Vec<&str> =
+            VOICE_IMAGE_QUERIES.iter().map(|(_, v, _)| *v).collect();
+        assert_eq!(kb_venues, taxonomy_venues);
+    }
+}

@@ -1,0 +1,426 @@
+//! Datacenter design-space exploration (paper Figures 19/20, Tables 8/9).
+//!
+//! Combines the service-level acceleration model (`sirius-accel`) with the
+//! TCO model to pick homogeneous and heterogeneous (partitioned) datacenter
+//! designs under the paper's three objectives: minimize latency, minimize
+//! TCO under a latency constraint, and maximize energy efficiency under a
+//! latency constraint. The latency constraint is the CMP (sub-query
+//! parallel) latency, as in Table 8.
+
+use serde::{Deserialize, Serialize};
+
+use sirius_accel::platform::PlatformKind;
+use sirius_accel::service::{perf_per_watt_vs_cmp, service_speedup, ServiceKind};
+
+use crate::tco::{normalized_dc_tco, ServerConfig, TcoParams};
+
+/// Cores of the baseline server; the CMP reference throughput uses all of
+/// them for query-level parallelism (paper Figure 16).
+pub const BASELINE_CORES: f64 = 4.0;
+
+/// One point in the latency/TCO trade-off space (paper Figure 19).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Server platform.
+    pub platform: PlatformKind,
+    /// Service evaluated.
+    pub service: ServiceKind,
+    /// Query-latency improvement over the single-core baseline.
+    pub latency_improvement: f64,
+    /// Throughput improvement over the all-cores CMP baseline.
+    pub throughput_improvement: f64,
+    /// Normalized DC TCO (values < 1 are reductions; paper Figure 18).
+    pub tco_normalized: f64,
+    /// Performance per watt relative to the CMP server (paper Figure 15).
+    pub perf_per_watt: f64,
+}
+
+/// Throughput improvement of `platform` for `service` versus the CMP
+/// query-parallel baseline (Figure 16: the ρ→1 lower bound).
+pub fn throughput_improvement(service: ServiceKind, platform: PlatformKind) -> f64 {
+    if platform == PlatformKind::Multicore {
+        // Query-level parallelism on all four cores defines the baseline.
+        1.0
+    } else {
+        service_speedup(service, platform) / BASELINE_CORES
+    }
+}
+
+/// Evaluates one (platform, service) design point.
+pub fn design_point(service: ServiceKind, platform: PlatformKind, params: &TcoParams) -> DesignPoint {
+    let tput = throughput_improvement(service, platform);
+    let config = match platform {
+        PlatformKind::Multicore => ServerConfig::baseline(),
+        k => ServerConfig::with_accelerator(k),
+    };
+    DesignPoint {
+        platform,
+        service,
+        latency_improvement: service_speedup(service, platform),
+        throughput_improvement: tput,
+        tco_normalized: normalized_dc_tco(&config, tput, params),
+        perf_per_watt: perf_per_watt_vs_cmp(service, platform),
+    }
+}
+
+/// The full design space: every platform × service (paper Figure 19).
+pub fn design_space(params: &TcoParams) -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for service in ServiceKind::ALL {
+        for platform in PlatformKind::ALL {
+            out.push(design_point(service, platform, params));
+        }
+    }
+    out
+}
+
+/// Design objectives (paper Table 8 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize query latency.
+    MinLatency,
+    /// Minimize TCO subject to latency no worse than CMP (sub-query).
+    MinTcoWithLatencyConstraint,
+    /// Maximize perf/W subject to latency no worse than CMP (sub-query).
+    MaxEfficiencyWithLatencyConstraint,
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::MinLatency => f.write_str("Hmg-latency"),
+            Objective::MinTcoWithLatencyConstraint => f.write_str("Hmg-TCO (w/ L constraint)"),
+            Objective::MaxEfficiencyWithLatencyConstraint => {
+                f.write_str("Hmg-power eff. (w/ L constraint)")
+            }
+        }
+    }
+}
+
+fn meets_latency_constraint(service: ServiceKind, platform: PlatformKind) -> bool {
+    service_speedup(service, platform) >= service_speedup(service, PlatformKind::Multicore)
+}
+
+/// Geometric-mean score across all four services.
+fn aggregate<F: Fn(ServiceKind) -> f64>(f: F) -> f64 {
+    let product: f64 = ServiceKind::ALL.iter().map(|&s| f(s)).product();
+    product.powf(1.0 / ServiceKind::ALL.len() as f64)
+}
+
+/// Picks the single best platform for a homogeneous datacenter (Table 8):
+/// one configuration shared by all services, scored by the geometric mean
+/// across services.
+pub fn homogeneous_design(
+    objective: Objective,
+    candidates: &[PlatformKind],
+    params: &TcoParams,
+) -> Option<PlatformKind> {
+    let feasible: Vec<PlatformKind> = candidates
+        .iter()
+        .copied()
+        .filter(|&p| match objective {
+            Objective::MinLatency => true,
+            _ => ServiceKind::ALL.iter().all(|&s| meets_latency_constraint(s, p)),
+        })
+        .collect();
+    feasible.into_iter().max_by(|&a, &b| {
+        let score = |p: PlatformKind| match objective {
+            Objective::MinLatency => aggregate(|s| service_speedup(s, p)),
+            Objective::MinTcoWithLatencyConstraint => {
+                1.0 / aggregate(|s| design_point(s, p, params).tco_normalized)
+            }
+            Objective::MaxEfficiencyWithLatencyConstraint => {
+                aggregate(|s| perf_per_watt_vs_cmp(s, p))
+            }
+        };
+        score(a).total_cmp(&score(b))
+    })
+}
+
+/// Picks the best platform per service for a partitioned heterogeneous
+/// datacenter (Table 9). Returns `(service, platform)` pairs.
+pub fn heterogeneous_design(
+    objective: Objective,
+    candidates: &[PlatformKind],
+    params: &TcoParams,
+) -> Vec<(ServiceKind, PlatformKind)> {
+    ServiceKind::ALL
+        .iter()
+        .map(|&service| {
+            let best = candidates
+                .iter()
+                .copied()
+                .filter(|&p| match objective {
+                    Objective::MinLatency => true,
+                    _ => meets_latency_constraint(service, p),
+                })
+                .max_by(|&a, &b| {
+                    let score = |p: PlatformKind| match objective {
+                        Objective::MinLatency => service_speedup(service, p),
+                        Objective::MinTcoWithLatencyConstraint => {
+                            1.0 / design_point(service, p, params).tco_normalized
+                        }
+                        Objective::MaxEfficiencyWithLatencyConstraint => {
+                            perf_per_watt_vs_cmp(service, p)
+                        }
+                    };
+                    score(a).total_cmp(&score(b))
+                })
+                .unwrap_or(PlatformKind::Multicore);
+            (service, best)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Query-level results (paper Figure 20)
+// ---------------------------------------------------------------------
+
+/// The three query classes of the taxonomy (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Voice command: ASR only.
+    Vc,
+    /// Voice query: ASR + QA.
+    Vq,
+    /// Voice-image query: ASR + QA + IMM.
+    Viq,
+}
+
+impl QueryClass {
+    /// All classes in taxonomy order.
+    pub const ALL: [QueryClass; 3] = [QueryClass::Vc, QueryClass::Vq, QueryClass::Viq];
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryClass::Vc => f.write_str("VC"),
+            QueryClass::Vq => f.write_str("VQ"),
+            QueryClass::Viq => f.write_str("VIQ"),
+        }
+    }
+}
+
+/// Baseline single-core service times in seconds, used to weight the
+/// query-level composition. Defaults follow the paper's measurements
+/// (ASR ≈ 4.2 s; QA dominates; VIQ adds IMM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSeconds {
+    /// ASR service time.
+    pub asr: f64,
+    /// QA service time.
+    pub qa: f64,
+    /// IMM service time.
+    pub imm: f64,
+}
+
+impl Default for BaselineSeconds {
+    fn default() -> Self {
+        Self {
+            asr: 4.2,
+            qa: 10.0,
+            imm: 5.0,
+        }
+    }
+}
+
+impl BaselineSeconds {
+    /// Baseline latency of a query class (sum of its services).
+    pub fn query_latency(&self, class: QueryClass) -> f64 {
+        match class {
+            QueryClass::Vc => self.asr,
+            QueryClass::Vq => self.asr + self.qa,
+            QueryClass::Viq => self.asr + self.qa + self.imm,
+        }
+    }
+}
+
+/// Query-class latency reduction on `platform`, deploying ASR with GMM
+/// scoring (the configuration both accelerated DCs of Figure 20 use).
+pub fn query_latency_reduction(
+    class: QueryClass,
+    platform: PlatformKind,
+    baselines: &BaselineSeconds,
+) -> f64 {
+    let accel = |service: ServiceKind, secs: f64| secs / service_speedup(service, platform);
+    let accel_latency = match class {
+        QueryClass::Vc => accel(ServiceKind::AsrGmm, baselines.asr),
+        QueryClass::Vq => {
+            accel(ServiceKind::AsrGmm, baselines.asr) + accel(ServiceKind::Qa, baselines.qa)
+        }
+        QueryClass::Viq => {
+            accel(ServiceKind::AsrGmm, baselines.asr)
+                + accel(ServiceKind::Qa, baselines.qa)
+                + accel(ServiceKind::Imm, baselines.imm)
+        }
+    };
+    baselines.query_latency(class) / accel_latency
+}
+
+/// Per-query-class metrics for an accelerated DC (paper Figure 20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Query class.
+    pub class: QueryClass,
+    /// Latency reduction over the single-core baseline.
+    pub latency_reduction: f64,
+    /// Normalized DC TCO (< 1 is a reduction).
+    pub tco_normalized: f64,
+}
+
+/// Evaluates all query classes for a platform (Figure 20).
+pub fn query_level_metrics(platform: PlatformKind, params: &TcoParams) -> Vec<QueryMetrics> {
+    let baselines = BaselineSeconds::default();
+    let config = match platform {
+        PlatformKind::Multicore => ServerConfig::baseline(),
+        k => ServerConfig::with_accelerator(k),
+    };
+    QueryClass::ALL
+        .iter()
+        .map(|&class| {
+            let red = query_latency_reduction(class, platform, &baselines);
+            let tput = if platform == PlatformKind::Multicore {
+                1.0
+            } else {
+                red / BASELINE_CORES
+            };
+            QueryMetrics {
+                class,
+                latency_reduction: red,
+                tco_normalized: normalized_dc_tco(&config, tput, params),
+            }
+        })
+        .collect()
+}
+
+/// Mean latency reduction across query classes (the paper's headline 10×
+/// GPU / 16× FPGA numbers).
+pub fn mean_query_latency_reduction(platform: PlatformKind) -> f64 {
+    let baselines = BaselineSeconds::default();
+    let sum: f64 = QueryClass::ALL
+        .iter()
+        .map(|&c| query_latency_reduction(c, platform, &baselines))
+        .sum();
+    sum / QueryClass::ALL.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TcoParams {
+        TcoParams::default()
+    }
+
+    #[test]
+    fn design_space_covers_all_combinations() {
+        let space = design_space(&params());
+        assert_eq!(space.len(), 16);
+        assert!(space.iter().all(|p| p.latency_improvement > 0.0));
+    }
+
+    #[test]
+    fn min_latency_homogeneous_design_is_fpga() {
+        // Table 8, row 1: FPGA when all candidates are allowed.
+        let all = PlatformKind::ALL;
+        assert_eq!(
+            homogeneous_design(Objective::MinLatency, &all, &params()),
+            Some(PlatformKind::Fpga)
+        );
+    }
+
+    #[test]
+    fn min_latency_without_fpga_is_gpu() {
+        let no_fpga = [PlatformKind::Multicore, PlatformKind::Gpu, PlatformKind::Phi];
+        assert_eq!(
+            homogeneous_design(Objective::MinLatency, &no_fpga, &params()),
+            Some(PlatformKind::Gpu)
+        );
+    }
+
+    #[test]
+    fn tco_homogeneous_design_is_gpu() {
+        // Table 8, row 2: GPU with or without the FPGA as a candidate.
+        assert_eq!(
+            homogeneous_design(
+                Objective::MinTcoWithLatencyConstraint,
+                &PlatformKind::ALL,
+                &params()
+            ),
+            Some(PlatformKind::Gpu)
+        );
+    }
+
+    #[test]
+    fn efficiency_homogeneous_design_is_fpga() {
+        // Table 8, row 3: FPGA.
+        assert_eq!(
+            homogeneous_design(
+                Objective::MaxEfficiencyWithLatencyConstraint,
+                &PlatformKind::ALL,
+                &params()
+            ),
+            Some(PlatformKind::Fpga)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_latency_design_uses_gpu_for_asr_dnn() {
+        // Table 9, row 1: GPU optimizes ASR (DNN); FPGA the rest.
+        let picks = heterogeneous_design(Objective::MinLatency, &PlatformKind::ALL, &params());
+        for (service, platform) in picks {
+            if service == ServiceKind::AsrDnn {
+                assert_eq!(platform, PlatformKind::Gpu, "{service}");
+            } else {
+                assert_eq!(platform, PlatformKind::Fpga, "{service}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_tco_prefers_fpga_for_qa_and_imm() {
+        // Table 9, row 2: FPGA gives extra TCO improvement for QA and IMM.
+        let picks = heterogeneous_design(
+            Objective::MinTcoWithLatencyConstraint,
+            &PlatformKind::ALL,
+            &params(),
+        );
+        let pick = |s: ServiceKind| picks.iter().find(|(x, _)| *x == s).expect("present").1;
+        assert_eq!(pick(ServiceKind::Qa), PlatformKind::Fpga);
+        assert_eq!(pick(ServiceKind::Imm), PlatformKind::Fpga);
+        assert_eq!(pick(ServiceKind::AsrDnn), PlatformKind::Gpu);
+    }
+
+    #[test]
+    fn mean_latency_reductions_match_headline_bands() {
+        // Paper Section 5.2.5: GPU DCs average ~10x, FPGA DCs ~16x.
+        let gpu = mean_query_latency_reduction(PlatformKind::Gpu);
+        let fpga = mean_query_latency_reduction(PlatformKind::Fpga);
+        assert!((7.0..=14.0).contains(&gpu), "GPU mean reduction {gpu:.1}");
+        assert!((10.0..=22.0).contains(&fpga), "FPGA mean reduction {fpga:.1}");
+        assert!(fpga > gpu, "FPGA must beat GPU on latency");
+    }
+
+    #[test]
+    fn vc_queries_gain_most() {
+        // VC exercises only ASR, the most accelerable service; VQ includes
+        // QA, which limits the gain.
+        let b = BaselineSeconds::default();
+        for p in [PlatformKind::Gpu, PlatformKind::Fpga] {
+            let vc = query_latency_reduction(QueryClass::Vc, p, &b);
+            let vq = query_latency_reduction(QueryClass::Vq, p, &b);
+            assert!(vc > vq, "{p}: vc {vc:.1} vq {vq:.1}");
+        }
+    }
+
+    #[test]
+    fn query_metrics_are_consistent() {
+        let m = query_level_metrics(PlatformKind::Gpu, &params());
+        assert_eq!(m.len(), 3);
+        for qm in m {
+            assert!(qm.latency_reduction > 1.0, "{:?}", qm.class);
+            assert!(qm.tco_normalized > 0.0);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The scalability gap (paper Figures 1, 7a and 21).
+//!
+//! The gap is the machine-scaling factor a datacenter needs to serve IPA
+//! queries at web-search throughput: the ratio of per-query compute between
+//! the two workloads. Acceleration divides the gap by the mean query-latency
+//! reduction (Figure 21: 165× → 16× on GPUs, → 10× on FPGAs).
+
+/// The machine-scaling factor needed to serve IPA queries at a given ratio
+/// of IPA-to-web-search query volume.
+///
+/// `sirius_latency` and `websearch_latency` are mean per-query single-core
+/// compute times; `query_ratio` is (IPA queries)/(web-search queries).
+///
+/// # Panics
+///
+/// Panics if `websearch_latency <= 0`.
+pub fn machines_ratio(sirius_latency: f64, websearch_latency: f64, query_ratio: f64) -> f64 {
+    assert!(websearch_latency > 0.0, "web-search latency must be positive");
+    (sirius_latency / websearch_latency) * query_ratio
+}
+
+/// The scalability gap: machine scaling at query-volume parity
+/// (paper: 15 s / 91 ms ≈ 165×).
+pub fn scalability_gap(sirius_latency: f64, websearch_latency: f64) -> f64 {
+    machines_ratio(sirius_latency, websearch_latency, 1.0)
+}
+
+/// The residual gap after acceleration (paper Figure 21): the original gap
+/// divided by the mean query-latency reduction of the accelerated DC.
+///
+/// # Panics
+///
+/// Panics if `latency_reduction <= 0`.
+pub fn bridged_gap(gap: f64, latency_reduction: f64) -> f64 {
+    assert!(latency_reduction > 0.0, "latency reduction must be positive");
+    gap / latency_reduction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gap_is_about_165x() {
+        // 15 s Sirius vs 91 ms Nutch web search.
+        let gap = scalability_gap(15.0, 0.091);
+        assert!((160.0..=170.0).contains(&gap), "gap {gap:.1}");
+    }
+
+    #[test]
+    fn gap_scales_with_query_ratio() {
+        assert!((machines_ratio(15.0, 0.091, 0.1) - 16.48).abs() < 0.1);
+        assert!((machines_ratio(15.0, 0.091, 10.0) - 1648.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn acceleration_bridges_the_gap() {
+        // Figure 21: 165x falls to ~16x (GPU, 10x reduction) and ~10x
+        // (FPGA, 16x reduction).
+        let gap = 165.0;
+        assert!((bridged_gap(gap, 10.0) - 16.5).abs() < 0.1);
+        assert!((bridged_gap(gap, 16.0) - 10.3).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency reduction must be positive")]
+    fn zero_reduction_panics() {
+        let _ = bridged_gap(165.0, 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Partitioned-datacenter sizing (paper Section 5.2.4, Table 9).
+//!
+//! A partitioned heterogeneous datacenter dedicates a pool of servers to
+//! each service. Given a query mix and per-service single-core demand, this
+//! module sizes each pool for a target aggregate throughput and compares
+//! the total cost against homogeneous designs — making Table 9's
+//! "improvement over the homogeneous baseline" concrete.
+
+use serde::{Deserialize, Serialize};
+
+use sirius_accel::platform::PlatformKind;
+use sirius_accel::service::{service_speedup, ServiceKind};
+
+use crate::design::BASELINE_CORES;
+use crate::tco::{monthly_tco, ServerConfig, TcoParams};
+
+/// Demand for one service: queries/sec and the single-core seconds each
+/// query costs on the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDemand {
+    /// The service.
+    pub service: ServiceKind,
+    /// Aggregate arrival rate in queries per second.
+    pub qps: f64,
+    /// Mean single-core service time per query in seconds.
+    pub service_secs: f64,
+}
+
+/// The default demand mix: VQ-heavy traffic over the paper's measured
+/// single-core service times (ASR ≈ 4.2 s, QA ≈ 10 s, IMM ≈ 5 s).
+pub fn default_demand(total_qps: f64) -> Vec<ServiceDemand> {
+    vec![
+        ServiceDemand {
+            service: ServiceKind::AsrGmm,
+            qps: total_qps, // every query is spoken
+            service_secs: 4.2,
+        },
+        ServiceDemand {
+            service: ServiceKind::Qa,
+            qps: total_qps * 26.0 / 42.0, // VQ + VIQ fraction of the input set
+            service_secs: 10.0,
+        },
+        ServiceDemand {
+            service: ServiceKind::Imm,
+            qps: total_qps * 10.0 / 42.0, // VIQ fraction
+            service_secs: 5.0,
+        },
+    ]
+}
+
+/// Sizing of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// The service this pool serves.
+    pub service: ServiceKind,
+    /// Platform of the pool's servers.
+    pub platform: PlatformKind,
+    /// Number of servers needed (ceiling of fractional demand).
+    pub servers: u64,
+    /// Monthly TCO of the pool.
+    pub monthly_cost: f64,
+}
+
+/// Sizes a pool: how many `platform` servers sustain `demand` at the target
+/// utilization (servers run at `utilization` of their capacity, paper
+/// Table 7: 45% average).
+pub fn size_partition(
+    demand: &ServiceDemand,
+    platform: PlatformKind,
+    utilization: f64,
+    params: &TcoParams,
+) -> Partition {
+    assert!(utilization > 0.0 && utilization <= 1.0, "utilization in (0,1]");
+    // One server's throughput: 4 cores at query parallelism, scaled by the
+    // platform's service speedup over a single core.
+    let per_core_qps = 1.0 / demand.service_secs;
+    let server_qps = match platform {
+        PlatformKind::Multicore => per_core_qps * BASELINE_CORES,
+        p => per_core_qps * service_speedup(demand.service, p),
+    };
+    let needed = demand.qps / (server_qps * utilization);
+    let servers = needed.ceil().max(1.0) as u64;
+    let config = match platform {
+        PlatformKind::Multicore => ServerConfig::baseline(),
+        p => ServerConfig::with_accelerator(p),
+    };
+    Partition {
+        service: demand.service,
+        platform,
+        servers,
+        monthly_cost: monthly_tco(&config, params).total() * servers as f64,
+    }
+}
+
+/// A complete datacenter plan: one partition per service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterPlan {
+    /// The sized partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl DatacenterPlan {
+    /// Total servers across partitions.
+    pub fn total_servers(&self) -> u64 {
+        self.partitions.iter().map(|p| p.servers).sum()
+    }
+
+    /// Total monthly cost.
+    pub fn monthly_cost(&self) -> f64 {
+        self.partitions.iter().map(|p| p.monthly_cost).sum()
+    }
+}
+
+/// Plans a homogeneous datacenter: every partition uses `platform`.
+pub fn homogeneous_plan(
+    demands: &[ServiceDemand],
+    platform: PlatformKind,
+    utilization: f64,
+    params: &TcoParams,
+) -> DatacenterPlan {
+    DatacenterPlan {
+        partitions: demands
+            .iter()
+            .map(|d| size_partition(d, platform, utilization, params))
+            .collect(),
+    }
+}
+
+/// Plans a partitioned heterogeneous datacenter: each service picks the
+/// platform minimizing its pool cost.
+pub fn heterogeneous_plan(
+    demands: &[ServiceDemand],
+    candidates: &[PlatformKind],
+    utilization: f64,
+    params: &TcoParams,
+) -> DatacenterPlan {
+    DatacenterPlan {
+        partitions: demands
+            .iter()
+            .map(|d| {
+                candidates
+                    .iter()
+                    .map(|&p| size_partition(d, p, utilization, params))
+                    .min_by(|a, b| a.monthly_cost.total_cmp(&b.monthly_cost))
+                    .expect("at least one candidate")
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TcoParams {
+        TcoParams::default()
+    }
+
+    #[test]
+    fn accelerated_pools_need_fewer_servers() {
+        let demand = default_demand(100.0);
+        let cmp = homogeneous_plan(&demand, PlatformKind::Multicore, 0.45, &params());
+        let gpu = homogeneous_plan(&demand, PlatformKind::Gpu, 0.45, &params());
+        let fpga = homogeneous_plan(&demand, PlatformKind::Fpga, 0.45, &params());
+        // The QA pool limits the GPU's aggregate gain (its QA speedup is
+        // modest); the FPGA shrinks every pool substantially.
+        assert!(gpu.total_servers() * 10 < cmp.total_servers() * 6);
+        assert!(fpga.total_servers() * 10 < cmp.total_servers() * 4);
+    }
+
+    #[test]
+    fn accelerated_dcs_cost_less_at_scale() {
+        let demand = default_demand(200.0);
+        let cmp = homogeneous_plan(&demand, PlatformKind::Multicore, 0.45, &params());
+        let gpu = homogeneous_plan(&demand, PlatformKind::Gpu, 0.45, &params());
+        assert!(
+            gpu.monthly_cost() < cmp.monthly_cost(),
+            "gpu {} vs cmp {}",
+            gpu.monthly_cost(),
+            cmp.monthly_cost()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_plan_is_no_worse_than_any_homogeneous_plan() {
+        let demand = default_demand(150.0);
+        let hetero = heterogeneous_plan(&demand, &PlatformKind::ALL, 0.45, &params());
+        for p in PlatformKind::ALL {
+            let homo = homogeneous_plan(&demand, p, 0.45, &params());
+            assert!(
+                hetero.monthly_cost() <= homo.monthly_cost() + 1e-9,
+                "hetero {} vs {p} {}",
+                hetero.monthly_cost(),
+                homo.monthly_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_gains_over_best_homogeneous_are_modest() {
+        // Paper Section 5.2.4: "the partitioned heterogeneity in our study
+        // does not provide much benefit over the homogeneous design."
+        let demand = default_demand(500.0);
+        let hetero = heterogeneous_plan(&demand, &PlatformKind::ALL, 0.45, &params());
+        let best_homo = PlatformKind::ALL
+            .iter()
+            .map(|&p| homogeneous_plan(&demand, p, 0.45, &params()).monthly_cost())
+            .fold(f64::INFINITY, f64::min);
+        let gain = best_homo / hetero.monthly_cost();
+        assert!(
+            (1.0..1.6).contains(&gain),
+            "heterogeneous gain {gain:.2} should be modest"
+        );
+    }
+
+    #[test]
+    fn pool_sizes_scale_linearly_with_load() {
+        let d1 = default_demand(100.0);
+        let d10 = default_demand(1000.0);
+        let p1 = homogeneous_plan(&d1, PlatformKind::Gpu, 0.45, &params());
+        let p10 = homogeneous_plan(&d10, PlatformKind::Gpu, 0.45, &params());
+        let ratio = p10.total_servers() as f64 / p1.total_servers() as f64;
+        assert!((8.0..=12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization in (0,1]")]
+    fn zero_utilization_panics() {
+        let demand = default_demand(10.0);
+        let _ = size_partition(&demand[0], PlatformKind::Gpu, 0.0, &params());
+    }
+}

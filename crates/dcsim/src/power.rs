@@ -1,0 +1,143 @@
+//! Power-capped datacenter analysis.
+//!
+//! The paper motivates the FPGA's perf/W advantage for "datacenters with
+//! power constraints, especially for augmenting existing filled datacenters
+//! that are equipped with capped power infrastructure support"
+//! (Section 5.2.3). This module answers: under a fixed facility power
+//! budget, which platform serves the most queries?
+
+use serde::{Deserialize, Serialize};
+
+use sirius_accel::platform::PlatformKind;
+use sirius_accel::service::{service_speedup, ServiceKind};
+
+use crate::design::BASELINE_CORES;
+use crate::tco::{ServerConfig, TcoParams};
+
+/// Throughput achievable for one service under a facility power cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapPoint {
+    /// Server platform.
+    pub platform: PlatformKind,
+    /// Service evaluated.
+    pub service: ServiceKind,
+    /// Servers that fit the power budget.
+    pub servers: u64,
+    /// Aggregate throughput relative to one baseline CMP server.
+    pub relative_throughput: f64,
+}
+
+/// How many `platform` servers fit a `budget_watts` facility budget
+/// (provisioned at PUE-inflated nameplate power).
+pub fn servers_in_budget(platform: PlatformKind, budget_watts: f64, params: &TcoParams) -> u64 {
+    let config = match platform {
+        PlatformKind::Multicore => ServerConfig::baseline(),
+        p => ServerConfig::with_accelerator(p),
+    };
+    let per_server = config.power(params) * params.pue;
+    if per_server <= 0.0 {
+        return 0;
+    }
+    (budget_watts / per_server).floor() as u64
+}
+
+/// Evaluates all platforms for `service` under a power cap, best first.
+pub fn power_capped_throughput(
+    service: ServiceKind,
+    budget_watts: f64,
+    params: &TcoParams,
+) -> Vec<PowerCapPoint> {
+    let mut out: Vec<PowerCapPoint> = PlatformKind::ALL
+        .iter()
+        .map(|&platform| {
+            let servers = servers_in_budget(platform, budget_watts, params);
+            let per_server = match platform {
+                PlatformKind::Multicore => BASELINE_CORES,
+                p => service_speedup(service, p),
+            };
+            PowerCapPoint {
+                platform,
+                service,
+                servers,
+                relative_throughput: servers as f64 * per_server / BASELINE_CORES,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.relative_throughput.total_cmp(&a.relative_throughput));
+    out
+}
+
+/// The platform maximizing throughput under the cap for `service`.
+pub fn best_under_power_cap(
+    service: ServiceKind,
+    budget_watts: f64,
+    params: &TcoParams,
+) -> PlatformKind {
+    power_capped_throughput(service, budget_watts, params)
+        .first()
+        .map(|p| p.platform)
+        .unwrap_or(PlatformKind::Multicore)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TcoParams {
+        TcoParams::default()
+    }
+
+    #[test]
+    fn server_counts_respect_power_draw() {
+        let p = params();
+        // 100 kW budget; baseline 163.6 W * 1.1 PUE ≈ 180 W → ~555 servers.
+        let cmp = servers_in_budget(PlatformKind::Multicore, 100_000.0, &p);
+        assert!((540..=560).contains(&cmp), "cmp {cmp}");
+        // GPU servers draw more (163.6 + 230 W); fewer fit.
+        let gpu = servers_in_budget(PlatformKind::Gpu, 100_000.0, &p);
+        assert!(gpu < cmp);
+        // FPGA adds only 22 W; nearly as many fit as baseline.
+        let fpga = servers_in_budget(PlatformKind::Fpga, 100_000.0, &p);
+        assert!(fpga > gpu && fpga > cmp * 8 / 10);
+    }
+
+    #[test]
+    fn fpga_wins_every_service_under_a_power_cap() {
+        // The paper's perf/W argument: with capped power, the FPGA's low
+        // draw plus high speedup dominates.
+        let p = params();
+        for s in ServiceKind::ALL {
+            if s == ServiceKind::AsrDnn {
+                continue; // the GPU's outlier DNN speedup can still win
+            }
+            assert_eq!(
+                best_under_power_cap(s, 50_000.0, &p),
+                PlatformKind::Fpga,
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_budget() {
+        let p = params();
+        let small = power_capped_throughput(ServiceKind::Imm, 10_000.0, &p);
+        let large = power_capped_throughput(ServiceKind::Imm, 100_000.0, &p);
+        let f = |pts: &[PowerCapPoint]| {
+            pts.iter()
+                .find(|x| x.platform == PlatformKind::Fpga)
+                .expect("fpga present")
+                .relative_throughput
+        };
+        let ratio = f(&large) / f(&small);
+        assert!((9.0..=11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn results_are_sorted_best_first() {
+        let pts = power_capped_throughput(ServiceKind::Qa, 30_000.0, &params());
+        for w in pts.windows(2) {
+            assert!(w[0].relative_throughput >= w[1].relative_throughput);
+        }
+    }
+}

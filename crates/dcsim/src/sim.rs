@@ -1,0 +1,323 @@
+//! Discrete-event simulation of a leaf server queue.
+//!
+//! The paper models servers as M/M/1 queues analytically (Figure 17); this
+//! module provides an event-driven simulator with Poisson arrivals and
+//! exponential service so the closed forms in [`crate::queue`] can be
+//! validated empirically, and so non-exponential service distributions
+//! (e.g. the heavy-tailed QA latencies of Figure 8a) can be explored.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Service-time distribution of the simulated server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDistribution {
+    /// Exponential with the given mean (the M in M/M/1).
+    Exponential {
+        /// Mean service time in seconds.
+        mean: f64,
+    },
+    /// Deterministic service time (M/D/1).
+    Deterministic {
+        /// Fixed service time in seconds.
+        time: f64,
+    },
+    /// Two-point heavy-tail mix: `p_slow` of queries take `slow`, the rest
+    /// take `fast` (QA's document-filter variability, Figure 8a/8c).
+    Bimodal {
+        /// Fast service time in seconds.
+        fast: f64,
+        /// Slow service time in seconds.
+        slow: f64,
+        /// Probability of the slow path.
+        p_slow: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// Mean service time of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { mean } => mean,
+            ServiceDistribution::Deterministic { time } => time,
+            ServiceDistribution::Bimodal { fast, slow, p_slow } => {
+                fast * (1.0 - p_slow) + slow * p_slow
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            ServiceDistribution::Exponential { mean } => sample_exp(mean, rng),
+            ServiceDistribution::Deterministic { time } => time,
+            ServiceDistribution::Bimodal { fast, slow, p_slow } => {
+                if rng.gen_bool(p_slow) {
+                    slow
+                } else {
+                    fast
+                }
+            }
+        }
+    }
+}
+
+fn sample_exp(mean: f64, rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Result of one queue simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Queries completed.
+    pub completed: usize,
+    /// Mean sojourn (queueing + service) time.
+    pub mean_latency: f64,
+    /// 95th-percentile sojourn time.
+    pub p95_latency: f64,
+    /// Maximum sojourn time observed.
+    pub max_latency: f64,
+    /// Fraction of simulated time the server was busy.
+    pub utilization: f64,
+}
+
+/// Simulates a single-server FIFO queue with Poisson arrivals at rate
+/// `lambda` (queries/sec) for `num_queries` queries.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0` or `num_queries == 0`.
+pub fn simulate_queue(
+    lambda: f64,
+    service: ServiceDistribution,
+    num_queries: usize,
+    seed: u64,
+) -> SimResult {
+    assert!(lambda > 0.0, "arrival rate must be positive");
+    assert!(num_queries > 0, "must simulate at least one query");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut clock = 0.0f64; // arrival clock
+    let mut server_free_at = 0.0f64;
+    let mut busy_time = 0.0f64;
+    let mut latencies = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        clock += sample_exp(1.0 / lambda, &mut rng);
+        let start = clock.max(server_free_at);
+        let svc = service.sample(&mut rng);
+        let done = start + svc;
+        busy_time += svc;
+        server_free_at = done;
+        latencies.push(done - clock);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let total_time = server_free_at.max(clock);
+    SimResult {
+        completed: num_queries,
+        mean_latency: latencies.iter().sum::<f64>() / num_queries as f64,
+        p95_latency: latencies[(num_queries as f64 * 0.95) as usize - 1],
+        max_latency: *latencies.last().expect("non-empty"),
+        utilization: busy_time / total_time,
+    }
+}
+
+/// Simulates a cluster of `servers` identical FIFO servers fed by one
+/// Poisson arrival stream (queries go to the earliest-free server, i.e.
+/// an M/M/k-style central queue). Models a leaf pool of an accelerated
+/// datacenter partition.
+///
+/// # Panics
+///
+/// Panics if `servers == 0`, `lambda <= 0`, or `num_queries == 0`.
+pub fn simulate_cluster(
+    servers: usize,
+    lambda: f64,
+    service: ServiceDistribution,
+    num_queries: usize,
+    seed: u64,
+) -> SimResult {
+    assert!(servers > 0, "need at least one server");
+    assert!(lambda > 0.0, "arrival rate must be positive");
+    assert!(num_queries > 0, "must simulate at least one query");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc105);
+    let mut clock = 0.0f64;
+    let mut free_at = vec![0.0f64; servers];
+    let mut busy_time = 0.0f64;
+    let mut latencies = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        clock += sample_exp(1.0 / lambda, &mut rng);
+        // Earliest-free server takes the query.
+        let (idx, &earliest) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        let start = clock.max(earliest);
+        let svc = service.sample(&mut rng);
+        busy_time += svc;
+        free_at[idx] = start + svc;
+        latencies.push(start + svc - clock);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let end = free_at.iter().copied().fold(clock, f64::max);
+    SimResult {
+        completed: num_queries,
+        mean_latency: latencies.iter().sum::<f64>() / num_queries as f64,
+        p95_latency: latencies[(num_queries as f64 * 0.95) as usize - 1],
+        max_latency: *latencies.last().expect("non-empty"),
+        utilization: busy_time / (end * servers as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Mm1;
+
+    #[test]
+    fn mm1_simulation_matches_closed_form() {
+        // μ = 10/s, λ = 5/s → W = 1/(μ−λ) = 0.2 s.
+        let service = ServiceDistribution::Exponential { mean: 0.1 };
+        let sim = simulate_queue(5.0, service, 60_000, 42);
+        let analytic = Mm1 { mu: 10.0 }.latency(5.0);
+        let err = (sim.mean_latency - analytic).abs() / analytic;
+        assert!(err < 0.07, "sim {:.3} vs analytic {analytic:.3}", sim.mean_latency);
+        assert!((sim.utilization - 0.5).abs() < 0.05, "rho {}", sim.utilization);
+    }
+
+    #[test]
+    fn md1_beats_mm1_on_mean_latency() {
+        // Deterministic service halves the queueing term (Pollaczek-
+        // Khinchine): W_q(M/D/1) = W_q(M/M/1) / 2.
+        let mm1 = simulate_queue(
+            7.0,
+            ServiceDistribution::Exponential { mean: 0.1 },
+            60_000,
+            1,
+        );
+        let md1 = simulate_queue(
+            7.0,
+            ServiceDistribution::Deterministic { time: 0.1 },
+            60_000,
+            1,
+        );
+        assert!(md1.mean_latency < mm1.mean_latency);
+        // Queueing delay ratio ≈ 0.5.
+        let wq_mm1 = mm1.mean_latency - 0.1;
+        let wq_md1 = md1.mean_latency - 0.1;
+        let ratio = wq_md1 / wq_mm1;
+        assert!((0.4..0.65).contains(&ratio), "P-K ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn heavy_tail_inflates_p95() {
+        // QA-like bimodal service (Figure 8a: 1.7 s to 35 s) versus an
+        // exponential with the same mean: the tail hurts p95 dramatically.
+        let bimodal = ServiceDistribution::Bimodal {
+            fast: 1.7,
+            slow: 35.0,
+            p_slow: 0.1,
+        };
+        let mean = bimodal.mean();
+        let lam = 0.05 / mean; // very low load isolates the service tail
+        let heavy = simulate_queue(lam, bimodal, 20_000, 5);
+        let light = simulate_queue(
+            lam,
+            ServiceDistribution::Exponential { mean },
+            20_000,
+            5,
+        );
+        assert!(heavy.p95_latency > light.p95_latency * 1.5);
+    }
+
+    #[test]
+    fn latency_blows_up_near_saturation() {
+        let service = ServiceDistribution::Exponential { mean: 0.1 };
+        let relaxed = simulate_queue(3.0, service, 30_000, 9);
+        let saturated = simulate_queue(9.5, service, 30_000, 9);
+        assert!(saturated.mean_latency > relaxed.mean_latency * 5.0);
+        assert!(saturated.utilization > 0.9);
+    }
+
+    #[test]
+    fn cluster_with_one_server_matches_single_queue() {
+        let service = ServiceDistribution::Exponential { mean: 0.1 };
+        let single = simulate_queue(5.0, service, 20_000, 3);
+        let cluster = simulate_cluster(1, 5.0, service, 20_000, 3);
+        // Different RNG streams, so compare statistically.
+        let err = (single.mean_latency - cluster.mean_latency).abs() / single.mean_latency;
+        assert!(err < 0.1, "single {} vs cluster {}", single.mean_latency, cluster.mean_latency);
+    }
+
+    #[test]
+    fn more_servers_cut_latency_at_fixed_load() {
+        let service = ServiceDistribution::Exponential { mean: 0.1 };
+        // λ = 18/s saturates 2 servers (capacity 20/s) but is light for 8.
+        let small = simulate_cluster(2, 18.0, service, 40_000, 4);
+        let large = simulate_cluster(8, 18.0, service, 40_000, 4);
+        assert!(large.mean_latency < small.mean_latency / 2.0);
+        assert!(large.p95_latency < small.p95_latency);
+    }
+
+    #[test]
+    fn accelerated_pool_needs_fewer_servers_for_same_latency() {
+        // A 10x-accelerated server (paper: GPU ASR) at the same aggregate
+        // load matches the latency of a 10x-larger baseline pool.
+        let lam = 80.0;
+        let baseline = simulate_cluster(
+            100,
+            lam,
+            ServiceDistribution::Exponential { mean: 1.0 },
+            40_000,
+            5,
+        );
+        let accelerated = simulate_cluster(
+            10,
+            lam,
+            ServiceDistribution::Exponential { mean: 0.1 },
+            40_000,
+            5,
+        );
+        assert!(accelerated.mean_latency < baseline.mean_latency);
+    }
+
+    #[test]
+    fn fig17_closed_form_matches_simulation() {
+        // Figure 17's closed form: an S-x faster server at baseline load rho
+        // absorbs (S - (1 - rho)) / rho more traffic at the same latency.
+        use crate::queue::throughput_improvement_at_load;
+        let s = 5.0; // speedup
+        let rho = 0.6;
+        let mu = 10.0;
+        let lambda = rho * mu;
+        let baseline = simulate_queue(
+            lambda,
+            ServiceDistribution::Exponential { mean: 1.0 / mu },
+            80_000,
+            21,
+        );
+        let improvement = throughput_improvement_at_load(s, rho);
+        let accelerated = simulate_queue(
+            lambda * improvement,
+            ServiceDistribution::Exponential { mean: 1.0 / (s * mu) },
+            80_000,
+            22,
+        );
+        let err = (accelerated.mean_latency - baseline.mean_latency).abs()
+            / baseline.mean_latency;
+        assert!(
+            err < 0.1,
+            "baseline {:.4}s vs accelerated {:.4}s at {improvement:.2}x load",
+            baseline.mean_latency,
+            accelerated.mean_latency
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let service = ServiceDistribution::Exponential { mean: 0.05 };
+        let a = simulate_queue(4.0, service, 5_000, 77);
+        let b = simulate_queue(4.0, service, 5_000, 77);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Google-style total-cost-of-ownership model (paper Table 7, Figure 18).
+//!
+//! Implements the TCO model of Barroso, Clidaras & Hölzle ("The Datacenter
+//! as a Computer", 2nd ed.) with the paper's parameters: datacenter capex
+//! amortized over 12 years at $10/W, servers over 3 years, 45% average
+//! utilization, $0.067/kWh, PUE 1.1, and the OpenCompute baseline server
+//! ($2,102, 163.6 W).
+
+use serde::{Deserialize, Serialize};
+
+use sirius_accel::platform::{spec, PlatformKind};
+
+/// Model parameters (paper Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoParams {
+    /// Datacenter depreciation time in years.
+    pub dc_depreciation_years: f64,
+    /// Server depreciation time in years.
+    pub server_depreciation_years: f64,
+    /// Average server utilization (affects energy draw).
+    pub avg_utilization: f64,
+    /// Electricity cost in $ per kWh.
+    pub electricity_per_kwh: f64,
+    /// Datacenter construction cost in $ per provisioned watt.
+    pub dc_price_per_watt: f64,
+    /// Datacenter opex in $ per watt per month.
+    pub dc_opex_per_watt_month: f64,
+    /// Server opex as a fraction of server capex per year.
+    pub server_opex_fraction_per_year: f64,
+    /// Baseline server price in $ (OpenCompute configuration).
+    pub server_price: f64,
+    /// Baseline server power in watts.
+    pub server_power: f64,
+    /// Power usage effectiveness.
+    pub pue: f64,
+}
+
+impl Default for TcoParams {
+    fn default() -> Self {
+        Self {
+            dc_depreciation_years: 12.0,
+            server_depreciation_years: 3.0,
+            avg_utilization: 0.45,
+            electricity_per_kwh: 0.067,
+            dc_price_per_watt: 10.0,
+            dc_opex_per_watt_month: 0.04,
+            server_opex_fraction_per_year: 0.05,
+            server_price: 2_102.0,
+            server_power: 163.6,
+            pue: 1.1,
+        }
+    }
+}
+
+/// Monthly cost breakdown for one server (and its datacenter share).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoBreakdown {
+    /// Amortized server purchase cost.
+    pub server_capex: f64,
+    /// Server maintenance opex.
+    pub server_opex: f64,
+    /// Amortized datacenter construction (provisioned power).
+    pub dc_capex: f64,
+    /// Datacenter operational expenditure.
+    pub dc_opex: f64,
+    /// Electricity at average utilization, including PUE overhead.
+    pub energy: f64,
+}
+
+impl TcoBreakdown {
+    /// Total monthly cost.
+    pub fn total(&self) -> f64 {
+        self.server_capex + self.server_opex + self.dc_capex + self.dc_opex + self.energy
+    }
+}
+
+/// A server configuration: the baseline host plus an optional accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Attached accelerator, if any (`Multicore` means no accelerator).
+    pub accelerator: PlatformKind,
+}
+
+impl ServerConfig {
+    /// The plain multicore baseline server.
+    pub fn baseline() -> Self {
+        Self {
+            accelerator: PlatformKind::Multicore,
+        }
+    }
+
+    /// A server augmented with the given accelerator.
+    pub fn with_accelerator(kind: PlatformKind) -> Self {
+        Self { accelerator: kind }
+    }
+
+    /// Total purchase price (host + accelerator card).
+    pub fn price(&self, params: &TcoParams) -> f64 {
+        match self.accelerator {
+            PlatformKind::Multicore => params.server_price,
+            k => params.server_price + spec(k).cost_usd,
+        }
+    }
+
+    /// Total provisioned power in watts.
+    pub fn power(&self, params: &TcoParams) -> f64 {
+        match self.accelerator {
+            PlatformKind::Multicore => params.server_power,
+            k => params.server_power + spec(k).tdp_watts,
+        }
+    }
+}
+
+/// Monthly TCO of one server under the model.
+pub fn monthly_tco(config: &ServerConfig, params: &TcoParams) -> TcoBreakdown {
+    let price = config.price(params);
+    let watts = config.power(params);
+    let hours_per_month = 24.0 * 365.25 / 12.0;
+    TcoBreakdown {
+        server_capex: price / (params.server_depreciation_years * 12.0),
+        server_opex: price * params.server_opex_fraction_per_year / 12.0,
+        dc_capex: watts * params.dc_price_per_watt / (params.dc_depreciation_years * 12.0),
+        dc_opex: watts * params.dc_opex_per_watt_month,
+        energy: watts * params.avg_utilization * params.pue * hours_per_month
+            * params.electricity_per_kwh
+            / 1000.0,
+    }
+}
+
+/// Relative datacenter TCO of serving a fixed query load on `config`
+/// servers versus baseline servers, given the per-server throughput
+/// improvement of the configuration (paper Figure 18, where values below
+/// 1.0 are TCO reductions).
+pub fn normalized_dc_tco(
+    config: &ServerConfig,
+    throughput_improvement: f64,
+    params: &TcoParams,
+) -> f64 {
+    assert!(throughput_improvement > 0.0, "throughput must be positive");
+    let accel = monthly_tco(config, params).total();
+    let base = monthly_tco(&ServerConfig::baseline(), params).total();
+    (accel / throughput_improvement) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_monthly_tco_is_plausible() {
+        let t = monthly_tco(&ServerConfig::baseline(), &TcoParams::default());
+        // ~ $58 capex + $9 opex + $11 dc capex + $7 dc opex + $4 energy.
+        assert!((t.server_capex - 2102.0 / 36.0).abs() < 1e-9);
+        assert!((80.0..100.0).contains(&t.total()), "total {}", t.total());
+    }
+
+    #[test]
+    fn accelerators_raise_per_server_cost() {
+        let params = TcoParams::default();
+        let base = monthly_tco(&ServerConfig::baseline(), &params).total();
+        for kind in PlatformKind::ACCELERATORS {
+            let t = monthly_tco(&ServerConfig::with_accelerator(kind), &params).total();
+            assert!(t > base, "{kind}");
+        }
+    }
+
+    #[test]
+    fn gpu_server_is_cheaper_than_fpga_server() {
+        // GPU: +$399/+230W; FPGA: +$1795/+22W. Capex dominates.
+        let params = TcoParams::default();
+        let gpu = monthly_tco(&ServerConfig::with_accelerator(PlatformKind::Gpu), &params);
+        let fpga = monthly_tco(&ServerConfig::with_accelerator(PlatformKind::Fpga), &params);
+        assert!(gpu.total() < fpga.total());
+        // But the FPGA server burns less energy.
+        assert!(fpga.energy < gpu.energy);
+    }
+
+    #[test]
+    fn throughput_gains_reduce_normalized_tco() {
+        let params = TcoParams::default();
+        let config = ServerConfig::with_accelerator(PlatformKind::Gpu);
+        let at_1x = normalized_dc_tco(&config, 1.0, &params);
+        let at_10x = normalized_dc_tco(&config, 10.0, &params);
+        assert!(at_1x > 1.0, "accelerator at no gain must cost more");
+        assert!(at_10x < 0.2);
+        assert!((at_1x / at_10x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_asr_dnn_tco_reduction_exceeds_8x() {
+        // Paper 5.2.2: "GPU achieves over 8x TCO reduction for ASR(DNN)".
+        let params = TcoParams::default();
+        let speedup = sirius_accel::service_speedup(
+            sirius_accel::ServiceKind::AsrDnn,
+            PlatformKind::Gpu,
+        );
+        let tput = speedup / 4.0; // vs all-4-core query-parallel baseline
+        let tco = normalized_dc_tco(
+            &ServerConfig::with_accelerator(PlatformKind::Gpu),
+            tput,
+            &params,
+        );
+        assert!(1.0 / tco > 8.0, "reduction {}", 1.0 / tco);
+    }
+
+    #[test]
+    fn fpga_imm_tco_reduction_exceeds_4x() {
+        // Paper 5.2.2: "FPGA achieves over 4x TCO reduction for IMM".
+        let params = TcoParams::default();
+        let speedup = sirius_accel::service_speedup(
+            sirius_accel::ServiceKind::Imm,
+            PlatformKind::Fpga,
+        );
+        let tput = speedup / 4.0;
+        let tco = normalized_dc_tco(
+            &ServerConfig::with_accelerator(PlatformKind::Fpga),
+            tput,
+            &params,
+        );
+        assert!(1.0 / tco > 4.0, "reduction {}", 1.0 / tco);
+    }
+}

@@ -1,0 +1,643 @@
+//! Linear-chain Conditional Random Field for part-of-speech tagging.
+//!
+//! The paper's QA service spends a large share of its cycles in CRFsuite-style
+//! part-of-speech tagging (Figure 6/9; Sirius Suite "CRF" kernel trained on
+//! the CoNLL-2000 shared task). This module implements the full model from
+//! Lafferty et al. (2001): sparse emission features, label-transition
+//! weights, forward-backward marginals, exact conditional log-likelihood with
+//! analytic gradients (unit-tested against finite differences), SGD training
+//! with L2 regularization, and Viterbi decoding.
+
+use std::collections::HashMap;
+
+/// A tagged training/evaluation sentence: tokens with gold label ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedSentence {
+    /// The tokens of the sentence.
+    pub tokens: Vec<String>,
+    /// Gold label id per token (indices into the model's label set).
+    pub labels: Vec<usize>,
+}
+
+/// Sparse per-position emission features (feature ids).
+type PositionFeatures = Vec<u32>;
+
+/// Extracts string-valued features for token `t` of `tokens`.
+///
+/// The templates mirror common CRF POS taggers: word identity, lowercased
+/// word, suffixes, shape, and neighbouring words.
+pub fn token_features(tokens: &[String], t: usize) -> Vec<String> {
+    let w = &tokens[t];
+    let lower = w.to_lowercase();
+    let mut feats = vec![
+        format!("w={w}"),
+        format!("lw={lower}"),
+        "bias".to_owned(),
+    ];
+    let chars: Vec<char> = lower.chars().collect();
+    for n in 1..=3usize {
+        if chars.len() >= n {
+            let suffix: String = chars[chars.len() - n..].iter().collect();
+            feats.push(format!("suf{n}={suffix}"));
+        }
+    }
+    if w.chars().next().is_some_and(char::is_uppercase) {
+        feats.push("shape=cap".to_owned());
+    }
+    if w.chars().all(|c| c.is_ascii_digit()) {
+        feats.push("shape=digits".to_owned());
+    } else if w.chars().any(|c| c.is_ascii_digit()) {
+        feats.push("shape=hasdigit".to_owned());
+    }
+    if t == 0 {
+        feats.push("pos=first".to_owned());
+    }
+    if t + 1 == tokens.len() {
+        feats.push("pos=last".to_owned());
+    }
+    if t > 0 {
+        feats.push(format!("w-1={}", tokens[t - 1].to_lowercase()));
+    }
+    if t + 1 < tokens.len() {
+        feats.push(format!("w+1={}", tokens[t + 1].to_lowercase()));
+    }
+    feats
+}
+
+/// A trained linear-chain CRF.
+#[derive(Debug, Clone)]
+pub struct Crf {
+    labels: Vec<String>,
+    feature_map: HashMap<String, u32>,
+    /// Emission weights, indexed `feature_id * L + label`.
+    emission: Vec<f64>,
+    /// Transition weights, indexed `prev * L + next`.
+    transition: Vec<f64>,
+    /// Weights for the first label of a sequence.
+    begin: Vec<f64>,
+}
+
+/// Training hyper-parameters for [`Crf::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength (per-example).
+    pub l2: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 12,
+            learning_rate: 0.2,
+            l2: 1e-4,
+        }
+    }
+}
+
+impl Crf {
+    /// Creates an untrained CRF over `labels`, building the feature map from
+    /// `data`.
+    pub fn new(labels: Vec<String>, data: &[TaggedSentence]) -> Self {
+        let mut feature_map = HashMap::new();
+        for sent in data {
+            for t in 0..sent.tokens.len() {
+                for f in token_features(&sent.tokens, t) {
+                    let next = feature_map.len() as u32;
+                    feature_map.entry(f).or_insert(next);
+                }
+            }
+        }
+        let num_labels = labels.len();
+        let num_features = feature_map.len();
+        Self {
+            labels,
+            feature_map,
+            emission: vec![0.0; num_features * num_labels],
+            transition: vec![0.0; num_labels * num_labels],
+            begin: vec![0.0; num_labels],
+        }
+    }
+
+    /// Trains on `data` and returns the CRF, as a convenience.
+    pub fn train(labels: Vec<String>, data: &[TaggedSentence], config: TrainConfig) -> Self {
+        let mut crf = Self::new(labels, data);
+        for epoch in 0..config.epochs {
+            // Simple learning-rate decay keeps late epochs stable.
+            let lr = config.learning_rate / (1.0 + 0.3 * epoch as f64);
+            for sent in data {
+                crf.sgd_step(sent, lr, config.l2);
+            }
+        }
+        crf
+    }
+
+    /// The label inventory, in id order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of distinct emission features.
+    pub fn num_features(&self) -> usize {
+        self.feature_map.len()
+    }
+
+    /// Returns the label id for `name`, if it is in the inventory.
+    pub fn label_id(&self, name: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == name)
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Vec<PositionFeatures> {
+        (0..tokens.len())
+            .map(|t| {
+                token_features(tokens, t)
+                    .into_iter()
+                    .filter_map(|f| self.feature_map.get(&f).copied())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Emission score of `label` at a position with features `feats`.
+    fn score(&self, feats: &PositionFeatures, label: usize) -> f64 {
+        let num_labels = self.labels.len();
+        feats
+            .iter()
+            .map(|&f| self.emission[f as usize * num_labels + label])
+            .sum()
+    }
+
+    /// Per-position unnormalized log-potentials, `scores[t][y]`.
+    fn potentials(&self, feats: &[PositionFeatures]) -> Vec<Vec<f64>> {
+        feats
+            .iter()
+            .map(|pf| (0..self.labels.len()).map(|y| self.score(pf, y)).collect())
+            .collect()
+    }
+
+    /// Viterbi-decodes `tokens` into the most likely label sequence.
+    ///
+    /// Returns an empty vector for empty input.
+    pub fn decode(&self, tokens: &[String]) -> Vec<usize> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let num_labels = self.labels.len();
+        let feats = self.featurize(tokens);
+        let pot = self.potentials(&feats);
+        let n = tokens.len();
+        let mut delta = vec![vec![f64::NEG_INFINITY; num_labels]; n];
+        let mut back = vec![vec![0usize; num_labels]; n];
+        for y in 0..num_labels {
+            delta[0][y] = self.begin[y] + pot[0][y];
+        }
+        for t in 1..n {
+            for y in 0..num_labels {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                #[allow(clippy::needless_range_loop)] // indexes two arrays
+                for prev in 0..num_labels {
+                    let s = delta[t - 1][prev] + self.transition[prev * num_labels + y];
+                    if s > best {
+                        best = s;
+                        arg = prev;
+                    }
+                }
+                delta[t][y] = best + pot[t][y];
+                back[t][y] = arg;
+            }
+        }
+        let mut last = (0..num_labels)
+            .max_by(|&a, &b| delta[n - 1][a].total_cmp(&delta[n - 1][b]))
+            .expect("non-empty label set");
+        let mut path = vec![0usize; n];
+        path[n - 1] = last;
+        for t in (1..n).rev() {
+            last = back[t][last];
+            path[t - 1] = last;
+        }
+        path
+    }
+
+    /// Decodes and maps ids back to label strings.
+    pub fn tag(&self, tokens: &[String]) -> Vec<String> {
+        self.decode(tokens)
+            .into_iter()
+            .map(|y| self.labels[y].clone())
+            .collect()
+    }
+
+    /// Conditional log-likelihood `log p(labels | tokens)` of one sentence.
+    pub fn log_likelihood(&self, sent: &TaggedSentence) -> f64 {
+        let feats = self.featurize(&sent.tokens);
+        let pot = self.potentials(&feats);
+        let gold = self.path_score(&pot, &sent.labels);
+        let log_z = self.log_partition(&pot);
+        gold - log_z
+    }
+
+    fn path_score(&self, pot: &[Vec<f64>], labels: &[usize]) -> f64 {
+        let num_labels = self.labels.len();
+        let mut s = self.begin[labels[0]] + pot[0][labels[0]];
+        for t in 1..labels.len() {
+            s += self.transition[labels[t - 1] * num_labels + labels[t]] + pot[t][labels[t]];
+        }
+        s
+    }
+
+    fn log_partition(&self, pot: &[Vec<f64>]) -> f64 {
+        let alpha = self.forward(pot);
+        log_sum_exp(alpha.last().expect("non-empty sentence"))
+    }
+
+    /// Forward log-messages `alpha[t][y]`.
+    fn forward(&self, pot: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let num_labels = self.labels.len();
+        let n = pot.len();
+        let mut alpha = vec![vec![0.0; num_labels]; n];
+        for y in 0..num_labels {
+            alpha[0][y] = self.begin[y] + pot[0][y];
+        }
+        let mut scratch = vec![0.0; num_labels];
+        for t in 1..n {
+            for y in 0..num_labels {
+                #[allow(clippy::needless_range_loop)] // indexes two arrays
+                for prev in 0..num_labels {
+                    scratch[prev] = alpha[t - 1][prev] + self.transition[prev * num_labels + y];
+                }
+                alpha[t][y] = log_sum_exp(&scratch) + pot[t][y];
+            }
+        }
+        alpha
+    }
+
+    /// Backward log-messages `beta[t][y]`.
+    fn backward(&self, pot: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let num_labels = self.labels.len();
+        let n = pot.len();
+        let mut beta = vec![vec![0.0; num_labels]; n];
+        let mut scratch = vec![0.0; num_labels];
+        for t in (0..n - 1).rev() {
+            for y in 0..num_labels {
+                for next in 0..num_labels {
+                    scratch[next] =
+                        self.transition[y * num_labels + next] + pot[t + 1][next] + beta[t + 1][next];
+                }
+                beta[t][y] = log_sum_exp(&scratch);
+            }
+        }
+        beta
+    }
+
+    /// Posterior marginals `p(y_t = y | tokens)`.
+    pub fn marginals(&self, tokens: &[String]) -> Vec<Vec<f64>> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let feats = self.featurize(tokens);
+        let pot = self.potentials(&feats);
+        let alpha = self.forward(&pot);
+        let beta = self.backward(&pot);
+        let log_z = log_sum_exp(alpha.last().expect("non-empty"));
+        alpha
+            .iter()
+            .zip(&beta)
+            .map(|(a, b)| {
+                (0..self.labels.len())
+                    .map(|y| (a[y] + b[y] - log_z).exp())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Posterior (per-position argmax of marginals) decoding, used by the
+    /// CRF ablation bench as an alternative to Viterbi.
+    pub fn decode_posterior(&self, tokens: &[String]) -> Vec<usize> {
+        self.marginals(tokens)
+            .into_iter()
+            .map(|m| {
+                m.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("non-empty label set")
+            })
+            .collect()
+    }
+
+    /// One SGD step on a sentence: gradient of the conditional log-likelihood
+    /// minus L2 pull. Exposed for testing; [`Crf::train`] calls this.
+    pub fn sgd_step(&mut self, sent: &TaggedSentence, lr: f64, l2: f64) {
+        if sent.tokens.is_empty() {
+            return;
+        }
+        let num_labels = self.labels.len();
+        let feats = self.featurize(&sent.tokens);
+        let pot = self.potentials(&feats);
+        let alpha = self.forward(&pot);
+        let beta = self.backward(&pot);
+        let log_z = log_sum_exp(alpha.last().expect("non-empty"));
+        let n = sent.tokens.len();
+
+        // Emission gradient: observed - expected per position.
+        for t in 0..n {
+            let gold = sent.labels[t];
+            for y in 0..num_labels {
+                let p = (alpha[t][y] + beta[t][y] - log_z).exp();
+                let g = f64::from(u8::from(y == gold)) - p;
+                if g != 0.0 {
+                    for &f in &feats[t] {
+                        let idx = f as usize * num_labels + y;
+                        self.emission[idx] += lr * (g - l2 * self.emission[idx]);
+                    }
+                }
+            }
+        }
+        // Begin gradient.
+        for y in 0..num_labels {
+            let p = (alpha[0][y] + beta[0][y] - log_z).exp();
+            let g = f64::from(u8::from(y == sent.labels[0])) - p;
+            self.begin[y] += lr * (g - l2 * self.begin[y]);
+        }
+        // Transition gradient: observed - expected pairwise marginals.
+        for t in 1..n {
+            for prev in 0..num_labels {
+                for y in 0..num_labels {
+                    let log_p = alpha[t - 1][prev]
+                        + self.transition[prev * num_labels + y]
+                        + pot[t][y]
+                        + beta[t][y]
+                        - log_z;
+                    let p = log_p.exp();
+                    let observed =
+                        f64::from(u8::from(prev == sent.labels[t - 1] && y == sent.labels[t]));
+                    let idx = prev * num_labels + y;
+                    self.transition[idx] += lr * (observed - p - l2 * self.transition[idx]);
+                }
+            }
+        }
+    }
+
+    /// Serializes the trained model (see [`sirius_codec`]).
+    pub fn write_to(&self, e: &mut sirius_codec::Encoder) {
+        e.tag("crf_v1");
+        e.str_slice(&self.labels);
+        // Feature map as parallel (name, id) lists, in id order for
+        // deterministic output.
+        let mut feats: Vec<(&String, &u32)> = self.feature_map.iter().collect();
+        feats.sort_by_key(|(_, id)| **id);
+        e.u32(feats.len() as u32);
+        for (name, id) in feats {
+            e.str(name);
+            e.u32(*id);
+        }
+        let to_f32 = |xs: &[f64]| xs.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+        e.f32_slice(&to_f32(&self.emission));
+        e.f32_slice(&to_f32(&self.transition));
+        e.f32_slice(&to_f32(&self.begin));
+    }
+
+    /// Restores a model saved with [`Crf::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or inconsistent bytes.
+    pub fn read_from(
+        d: &mut sirius_codec::Decoder<'_>,
+    ) -> Result<Self, sirius_codec::DecodeError> {
+        d.tag("crf_v1")?;
+        let labels = d.str_vec()?;
+        let n = d.u32()? as usize;
+        let mut feature_map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = d.str()?;
+            let id = d.u32()?;
+            feature_map.insert(name, id);
+        }
+        let to_f64 = |xs: Vec<f32>| xs.into_iter().map(f64::from).collect::<Vec<f64>>();
+        let emission = to_f64(d.f32_vec()?);
+        let transition = to_f64(d.f32_vec()?);
+        let begin = to_f64(d.f32_vec()?);
+        let num_labels = labels.len();
+        if num_labels == 0
+            || begin.len() != num_labels
+            || transition.len() != num_labels * num_labels
+            || emission.len() != feature_map.len() * num_labels
+        {
+            return Err(sirius_codec::DecodeError {
+                message: "inconsistent CRF dimensions".into(),
+                offset: 0,
+            });
+        }
+        Ok(Self {
+            labels,
+            feature_map,
+            emission,
+            transition,
+            begin,
+        })
+    }
+
+    /// Token-level accuracy over `data`.
+    pub fn accuracy(&self, data: &[TaggedSentence]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for sent in data {
+            let pred = self.decode(&sent.tokens);
+            correct += pred
+                .iter()
+                .zip(&sent.labels)
+                .filter(|(a, b)| a == b)
+                .count();
+            total += sent.labels.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// Numerically stable `log(sum(exp(xs)))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> (Vec<String>, Vec<TaggedSentence>) {
+        let labels = vec!["DET".to_owned(), "NOUN".to_owned(), "VERB".to_owned()];
+        let mk = |words: &[&str], tags: &[usize]| TaggedSentence {
+            tokens: words.iter().map(|w| (*w).to_owned()).collect(),
+            labels: tags.to_vec(),
+        };
+        let data = vec![
+            mk(&["the", "dog", "runs"], &[0, 1, 2]),
+            mk(&["a", "cat", "sleeps"], &[0, 1, 2]),
+            mk(&["the", "cat", "runs"], &[0, 1, 2]),
+            mk(&["a", "dog", "sleeps"], &[0, 1, 2]),
+            mk(&["the", "bird", "sings"], &[0, 1, 2]),
+        ];
+        (labels, data)
+    }
+
+    #[test]
+    fn training_fits_toy_grammar() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        assert!(crf.accuracy(&data) > 0.99, "accuracy {}", crf.accuracy(&data));
+        let tags = crf.tag(&["a".into(), "bird".into(), "runs".into()]);
+        assert_eq!(tags, vec!["DET", "NOUN", "VERB"]);
+    }
+
+    #[test]
+    fn log_likelihood_increases_with_training() {
+        let (labels, data) = toy_data();
+        let untrained = Crf::new(labels.clone(), &data);
+        let trained = Crf::train(labels, &data, TrainConfig::default());
+        let before: f64 = data.iter().map(|s| untrained.log_likelihood(s)).sum();
+        let after: f64 = data.iter().map(|s| trained.log_likelihood(s)).sum();
+        assert!(after > before);
+        assert!(after < 0.0 + 1e-9, "log-likelihood must stay <= 0");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (labels, data) = toy_data();
+        let mut crf = Crf::new(labels, &data);
+        let sent = &data[0];
+        // Analytic gradient via a tiny SGD step with lr=eps_step, no reg.
+        let base_emission = crf.emission.clone();
+        let base_transition = crf.transition.clone();
+        let lr = 1e-3;
+        crf.sgd_step(sent, lr, 0.0);
+        let grad_emission: Vec<f64> = crf
+            .emission
+            .iter()
+            .zip(&base_emission)
+            .map(|(a, b)| (a - b) / lr)
+            .collect();
+        let grad_transition: Vec<f64> = crf
+            .transition
+            .iter()
+            .zip(&base_transition)
+            .map(|(a, b)| (a - b) / lr)
+            .collect();
+        // Restore and compare against central differences.
+        crf.emission = base_emission.clone();
+        crf.transition = base_transition.clone();
+        let eps = 1e-5;
+        for idx in [0usize, 3, 7] {
+            if idx >= crf.emission.len() {
+                continue;
+            }
+            crf.emission[idx] = base_emission[idx] + eps;
+            let up = crf.log_likelihood(sent);
+            crf.emission[idx] = base_emission[idx] - eps;
+            let down = crf.log_likelihood(sent);
+            crf.emission[idx] = base_emission[idx];
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grad_emission[idx]).abs() < 1e-3,
+                "emission[{idx}]: fd={fd} analytic={}",
+                grad_emission[idx]
+            );
+        }
+        for idx in 0..crf.transition.len() {
+            crf.transition[idx] = base_transition[idx] + eps;
+            let up = crf.log_likelihood(sent);
+            crf.transition[idx] = base_transition[idx] - eps;
+            let down = crf.log_likelihood(sent);
+            crf.transition[idx] = base_transition[idx];
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grad_transition[idx]).abs() < 1e-3,
+                "transition[{idx}]: fd={fd} analytic={}",
+                grad_transition[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        let m = crf.marginals(&["the".into(), "dog".into(), "runs".into()]);
+        for row in m {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "marginal row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn viterbi_beats_random_paths() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        let tokens: Vec<String> = vec!["the".into(), "dog".into(), "sings".into()];
+        let best = crf.decode(&tokens);
+        let feats = crf.featurize(&tokens);
+        let pot = crf.potentials(&feats);
+        let best_score = crf.path_score(&pot, &best);
+        // Exhaustively enumerate all 27 paths.
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let s = crf.path_score(&pot, &[a, b, c]);
+                    assert!(s <= best_score + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_decodes_empty() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        assert!(crf.decode(&[]).is_empty());
+        assert!(crf.marginals(&[]).is_empty());
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn persistence_round_trips_tagging() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        let mut e = sirius_codec::Encoder::new();
+        crf.write_to(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = sirius_codec::Decoder::new(&bytes);
+        let restored = Crf::read_from(&mut d).expect("decode");
+        d.finish().expect("fully consumed");
+        let tokens: Vec<String> = vec!["the".into(), "dog".into(), "runs".into()];
+        assert_eq!(crf.tag(&tokens), restored.tag(&tokens));
+        assert_eq!(crf.labels(), restored.labels());
+        // Corruption is caught.
+        let mut bad = bytes.clone();
+        bad[5] ^= 0x55;
+        assert!(Crf::read_from(&mut sirius_codec::Decoder::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn posterior_decoding_agrees_on_confident_inputs() {
+        let (labels, data) = toy_data();
+        let crf = Crf::train(labels, &data, TrainConfig::default());
+        let tokens: Vec<String> = vec!["the".into(), "cat".into(), "sleeps".into()];
+        assert_eq!(crf.decode(&tokens), crf.decode_posterior(&tokens));
+    }
+}

@@ -1,0 +1,35 @@
+//! # sirius-nlp
+//!
+//! The natural-language-processing substrate of the Sirius reproduction
+//! (Hauswald et al., ASPLOS 2015): the three hot QA kernels the paper
+//! extracts into Sirius Suite, plus the OpenEphyra-style question-answering
+//! pipeline that consumes them.
+//!
+//! * [`stemmer`] — the Porter stemming algorithm (Sirius Suite "Stemmer").
+//! * [`regex`] — an SLRE-style regular-expression engine ("Regex").
+//! * [`crf`] — a linear-chain Conditional Random Field tagger ("CRF").
+//! * [`pos`] — synthetic tagged-sentence generation (CoNLL-2000 stand-in).
+//! * [`qa`] — the OpenEphyra-style QA engine: question analysis, retrieval
+//!   via [`sirius_search`], document filters and answer extraction, fully
+//!   instrumented for the paper's Figure 8/9 breakdowns.
+//!
+//! # Example
+//!
+//! ```
+//! use sirius_nlp::stemmer::stem;
+//! assert_eq!(stem("elected"), "elect");
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index parallel arrays; indexed loops are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod crf;
+pub mod pos;
+pub mod qa;
+pub mod regex;
+pub mod stemmer;
+
+pub use crf::{Crf, TaggedSentence, TrainConfig};
+pub use qa::{QaConfig, QaEngine, QaResult};
+pub use regex::Regex;

@@ -1,0 +1,242 @@
+//! Document filters: the stage of the OpenEphyra pipeline whose runtime
+//! variability the paper identifies as the cause of QA's high latency
+//! variance ("the high variance is primarily due to the runtime variability
+//! of various document filters in the NLP component", Section 3, Figure 8c).
+//!
+//! Each filter scans a retrieved document and reports a score together with
+//! the number of *hits* (pattern or keyword matches) it produced. The total
+//! hit count is what Figure 8c correlates with end-to-end QA latency.
+
+use crate::regex::Regex;
+use crate::stemmer;
+use sirius_search::tokenize;
+
+use super::question::{AnswerType, QuestionAnalysis};
+
+/// The outcome of running one filter over one document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterOutcome {
+    /// Relevance contribution of this filter.
+    pub score: f64,
+    /// Number of matches the filter produced while scanning.
+    pub hits: usize,
+}
+
+/// A document filter in the OpenEphyra sense.
+pub trait DocumentFilter: std::fmt::Debug {
+    /// Short name used in breakdown reports.
+    fn name(&self) -> &'static str;
+    /// Scans `doc` for evidence relevant to `question`.
+    fn apply(&self, doc: &str, question: &QuestionAnalysis) -> FilterOutcome;
+}
+
+/// Counts stemmed keyword occurrences (runs the Porter stemmer over every
+/// document token — the stemmer hot loop of Figure 9).
+#[derive(Debug, Default)]
+pub struct KeywordFilter;
+
+impl DocumentFilter for KeywordFilter {
+    fn name(&self) -> &'static str {
+        "keyword"
+    }
+
+    fn apply(&self, doc: &str, question: &QuestionAnalysis) -> FilterOutcome {
+        let mut hits = 0usize;
+        for token in tokenize::tokenize(doc) {
+            let stem = stemmer::stem(&token);
+            if question.stems.contains(&stem) {
+                hits += 1;
+            }
+        }
+        FilterOutcome {
+            score: hits as f64,
+            hits,
+        }
+    }
+}
+
+/// Counts tokens whose surface shape is compatible with the expected answer
+/// type (regex pattern matching over every token — the regex hot loop).
+#[derive(Debug)]
+pub struct AnswerTypeFilter {
+    capitalized: Regex,
+    number: Regex,
+    time: Regex,
+}
+
+impl Default for AnswerTypeFilter {
+    fn default() -> Self {
+        Self {
+            capitalized: Regex::new("^[A-Z][a-z]+$").expect("built-in pattern"),
+            number: Regex::new("^[0-9]+(th|st|nd|rd)?$").expect("built-in pattern"),
+            time: Regex::new("^([0-9]+|midnight|noon|am|pm)$").expect("built-in pattern"),
+        }
+    }
+}
+
+impl AnswerTypeFilter {
+    /// Returns `true` if raw token `word` could be (part of) an answer of
+    /// type `at`.
+    pub fn token_compatible(&self, word: &str, at: AnswerType) -> bool {
+        match at {
+            AnswerType::Person | AnswerType::Location | AnswerType::Entity => {
+                self.capitalized.is_match(word)
+            }
+            AnswerType::Number => self.number.is_match(&word.to_lowercase()),
+            AnswerType::Time => self.time.is_match(&word.to_lowercase()),
+        }
+    }
+}
+
+impl DocumentFilter for AnswerTypeFilter {
+    fn name(&self) -> &'static str {
+        "answer-type"
+    }
+
+    fn apply(&self, doc: &str, question: &QuestionAnalysis) -> FilterOutcome {
+        let mut hits = 0usize;
+        for raw in doc.split_whitespace() {
+            let word: String = raw
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .collect();
+            if word.is_empty() {
+                continue;
+            }
+            if self.token_compatible(&word, question.answer_type) {
+                hits += 1;
+            }
+        }
+        FilterOutcome {
+            score: (hits as f64).sqrt(),
+            hits,
+        }
+    }
+}
+
+/// Rewards sentences where many query keywords co-occur in a small window,
+/// approximating OpenEphyra's proximity/passage scoring.
+#[derive(Debug, Default)]
+pub struct ProximityFilter;
+
+impl DocumentFilter for ProximityFilter {
+    fn name(&self) -> &'static str {
+        "proximity"
+    }
+
+    fn apply(&self, doc: &str, question: &QuestionAnalysis) -> FilterOutcome {
+        let mut hits = 0usize;
+        let mut best = 0.0f64;
+        for sentence in split_sentences(doc) {
+            let tokens = tokenize::tokenize(sentence);
+            let mut found = 0usize;
+            for stem_q in &question.stems {
+                if tokens.iter().any(|t| stemmer::stem(t) == *stem_q) {
+                    found += 1;
+                }
+            }
+            if found >= 2 {
+                hits += 1;
+                let density = found as f64 / tokens.len().max(1) as f64;
+                let coverage = found as f64 / question.stems.len().max(1) as f64;
+                best = best.max(coverage * (1.0 + density));
+            }
+        }
+        FilterOutcome { score: best * 4.0, hits }
+    }
+}
+
+/// Splits document text into sentences on `.`, `!` and `?`.
+pub fn split_sentences(text: &str) -> impl Iterator<Item = &str> {
+    text.split_terminator(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+}
+
+/// The standard OpenEphyra-style filter bank.
+pub fn standard_filters() -> Vec<Box<dyn DocumentFilter + Send + Sync>> {
+    vec![
+        Box::new(KeywordFilter),
+        Box::new(AnswerTypeFilter::default()),
+        Box::new(ProximityFilter),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crf::{Crf, TrainConfig};
+    use crate::pos;
+    use crate::qa::question::QuestionAnalyzer;
+
+    fn question(q: &str) -> QuestionAnalysis {
+        let crf = Crf::train(pos::tag_set(), &pos::generate(3, 150), TrainConfig::default());
+        QuestionAnalyzer::new(crf).analyze(q)
+    }
+
+    #[test]
+    fn keyword_filter_counts_stemmed_hits() {
+        let q = question("What is the capital of Italy?");
+        let out = KeywordFilter.apply("Rome is the capital city of Italy. Italy is lovely.", &q);
+        // capital x1, italy x2 (stems match).
+        assert_eq!(out.hits, 3);
+        assert!(out.score > 0.0);
+    }
+
+    #[test]
+    fn keyword_filter_matches_morphological_variants() {
+        let q = question("Who was elected 44th president?");
+        let out = KeywordFilter.apply("The election elected electing presidents", &q);
+        // elected + electing share stem "elect"; "election" stems to "elect" too;
+        // presidents stems to president's stem.
+        assert!(out.hits >= 3, "hits = {}", out.hits);
+    }
+
+    #[test]
+    fn answer_type_filter_sees_capitalized_names() {
+        let q = question("Who wrote Hamlet?");
+        let out = AnswerTypeFilter::default().apply("William Shakespeare wrote it in London", &q);
+        assert!(out.hits >= 3); // William, Shakespeare, London
+    }
+
+    #[test]
+    fn answer_type_filter_time_tokens() {
+        let q = question("When does the cafe close?");
+        let f = AnswerTypeFilter::default();
+        assert!(f.token_compatible("10", super::super::question::AnswerType::Time));
+        assert!(f.token_compatible("pm", super::super::question::AnswerType::Time));
+        assert!(f.token_compatible("midnight", super::super::question::AnswerType::Time));
+        assert!(!f.token_compatible("banana", super::super::question::AnswerType::Time));
+        let out = f.apply("The cafe closes at 10 pm", &q);
+        assert_eq!(out.hits, 2);
+    }
+
+    #[test]
+    fn proximity_filter_prefers_dense_sentences() {
+        let q = question("What is the capital of Italy?");
+        let dense = ProximityFilter.apply("Rome is the capital of Italy.", &q);
+        let sparse = ProximityFilter.apply(
+            "The capital was discussed. Somewhere far away lies Italy, a country.",
+            &q,
+        );
+        assert!(dense.score > sparse.score);
+        assert!(dense.hits >= 1);
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let s: Vec<&str> = split_sentences("One. Two! Three? ").collect();
+        assert_eq!(s, vec!["One", "Two", "Three"]);
+    }
+
+    #[test]
+    fn filters_report_zero_on_irrelevant_docs() {
+        let q = question("What is the capital of Italy?");
+        for f in standard_filters() {
+            let out = f.apply("zzz qqq", &q);
+            if f.name() == "keyword" || f.name() == "proximity" {
+                assert_eq!(out.hits, 0, "filter {}", f.name());
+            }
+        }
+    }
+}

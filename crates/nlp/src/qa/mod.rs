@@ -1,0 +1,353 @@
+//! The OpenEphyra-style question-answering engine (paper Section 2.3.3).
+//!
+//! Pipeline, mirroring Figure 6: question analysis (regex + stemmer + CRF) →
+//! web-search query generation → document retrieval → document filters →
+//! candidate extraction and scoring → best answer.
+//!
+//! Every stage is instrumented with wall-clock timing and work counters so
+//! the end-to-end pipeline can reproduce the paper's cycle breakdowns
+//! (Figure 8b: stemmer/regex/CRF shares; Figure 8c: latency vs filter hits;
+//! Figure 9: QA component cycle breakdown).
+
+pub mod extract;
+pub mod filters;
+pub mod question;
+
+use std::time::{Duration, Instant};
+
+use sirius_search::{DocId, SearchEngine};
+
+use crate::crf::Crf;
+use filters::{standard_filters, DocumentFilter};
+pub use question::{AnswerType, QuestionAnalysis, QuestionAnalyzer};
+
+/// Per-stage timing and work counters for one QA invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QaBreakdown {
+    /// Time in question analysis + document-filter stemming.
+    pub stemmer: Duration,
+    /// Time in regex pattern evaluation (question + answer-type filter).
+    pub regex: Duration,
+    /// Time in CRF tagging.
+    pub crf: Duration,
+    /// Time in retrieval (the web-search substrate).
+    pub search: Duration,
+    /// Time in document filters + candidate scoring (excluding the stemmer
+    /// and regex time already attributed above).
+    pub filtering: Duration,
+    /// Total wall-clock for the query.
+    pub total: Duration,
+    /// Total document-filter hits (the Figure 8c x-axis).
+    pub filter_hits: usize,
+    /// Number of documents retrieved and filtered.
+    pub docs_considered: usize,
+    /// Number of regex evaluations performed.
+    pub regex_ops: usize,
+}
+
+/// The answer produced for a question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaResult {
+    /// Best answer text, or `None` when no candidate survived filtering.
+    pub answer: Option<String>,
+    /// Ranked runner-up candidates (including the winner at index 0).
+    pub candidates: Vec<extract::Candidate>,
+    /// The top filter-ranked documents supporting the answer (citations).
+    pub supporting: Vec<DocId>,
+    /// The analyzed question.
+    pub analysis: QuestionAnalysis,
+    /// Stage-level instrumentation.
+    pub breakdown: QaBreakdown,
+}
+
+/// Configuration for the QA engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QaConfig {
+    /// How many documents to retrieve per generated query.
+    pub top_k: usize,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        Self { top_k: 12 }
+    }
+}
+
+/// The question-answering engine.
+///
+/// # Example
+///
+/// ```
+/// use sirius_nlp::qa::QaEngine;
+/// use sirius_nlp::{crf::{Crf, TrainConfig}, pos};
+/// use sirius_search::{corpus::FactCorpus, SearchEngine};
+///
+/// let corpus = FactCorpus::generate(1, Default::default());
+/// let engine = SearchEngine::build(corpus.documents().iter().map(|d| d.text.as_str()));
+/// let crf = Crf::train(pos::tag_set(), &pos::generate(2, 150), TrainConfig::default());
+/// let qa = QaEngine::new(engine, crf, Default::default());
+/// let result = qa.answer("What is the capital of Italy?");
+/// assert_eq!(result.answer.as_deref(), Some("Rome"));
+/// ```
+#[derive(Debug)]
+pub struct QaEngine {
+    search: SearchEngine,
+    analyzer: QuestionAnalyzer,
+    filters: Vec<Box<dyn DocumentFilter + Send + Sync>>,
+    config: QaConfig,
+}
+
+impl QaEngine {
+    /// Creates a QA engine over a search engine and a trained CRF tagger.
+    pub fn new(search: SearchEngine, crf: Crf, config: QaConfig) -> Self {
+        Self {
+            search,
+            analyzer: QuestionAnalyzer::new(crf),
+            filters: standard_filters(),
+            config,
+        }
+    }
+
+    /// The underlying search engine.
+    pub fn search_engine(&self) -> &SearchEngine {
+        &self.search
+    }
+
+    /// Serializes the engine: the search corpus and the trained CRF tagger
+    /// (filters and patterns are rebuilt on load).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = sirius_codec::Encoder::new();
+        e.tag("sirius_qa_v1");
+        e.bytes(&self.search.to_bytes());
+        self.analyzer.crf().write_to(&mut e);
+        e.u32(self.config.top_k as u32);
+        e.into_bytes()
+    }
+
+    /// Restores an engine saved with [`QaEngine::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed, truncated or inconsistent bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
+        let mut d = sirius_codec::Decoder::new(bytes);
+        d.tag("sirius_qa_v1")?;
+        let search = SearchEngine::from_bytes(&d.bytes_vec()?)?;
+        let crf = Crf::read_from(&mut d)?;
+        let top_k = d.u32()? as usize;
+        d.finish()?;
+        Ok(Self::new(search, crf, QaConfig { top_k }))
+    }
+
+    /// Answers a natural-language question.
+    pub fn answer(&self, question_text: &str) -> QaResult {
+        let t_total = Instant::now();
+        let mut breakdown = QaBreakdown::default();
+
+        // Stage 1: question analysis (regex + stemmer + CRF).
+        // The CRF dominates this stage; we time its tagging separately by
+        // re-running it, attributing the remainder to regex/stemming.
+        let t = Instant::now();
+        let analysis = self.analyzer.analyze(question_text);
+        let analyze_time = t.elapsed();
+        let t = Instant::now();
+        let _ = self.analyzer.crf().tag(&analysis.tokens);
+        breakdown.crf = t.elapsed();
+        breakdown.regex = analyze_time.saturating_sub(breakdown.crf) / 2;
+        breakdown.stemmer = analyze_time.saturating_sub(breakdown.crf) - breakdown.regex;
+        breakdown.regex_ops = analysis.regex_ops;
+
+        // Stage 2: retrieval.
+        let t = Instant::now();
+        let query = analysis.keywords.join(" ");
+        let hits = self.search.search(&query, self.config.top_k);
+        breakdown.search = t.elapsed();
+        breakdown.docs_considered = hits.len();
+
+        // Stage 3: document filters.
+        let docs: Vec<&str> = hits.iter().map(|h| self.search.document(h.doc)).collect();
+        let mut doc_scores = vec![0.0f64; docs.len()];
+        for filter in &self.filters {
+            let t = Instant::now();
+            for (i, doc) in docs.iter().enumerate() {
+                let out = filter.apply(doc, &analysis);
+                doc_scores[i] += out.score;
+                breakdown.filter_hits += out.hits;
+            }
+            let elapsed = t.elapsed();
+            // Attribute filter time to its dominant kernel, as the paper's
+            // VTune profiling attributes QA cycles to stemmer/regex/CRF.
+            match filter.name() {
+                "keyword" | "proximity" => breakdown.stemmer += elapsed,
+                "answer-type" => breakdown.regex += elapsed,
+                _ => breakdown.filtering += elapsed,
+            }
+        }
+
+        // Stage 3b: CRF part-of-speech tagging over the retrieved documents.
+        // OpenEphyra tags retrieved text for answer-type matching; this is
+        // where the bulk of the paper's QA CRF cycles come from (Figure 9).
+        let t = Instant::now();
+        let noun_id = self.analyzer.crf().label_id("NOUN");
+        let num_id = self.analyzer.crf().label_id("NUM");
+        for (i, doc) in docs.iter().enumerate() {
+            let mut answer_bearing = 0usize;
+            for sentence in filters::split_sentences(doc) {
+                // Only tag passages that mention a query keyword, as
+                // OpenEphyra's passage filters gate its taggers.
+                let lower = sentence.to_lowercase();
+                if !analysis.keywords.iter().any(|k| lower.contains(k)) {
+                    continue;
+                }
+                let tokens: Vec<String> = sentence
+                    .split_whitespace()
+                    .map(|w| {
+                        w.trim_matches(|c: char| !c.is_alphanumeric())
+                            .to_owned()
+                    })
+                    .filter(|w| !w.is_empty())
+                    .collect();
+                if tokens.is_empty() {
+                    continue;
+                }
+                let tags = self.analyzer.crf().decode(&tokens);
+                answer_bearing += tags
+                    .iter()
+                    .filter(|&&tag| Some(tag) == noun_id || Some(tag) == num_id)
+                    .count();
+            }
+            // Documents rich in nouns/numbers are likelier to bear answers.
+            doc_scores[i] += 0.05 * answer_bearing as f64;
+            breakdown.filter_hits += answer_bearing;
+        }
+        breakdown.crf += t.elapsed();
+
+        // Stage 4: candidate extraction over filter-ranked documents.
+        let t = Instant::now();
+        let mut order: Vec<usize> = (0..docs.len()).collect();
+        order.sort_by(|&a, &b| doc_scores[b].total_cmp(&doc_scores[a]));
+        let ranked: Vec<&str> = order.iter().map(|&i| docs[i]).collect();
+        let supporting: Vec<DocId> = order.iter().take(3).map(|&i| hits[i].doc).collect();
+        let candidates = extract::score_candidates(&ranked, &analysis, self.search.index());
+        breakdown.filtering += t.elapsed();
+
+        breakdown.total = t_total.elapsed();
+        QaResult {
+            answer: candidates.first().map(|c| c.text.clone()),
+            candidates,
+            supporting,
+            analysis,
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crf::TrainConfig;
+    use crate::pos;
+    use sirius_search::corpus::{CorpusConfig, FactCorpus};
+
+    fn engine() -> (QaEngine, FactCorpus) {
+        let corpus = FactCorpus::generate(21, CorpusConfig::default());
+        let search = SearchEngine::build(corpus.documents().iter().map(|d| d.text.as_str()));
+        let crf = Crf::train(pos::tag_set(), &pos::generate(4, 200), TrainConfig::default());
+        (QaEngine::new(search, crf, QaConfig::default()), corpus)
+    }
+
+    #[test]
+    fn answers_capital_questions() {
+        let (qa, _) = engine();
+        let r = qa.answer("What is the capital of Italy?");
+        assert_eq!(r.answer.as_deref(), Some("Rome"));
+        let r = qa.answer("What is the capital of Cuba?");
+        assert_eq!(r.answer.as_deref(), Some("Havana"));
+    }
+
+    #[test]
+    fn answers_author_questions() {
+        let (qa, _) = engine();
+        let r = qa.answer("Who is the author of Harry Potter?");
+        assert_eq!(r.answer.as_deref(), Some("Joanne Rowling"));
+    }
+
+    #[test]
+    fn answers_president_questions() {
+        let (qa, _) = engine();
+        let r = qa.answer("Who was elected 44th president of the United States?");
+        assert_eq!(r.answer.as_deref(), Some("Barack Obama"));
+    }
+
+    #[test]
+    fn answers_location_questions() {
+        let (qa, _) = engine();
+        let r = qa.answer("Where is Las Vegas?");
+        assert_eq!(r.answer.as_deref(), Some("Nevada"));
+    }
+
+    #[test]
+    fn answers_time_questions() {
+        let (qa, _) = engine();
+        let r = qa.answer("When does Luigi Trattoria close?");
+        assert_eq!(r.answer.as_deref(), Some("10 pm"));
+    }
+
+    #[test]
+    fn qa_engine_persistence_round_trips_answers() {
+        let (qa, _) = engine();
+        let restored = QaEngine::from_bytes(&qa.to_bytes()).expect("decode");
+        for q in [
+            "What is the capital of Italy?",
+            "Who is the author of Harry Potter?",
+        ] {
+            assert_eq!(restored.answer(q).answer, qa.answer(q).answer, "{q}");
+        }
+    }
+
+    #[test]
+    fn supporting_documents_cite_the_answer() {
+        let (qa, _) = engine();
+        let r = qa.answer("What is the capital of Italy?");
+        assert!(!r.supporting.is_empty());
+        // The top supporting document must actually contain the answer.
+        let top = qa.search_engine().document(r.supporting[0]);
+        assert!(top.contains("Rome"), "top doc: {top}");
+    }
+
+    #[test]
+    fn breakdown_is_populated() {
+        let (qa, _) = engine();
+        let r = qa.answer("What is the capital of France?");
+        assert!(r.breakdown.total > Duration::ZERO);
+        assert!(r.breakdown.docs_considered > 0);
+        assert!(r.breakdown.filter_hits > 0);
+        assert!(r.breakdown.regex_ops > 0);
+    }
+
+    #[test]
+    fn unanswerable_questions_return_none_or_weak_candidates() {
+        let (qa, _) = engine();
+        let r = qa.answer("What is the capital of Atlantis?");
+        // Atlantis is not in the corpus; either nothing comes back or the
+        // score of whatever does is below that of a real answer.
+        let real = qa.answer("What is the capital of Japan?");
+        let real_score = real.candidates.first().map_or(0.0, |c| c.score);
+        let fake_score = r.candidates.first().map_or(0.0, |c| c.score);
+        assert!(fake_score < real_score);
+    }
+
+    #[test]
+    fn filter_hits_vary_across_queries() {
+        let (qa, _) = engine();
+        let hits: Vec<usize> = [
+            "What is the capital of Italy?",
+            "Who was elected 44th president of the United States?",
+            "Where is Mount Fuji?",
+        ]
+        .iter()
+        .map(|q| qa.answer(q).breakdown.filter_hits)
+        .collect();
+        assert!(hits.iter().any(|&h| h != hits[0]), "hits all equal: {hits:?}");
+    }
+}

@@ -1,0 +1,688 @@
+//! A compact regular-expression engine in the spirit of SLRE (Super Light
+//! Regular Expression library), the baseline the paper uses for the Sirius
+//! Suite Regex kernel (Table 4: "100 expressions / 400 sentences, data
+//! granularity: each regex-sentence pair").
+//!
+//! Supported syntax: literals, `.`, escapes (`\d \D \w \W \s \S` plus escaped
+//! metacharacters), character classes `[a-z0-9]` / negated `[^...]`,
+//! quantifiers `* + ?` and bounded `{m}` / `{m,}` / `{m,n}` (greedy),
+//! grouping `(...)`, alternation `|`, and anchors `^` / `$`.
+//!
+//! Matching is backtracking over a parsed AST, which matches SLRE's approach
+//! (and its branchy, divergence-heavy execution profile that the paper
+//! highlights when porting to SIMD platforms).
+
+use std::fmt;
+
+/// Error produced when compiling an invalid pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte position in the pattern where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regex at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// A matched span, in character indices into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Start character index (inclusive).
+    pub start: usize,
+    /// End character index (exclusive).
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit,
+    NotDigit,
+    Word,
+    NotWord,
+    Space,
+    NotSpace,
+}
+
+impl ClassItem {
+    fn matches(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Char(x) => c == x,
+            ClassItem::Range(lo, hi) => c >= lo && c <= hi,
+            ClassItem::Digit => c.is_ascii_digit(),
+            ClassItem::NotDigit => !c.is_ascii_digit(),
+            ClassItem::Word => c.is_alphanumeric() || c == '_',
+            ClassItem::NotWord => !(c.is_alphanumeric() || c == '_'),
+            ClassItem::Space => c.is_whitespace(),
+            ClassItem::NotSpace => !c.is_whitespace(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    AnchorStart,
+    AnchorEnd,
+    Empty,
+}
+
+/// A compiled regular expression.
+///
+/// # Example
+///
+/// ```
+/// use sirius_nlp::regex::Regex;
+///
+/// let re = Regex::new(r"^[0-9]+(th|st|nd|rd)$")?;
+/// assert!(re.is_match("44th"));
+/// assert!(!re.is_match("44x"));
+/// # Ok::<(), sirius_nlp::regex::ParseRegexError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    pattern: String,
+    ast: Ast,
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] for malformed syntax (unbalanced parens,
+    /// dangling quantifiers, bad classes or bounds).
+    pub fn new(pattern: &str) -> Result<Self, ParseRegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let ast = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(ParseRegexError {
+                message: "unexpected character (unbalanced ')'?)".into(),
+                position: p.pos,
+            });
+        }
+        Ok(Self {
+            pattern: pattern.to_owned(),
+            ast,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns `true` if the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Finds the leftmost match, if any.
+    pub fn find(&self, text: &str) -> Option<Match> {
+        let chars: Vec<char> = text.chars().collect();
+        for start in 0..=chars.len() {
+            let mut found: Option<usize> = None;
+            match_node(&self.ast, &chars, start, start == 0, &mut |end| {
+                found = Some(end);
+                true
+            });
+            if let Some(end) = found {
+                return Some(Match { start, end });
+            }
+        }
+        None
+    }
+
+    /// Finds all non-overlapping matches, leftmost-first.
+    pub fn find_all(&self, text: &str) -> Vec<Match> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start <= chars.len() {
+            let mut found: Option<usize> = None;
+            for s in start..=chars.len() {
+                match_node(&self.ast, &chars, s, s == 0, &mut |end| {
+                    found = Some(end);
+                    true
+                });
+                if let Some(end) = found {
+                    out.push(Match { start: s, end });
+                    // Avoid infinite loops on empty matches.
+                    start = if end > s { end } else { s + 1 };
+                    break;
+                }
+            }
+            if found.is_none() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Counts matches in `text`; the per-sentence work item of the Sirius
+    /// Suite Regex kernel.
+    pub fn count_matches(&self, text: &str) -> usize {
+        self.find_all(text).len()
+    }
+}
+
+// -------------------------------------------------------------------------
+// Parsing
+// -------------------------------------------------------------------------
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: &str) -> ParseRegexError {
+        ParseRegexError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseRegexError> {
+        let atom = self.parse_atom()?;
+        let quantifiable = !matches!(atom, Ast::AnchorStart | Ast::AnchorEnd);
+        let (min, max) = match self.peek() {
+            Some('*') => (0, None),
+            Some('+') => (1, None),
+            Some('?') => (0, Some(1)),
+            Some('{') => {
+                self.bump();
+                let (min, max) = self.parse_bounds()?;
+                if !quantifiable {
+                    return Err(self.err("quantifier applied to anchor"));
+                }
+                return Ok(Ast::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max,
+                });
+            }
+            _ => return Ok(atom),
+        };
+        self.bump();
+        if !quantifiable {
+            return Err(self.err("quantifier applied to anchor"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), ParseRegexError> {
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok((min, None));
+                }
+                let max = self.parse_number()?;
+                if self.bump() != Some('}') {
+                    return Err(self.err("expected '}' after bounds"));
+                }
+                if max < min {
+                    return Err(self.err("bound max < min"));
+                }
+                Ok((min, Some(max)))
+            }
+            _ => Err(self.err("expected '}' or ',' in bounds")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseRegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number in bounds"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().map_err(|_| self.err("bound too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unbalanced '('"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => self.parse_escape(false).map(|item| match item {
+                ClassItem::Char(c) => Ast::Char(c),
+                other => Ast::Class {
+                    negated: false,
+                    items: vec![other],
+                },
+            }),
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.pos -= 1;
+                Err(self.err(&format!("dangling quantifier '{c}'")))
+            }
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self, in_class: bool) -> Result<ClassItem, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.err("trailing backslash")),
+            Some('d') => Ok(ClassItem::Digit),
+            Some('D') => Ok(ClassItem::NotDigit),
+            Some('w') => Ok(ClassItem::Word),
+            Some('W') => Ok(ClassItem::NotWord),
+            Some('s') => Ok(ClassItem::Space),
+            Some('S') => Ok(ClassItem::NotSpace),
+            Some('n') => Ok(ClassItem::Char('\n')),
+            Some('t') => Ok(ClassItem::Char('\t')),
+            Some('r') => Ok(ClassItem::Char('\r')),
+            Some(c) if !c.is_alphanumeric() || in_class => Ok(ClassItem::Char(c)),
+            Some(c) => Err(self.err(&format!("unknown escape '\\{c}'"))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseRegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') => break,
+                Some('\\') => items.push(self.parse_escape(true)?),
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump() {
+                            Some('\\') => match self.parse_escape(true)? {
+                                ClassItem::Char(h) => h,
+                                _ => return Err(self.err("class shorthand in range")),
+                            },
+                            Some(h) => h,
+                            None => return Err(self.err("unterminated range")),
+                        };
+                        if hi < c {
+                            return Err(self.err("inverted range"));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+// -------------------------------------------------------------------------
+// Matching
+// -------------------------------------------------------------------------
+
+/// Attempts to match `node` at `chars[pos..]`. Calls `k` with the end
+/// position of each successful parse; `k` returns `true` to stop the search.
+/// Returns `true` if the continuation accepted.
+fn match_node(
+    node: &Ast,
+    chars: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match node {
+        Ast::Empty => k(pos),
+        Ast::Char(c) => {
+            if chars.get(pos) == Some(c) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::Any => {
+            if pos < chars.len() {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::Class { negated, items } => match chars.get(pos) {
+            Some(&c) => {
+                let hit = items.iter().any(|i| i.matches(c));
+                if hit != *negated {
+                    k(pos + 1)
+                } else {
+                    false
+                }
+            }
+            None => false,
+        },
+        Ast::AnchorStart => {
+            if pos == 0 && at_start {
+                k(pos)
+            } else if pos == 0 {
+                // `find` probes interior starts; '^' only matches the true
+                // string start.
+                false
+            } else {
+                false
+            }
+        }
+        Ast::AnchorEnd => {
+            if pos == chars.len() {
+                k(pos)
+            } else {
+                false
+            }
+        }
+        Ast::Concat(items) => match_seq(items, chars, pos, at_start, k),
+        Ast::Alt(branches) => branches
+            .iter()
+            .any(|b| match_node(b, chars, pos, at_start, k)),
+        Ast::Repeat { node, min, max } => {
+            match_repeat(node, *min, *max, chars, pos, at_start, k)
+        }
+    }
+}
+
+fn match_seq(
+    items: &[Ast],
+    chars: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((head, rest)) => match_node(head, chars, pos, at_start, &mut |next| {
+            match_seq(rest, chars, next, at_start, k)
+        }),
+    }
+}
+
+fn match_repeat(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    chars: &[char],
+    pos: usize,
+    at_start: bool,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // Greedy: recursively consume as many repetitions as possible first.
+    fn go(
+        node: &Ast,
+        remaining_min: u32,
+        remaining_max: Option<u32>,
+        chars: &[char],
+        pos: usize,
+        at_start: bool,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        let can_take_more = remaining_max.is_none_or(|m| m > 0);
+        if can_take_more {
+            let taken = match_node(node, chars, pos, at_start, &mut |next| {
+                if next == pos {
+                    // Zero-width repetition cannot make progress; stop to
+                    // guarantee termination.
+                    return false;
+                }
+                go(
+                    node,
+                    remaining_min.saturating_sub(1),
+                    remaining_max.map(|m| m - 1),
+                    chars,
+                    next,
+                    at_start,
+                    k,
+                )
+            });
+            if taken {
+                return true;
+            }
+        }
+        if remaining_min == 0 {
+            k(pos)
+        } else {
+            false
+        }
+    }
+    go(node, min, max, chars, pos, at_start, k)
+}
+
+/// The question-word and token-shape patterns used by the OpenEphyra-style
+/// question analysis, mirroring the paper's example `^[0-9,th]$` style
+/// filters (Figure 6).
+pub fn question_patterns() -> Vec<Regex> {
+    [
+        r"^(what|who|where|when|which|why|how)$",
+        r"^[0-9]+(th|st|nd|rd)?$",
+        r"^[A-Z][a-z]+$",
+        r"[^a-zA-Z0-9 ]",
+        r"^(is|was|are|were|does|do|did)$",
+    ]
+    .iter()
+    .map(|p| Regex::new(p).expect("built-in patterns compile"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("abx"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc$").is_match("abc"));
+        assert!(!re("^abc$").is_match("xabc"));
+        assert!(!re("^abc$").is_match("abcx"));
+        assert!(re("^a").is_match("abc"));
+        assert!(re("c$").is_match("abc"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        assert!(re("a{3}").is_match("aaa"));
+        assert!(!re("^a{3}$").is_match("aa"));
+        assert!(re("^a{2,}$").is_match("aaaa"));
+        assert!(!re("^a{2,3}$").is_match("aaaa"));
+        assert!(re("^a{2,3}$").is_match("aaa"));
+        assert!(re("^a{0,1}$").is_match(""));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(re("[a-c]+").is_match("bb"));
+        assert!(!re("^[a-c]+$").is_match("bd"));
+        assert!(re("[^0-9]").is_match("a"));
+        assert!(!re("^[^0-9]$").is_match("5"));
+        assert!(re(r"^[\d]+$").is_match("123"));
+        assert!(re(r"^[a\-z]$").is_match("-"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d+").is_match("year 2015"));
+        assert!(!re(r"^\d+$").is_match("20a15"));
+        assert!(re(r"\w+").is_match("hello"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(re(r"\.").is_match("a.b"));
+        assert!(!re(r"^\.$").is_match("x"));
+        assert!(re(r"\S+").is_match("abc"));
+        assert!(re(r"\W").is_match("a!b"));
+        assert!(re(r"\D").is_match("a1"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(re("^(cat|dog)$").is_match("dog"));
+        assert!(!re("^(cat|dog)$").is_match("cow"));
+        assert!(re("^a(b|c)*d$").is_match("abcbcd"));
+        assert!(re("gr(a|e)y").is_match("grey"));
+    }
+
+    #[test]
+    fn paper_ordinal_pattern() {
+        let ordinal = re(r"^[0-9]+(th|st|nd|rd)$");
+        assert!(ordinal.is_match("44th"));
+        assert!(ordinal.is_match("1st"));
+        assert!(ordinal.is_match("2nd"));
+        assert!(ordinal.is_match("3rd"));
+        assert!(!ordinal.is_match("44"));
+        assert!(!ordinal.is_match("th"));
+    }
+
+    #[test]
+    fn find_returns_leftmost() {
+        let m = re("o+").find("foo boo").expect("match");
+        assert_eq!((m.start, m.end), (1, 3));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let ms = re("a+").find_all("aa b aaa a");
+        assert_eq!(ms.len(), 3);
+        assert_eq!((ms[0].start, ms[0].end), (0, 2));
+        assert_eq!((ms[1].start, ms[1].end), (5, 8));
+        assert_eq!((ms[2].start, ms[2].end), (9, 10));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(re("").is_match(""));
+        assert!(re("").is_match("abc"));
+        assert_eq!(re("a*").count_matches("bbb"), 4); // empty match at each gap
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new(r"a\").is_err());
+        assert!(Regex::new("a{3,2}").is_err());
+        assert!(Regex::new("a{x}").is_err());
+        assert!(Regex::new("^*").is_err());
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(re("^..$").is_match("日本"));
+        assert!(re("本").is_match("日本語"));
+    }
+
+    #[test]
+    fn builtin_question_patterns_compile_and_hit() {
+        let pats = question_patterns();
+        assert!(pats[0].is_match("who"));
+        assert!(pats[1].is_match("44th"));
+        assert!(pats[4].is_match("was"));
+    }
+
+    #[test]
+    fn display_round_trips_pattern() {
+        let r = re("^a(b|c)*d$");
+        assert_eq!(r.to_string(), "^a(b|c)*d$");
+        assert_eq!(r.pattern(), "^a(b|c)*d$");
+    }
+}

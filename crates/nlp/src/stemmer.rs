@@ -1,0 +1,416 @@
+//! Porter stemming algorithm (Porter, 1980), implemented from the original
+//! paper's step description.
+//!
+//! This is one of the three hot QA components the paper extracts into Sirius
+//! Suite (Table 4: "Porter Stemming (Stemmer), baseline Porter, input 4M word
+//! list, data granularity: each individual word"). The FPGA port discussion
+//! (Section 4.3.4) revolves around the mutual exclusivity of the suffix test
+//! conditions in these steps; the structure below mirrors those six steps.
+
+/// Stems a single lowercase English word, returning the stemmed form.
+///
+/// Words of length <= 2 are returned unchanged, as in the reference
+/// implementation. Input is expected to be lowercase ASCII; other characters
+/// pass through untouched.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sirius_nlp::stemmer::stem("caresses"), "caress");
+/// assert_eq!(sirius_nlp::stemmer::stem("ponies"), "poni");
+/// assert_eq!(sirius_nlp::stemmer::stem("relational"), "relat");
+/// ```
+pub fn stem(word: &str) -> String {
+    let mut s = Stemmer::new(word);
+    s.run();
+    s.into_string()
+}
+
+/// Stems every word in a slice; the unit of parallelism used by the Sirius
+/// Suite stemmer kernel ("for each individual word").
+pub fn stem_all(words: &[String]) -> Vec<String> {
+    words.iter().map(|w| stem(w)).collect()
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// End of the string (exclusive) — the "k" pointer of the reference code.
+    k: usize,
+}
+
+impl Stemmer {
+    fn new(word: &str) -> Self {
+        let b: Vec<u8> = word.bytes().collect();
+        let k = b.len();
+        Self { b, k }
+    }
+
+    fn into_string(mut self) -> String {
+        self.b.truncate(self.k);
+        String::from_utf8(self.b).unwrap_or_default()
+    }
+
+    fn run(&mut self) {
+        if self.k <= 2 {
+            return;
+        }
+        self.step1ab();
+        self.step1c();
+        self.step2();
+        self.step3();
+        self.step4();
+        self.step5();
+    }
+
+    /// True if b[i] is a consonant.
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Measure of the stem b[0..j]: the number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < j && self.cons(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < j && !self.cons(i) {
+                i += 1;
+            }
+            if i >= j {
+                return n;
+            }
+            // Skip consonants — one full VC observed.
+            while i < j && self.cons(i) {
+                i += 1;
+            }
+            n += 1;
+            if i >= j {
+                return n;
+            }
+        }
+    }
+
+    /// True if b[0..j] contains a vowel.
+    fn vowel_in_stem(&self, j: usize) -> bool {
+        (0..j).any(|i| !self.cons(i))
+    }
+
+    /// True if b[i-1..=i] is a double consonant.
+    fn double_cons(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// True if b[i-2..=i] is consonant-vowel-consonant and the final
+    /// consonant is not w, x or y — the "cvc" test used to restore an 'e'.
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// True if the word currently ends with `suffix`; if so, `j` is set so
+    /// that b[0..j] is the stem.
+    fn ends(&self, suffix: &str) -> Option<usize> {
+        let s = suffix.as_bytes();
+        if s.len() > self.k {
+            return None;
+        }
+        let j = self.k - s.len();
+        if &self.b[j..self.k] == s {
+            Some(j)
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the current suffix (stem ends at `j`) with `to`.
+    fn set_to(&mut self, j: usize, to: &str) {
+        self.b.truncate(j);
+        self.b.extend_from_slice(to.as_bytes());
+        self.k = self.b.len();
+    }
+
+    /// If the stem measure at `j` is > 0, replace the suffix with `to`.
+    fn replace_if_m0(&mut self, j: usize, to: &str) {
+        if self.measure(j) > 0 {
+            self.set_to(j, to);
+        }
+    }
+
+    /// Step 1a: plurals. caresses->caress, ponies->poni, cats->cat.
+    /// Step 1b: -ed/-ing. agreed->agree, plastered->plaster, motoring->motor.
+    fn step1ab(&mut self) {
+        if self.b.get(self.k.wrapping_sub(1)) == Some(&b's') {
+            if let Some(j) = self.ends("sses") {
+                self.set_to(j, "ss");
+            } else if let Some(j) = self.ends("ies") {
+                self.set_to(j, "i");
+            } else if self.k >= 2 && self.b[self.k - 2] != b's' {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        }
+        if let Some(j) = self.ends("eed") {
+            if self.measure(j) > 0 {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        } else {
+            let j = self
+                .ends("ed")
+                .filter(|&j| self.vowel_in_stem(j))
+                .or_else(|| self.ends("ing").filter(|&j| self.vowel_in_stem(j)));
+            if let Some(j) = j {
+                self.set_to(j, "");
+                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some()
+                {
+                    self.b.push(b'e');
+                    self.k += 1;
+                } else if self.k >= 1 && self.double_cons(self.k - 1) {
+                    let last = self.b[self.k - 1];
+                    if !matches!(last, b'l' | b's' | b'z') {
+                        self.k -= 1;
+                        self.b.truncate(self.k);
+                    }
+                } else if self.measure(self.k) == 1 && self.k >= 1 && self.cvc(self.k - 1) {
+                    self.b.push(b'e');
+                    self.k += 1;
+                }
+            }
+        }
+    }
+
+    /// Step 1c: turn terminal y to i when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if let Some(j) = self.ends("y") {
+            if self.vowel_in_stem(j) {
+                self.b[self.k - 1] = b'i';
+            }
+        }
+    }
+
+    /// Step 2: double suffixes to single ones, when measure > 0.
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (from, to) in RULES {
+            if let Some(j) = self.ends(from) {
+                self.replace_if_m0(j, to);
+                return;
+            }
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc.
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (from, to) in RULES {
+            if let Some(j) = self.ends(from) {
+                self.replace_if_m0(j, to);
+                return;
+            }
+        }
+    }
+
+    /// Step 4: strip -ant, -ence etc. when measure > 1.
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suffix in SUFFIXES {
+            if let Some(j) = self.ends(suffix) {
+                // "-ion" requires a preceding s or t; handled separately below.
+                if self.measure(j) > 1 {
+                    self.set_to(j, "");
+                }
+                return;
+            }
+        }
+        if let Some(j) = self.ends("ion") {
+            if j >= 1 && matches!(self.b[j - 1], b's' | b't') && self.measure(j) > 1 {
+                self.set_to(j, "");
+            }
+        }
+    }
+
+    /// Step 5: remove final -e when measure > 1 and tidy -ll.
+    fn step5(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        if self.b[self.k - 1] == b'e' {
+            let j = self.k - 1;
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !(j >= 1 && self.cvc(j - 1))) {
+                self.k = j;
+                self.b.truncate(self.k);
+            }
+        }
+        if self.k >= 1 && self.b[self.k - 1] == b'l' && self.double_cons(self.k - 1) && self.measure(self.k) > 1
+        {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's paper and the canonical test vocabulary.
+    #[test]
+    fn canonical_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem(""), "");
+    }
+
+    #[test]
+    fn stem_all_matches_individual() {
+        let words = vec!["running".to_owned(), "capitals".to_owned()];
+        assert_eq!(stem_all(&words), vec!["run", "capit"]);
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["running", "relational", "ponies", "hopefulness", "elected"] {
+            let once = stem(w);
+            let twice = stem(&once);
+            // Porter is not idempotent in general, but is on this set; this
+            // guards against accidental over-stripping.
+            assert_eq!(once, twice, "word {w}");
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Synthetic fact corpus generation.
+//!
+//! The original Sirius issues OpenEphyra's generated queries against live web
+//! search. That substrate is not reproducible offline, so we generate a
+//! web-like corpus of documents around a closed set of *facts* (capitals,
+//! authors, presidents, locations, landmark opening hours). Each fact is
+//! rendered through several sentence templates, embedded in documents padded
+//! with filler prose and distractor sentences, which gives the QA document
+//! filters realistic, query-dependent hit counts (paper Figure 8c).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The relation a fact expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactKind {
+    /// `subject` country has `answer` capital city.
+    CapitalOf,
+    /// `subject` work was written by `answer`.
+    AuthorOf,
+    /// `subject` (e.g. "44th president of the United States") is `answer`.
+    PresidentOrdinal,
+    /// `subject` place is located in `answer` region.
+    LocationOf,
+    /// `subject` venue closes at `answer` (time), used by voice-image queries.
+    ClosingTime,
+}
+
+impl FactKind {
+    /// All fact kinds, in a stable order.
+    pub const ALL: [FactKind; 5] = [
+        FactKind::CapitalOf,
+        FactKind::AuthorOf,
+        FactKind::PresidentOrdinal,
+        FactKind::LocationOf,
+        FactKind::ClosingTime,
+    ];
+}
+
+/// A ground-truth fact in the knowledge base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// Relation kind.
+    pub kind: FactKind,
+    /// Subject entity, e.g. `"Italy"`.
+    pub subject: String,
+    /// Answer entity, e.g. `"Rome"`.
+    pub answer: String,
+}
+
+impl Fact {
+    fn new(kind: FactKind, subject: &str, answer: &str) -> Self {
+        Self {
+            kind,
+            subject: subject.to_owned(),
+            answer: answer.to_owned(),
+        }
+    }
+
+    /// Renders this fact as a declarative sentence, choosing among several
+    /// templates with `variant` (wraps around).
+    pub fn render(&self, variant: usize) -> String {
+        let s = &self.subject;
+        let a = &self.answer;
+        let templates: Vec<String> = match self.kind {
+            FactKind::CapitalOf => vec![
+                format!("{a} is the capital of {s}."),
+                format!("The capital city of {s} is {a}."),
+                format!("{s} has its capital at {a}, a city of great history."),
+            ],
+            FactKind::AuthorOf => vec![
+                format!("{a} is the author of {s}."),
+                format!("{s} was written by {a}."),
+                format!("The celebrated series {s} comes from the pen of {a}."),
+            ],
+            FactKind::PresidentOrdinal => vec![
+                format!("{a} was elected {s}."),
+                format!("The {s} is {a}."),
+                format!("{a} served as the {s}."),
+            ],
+            FactKind::LocationOf => vec![
+                format!("{s} is located in {a}."),
+                format!("{s} lies in {a}."),
+                format!("You will find {s} in {a}."),
+            ],
+            FactKind::ClosingTime => vec![
+                format!("{s} closes at {a}."),
+                format!("The closing time of {s} is {a}."),
+                format!("{s} is open until {a} every day."),
+            ],
+        };
+        templates[variant % templates.len()].clone()
+    }
+}
+
+/// Built-in knowledge base shared by the corpus and the end-to-end query set.
+///
+/// Kept deliberately aligned with the paper's voice-query input set
+/// (Table 2: "Where is Las Vegas?", "What is the capital of Italy?",
+/// "Who is the author of Harry Potter?", ...).
+pub fn knowledge_base() -> Vec<Fact> {
+    use FactKind::*;
+    vec![
+        Fact::new(CapitalOf, "Italy", "Rome"),
+        Fact::new(CapitalOf, "Cuba", "Havana"),
+        Fact::new(CapitalOf, "France", "Paris"),
+        Fact::new(CapitalOf, "Japan", "Tokyo"),
+        Fact::new(CapitalOf, "Canada", "Ottawa"),
+        Fact::new(CapitalOf, "Australia", "Canberra"),
+        Fact::new(CapitalOf, "Egypt", "Cairo"),
+        Fact::new(CapitalOf, "Brazil", "Brasilia"),
+        Fact::new(AuthorOf, "Harry Potter", "Joanne Rowling"),
+        Fact::new(AuthorOf, "War and Peace", "Leo Tolstoy"),
+        Fact::new(AuthorOf, "The Odyssey", "Homer"),
+        Fact::new(AuthorOf, "Hamlet", "William Shakespeare"),
+        Fact::new(
+            PresidentOrdinal,
+            "44th president of the United States",
+            "Barack Obama",
+        ),
+        Fact::new(
+            PresidentOrdinal,
+            "first president of the United States",
+            "George Washington",
+        ),
+        Fact::new(
+            PresidentOrdinal,
+            "16th president of the United States",
+            "Abraham Lincoln",
+        ),
+        Fact::new(LocationOf, "Las Vegas", "Nevada"),
+        Fact::new(LocationOf, "the Eiffel Tower", "Paris"),
+        Fact::new(LocationOf, "Mount Fuji", "Japan"),
+        Fact::new(LocationOf, "the Grand Canyon", "Arizona"),
+        Fact::new(ClosingTime, "Luigi Trattoria", "10 pm"),
+        Fact::new(ClosingTime, "Sakura Sushi House", "11 pm"),
+        Fact::new(ClosingTime, "Blue Bottle Cafe", "6 pm"),
+        Fact::new(ClosingTime, "Golden Gate Diner", "midnight"),
+        Fact::new(ClosingTime, "Crown Books", "9 pm"),
+        Fact::new(ClosingTime, "Harbor Grill", "10 pm"),
+        Fact::new(ClosingTime, "Maple Leaf Bakery", "5 pm"),
+        Fact::new(ClosingTime, "Casa Verde Cantina", "11 pm"),
+        Fact::new(ClosingTime, "Union Square Market", "8 pm"),
+        Fact::new(ClosingTime, "Riverside Tea House", "7 pm"),
+    ]
+}
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// How many documents to generate per fact (each uses different
+    /// templates and filler, like independent web pages).
+    pub docs_per_fact: usize,
+    /// Pure-filler distractor documents containing no fact.
+    pub filler_docs: usize,
+    /// Filler sentences padded around each fact sentence.
+    pub filler_sentences_per_doc: usize,
+    /// Probability that a document also embeds one unrelated fact, creating
+    /// cross-talk for the document filters.
+    pub distractor_fact_prob: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            docs_per_fact: 4,
+            filler_docs: 60,
+            filler_sentences_per_doc: 12,
+            distractor_fact_prob: 0.35,
+        }
+    }
+}
+
+/// A generated document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Full document text.
+    pub text: String,
+    /// Index into the knowledge base of the primary fact, if any.
+    pub fact: Option<usize>,
+}
+
+/// A procedurally generated web-like corpus over the built-in knowledge base.
+#[derive(Debug, Clone)]
+pub struct FactCorpus {
+    facts: Vec<Fact>,
+    documents: Vec<Document>,
+}
+
+const FILLER_SUBJECTS: &[&str] = &[
+    "the committee",
+    "a recent study",
+    "the local museum",
+    "this weekend's festival",
+    "the city council",
+    "an early review",
+    "the research group",
+    "a visiting scholar",
+    "the weather service",
+    "the transit authority",
+];
+
+const FILLER_VERBS: &[&str] = &[
+    "announced",
+    "considered",
+    "reviewed",
+    "discussed",
+    "postponed",
+    "celebrated",
+    "documented",
+    "measured",
+    "described",
+    "questioned",
+];
+
+const FILLER_OBJECTS: &[&str] = &[
+    "a new exhibition downtown",
+    "the seasonal schedule",
+    "several community projects",
+    "the annual budget report",
+    "an unusual pattern in the data",
+    "the renovation of the old library",
+    "a series of public lectures",
+    "changes to the evening program",
+    "the history of the region",
+    "an archive of old photographs",
+];
+
+fn filler_sentence(rng: &mut impl Rng) -> String {
+    let s = FILLER_SUBJECTS.choose(rng).expect("non-empty");
+    let v = FILLER_VERBS.choose(rng).expect("non-empty");
+    let o = FILLER_OBJECTS.choose(rng).expect("non-empty");
+    let mut sentence = format!("{s} {v} {o}.");
+    // Capitalize first letter for document realism.
+    if let Some(first) = sentence.get_mut(0..1) {
+        let upper = first.to_uppercase();
+        sentence.replace_range(0..1, &upper);
+    }
+    sentence
+}
+
+impl FactCorpus {
+    /// Generates a corpus with the built-in knowledge base.
+    pub fn generate(seed: u64, config: CorpusConfig) -> Self {
+        Self::generate_with_facts(seed, config, knowledge_base())
+    }
+
+    /// Generates a corpus over caller-provided facts.
+    pub fn generate_with_facts(seed: u64, config: CorpusConfig, facts: Vec<Fact>) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut documents = Vec::new();
+        for (fi, fact) in facts.iter().enumerate() {
+            for variant in 0..config.docs_per_fact {
+                let mut sentences: Vec<String> = (0..config.filler_sentences_per_doc)
+                    .map(|_| filler_sentence(&mut rng))
+                    .collect();
+                let insert_at = rng.gen_range(0..=sentences.len());
+                sentences.insert(insert_at, fact.render(variant));
+                if rng.gen_bool(config.distractor_fact_prob) && facts.len() > 1 {
+                    let mut other = rng.gen_range(0..facts.len());
+                    if other == fi {
+                        other = (other + 1) % facts.len();
+                    }
+                    let at = rng.gen_range(0..=sentences.len());
+                    sentences.insert(at, facts[other].render(rng.gen_range(0..3)));
+                }
+                documents.push(Document {
+                    text: sentences.join(" "),
+                    fact: Some(fi),
+                });
+            }
+        }
+        for _ in 0..config.filler_docs {
+            let sentences: Vec<String> = (0..config.filler_sentences_per_doc)
+                .map(|_| filler_sentence(&mut rng))
+                .collect();
+            documents.push(Document {
+                text: sentences.join(" "),
+                fact: None,
+            });
+        }
+        documents.shuffle(&mut rng);
+        Self { facts, documents }
+    }
+
+    /// The knowledge base this corpus was generated from.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// All generated documents.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Looks up the ground-truth answer for `(kind, subject)`, if present.
+    pub fn answer_for(&self, kind: FactKind, subject: &str) -> Option<&str> {
+        self.facts
+            .iter()
+            .find(|f| f.kind == kind && f.subject.eq_ignore_ascii_case(subject))
+            .map(|f| f.answer.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FactCorpus::generate(7, CorpusConfig::default());
+        let b = FactCorpus::generate(7, CorpusConfig::default());
+        assert_eq!(a.documents(), b.documents());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FactCorpus::generate(1, CorpusConfig::default());
+        let b = FactCorpus::generate(2, CorpusConfig::default());
+        assert_ne!(a.documents(), b.documents());
+    }
+
+    #[test]
+    fn every_fact_has_documents() {
+        let cfg = CorpusConfig::default();
+        let corpus = FactCorpus::generate(3, cfg);
+        for fi in 0..corpus.facts().len() {
+            let n = corpus
+                .documents()
+                .iter()
+                .filter(|d| d.fact == Some(fi))
+                .count();
+            assert_eq!(n, cfg.docs_per_fact, "fact {fi} underrepresented");
+        }
+    }
+
+    #[test]
+    fn answers_are_retrievable() {
+        let corpus = FactCorpus::generate(3, CorpusConfig::default());
+        assert_eq!(corpus.answer_for(FactKind::CapitalOf, "italy"), Some("Rome"));
+        assert_eq!(
+            corpus.answer_for(FactKind::AuthorOf, "Harry Potter"),
+            Some("Joanne Rowling")
+        );
+        assert_eq!(corpus.answer_for(FactKind::CapitalOf, "atlantis"), None);
+    }
+
+    #[test]
+    fn fact_sentences_appear_in_documents() {
+        let corpus = FactCorpus::generate(5, CorpusConfig::default());
+        let rome_docs = corpus
+            .documents()
+            .iter()
+            .filter(|d| d.text.contains("Rome"))
+            .count();
+        assert!(rome_docs >= CorpusConfig::default().docs_per_fact);
+    }
+
+    #[test]
+    fn render_variants_cycle() {
+        let fact = Fact::new(FactKind::CapitalOf, "Italy", "Rome");
+        assert_eq!(fact.render(0), fact.render(3));
+        assert_ne!(fact.render(0), fact.render(1));
+    }
+}

@@ -1,0 +1,266 @@
+//! Inverted index with BM25 ranking.
+//!
+//! This is the Nutch/Lucene stand-in used by the scalability-gap experiment
+//! (paper Figure 7a: a web-search query averages ~91 ms vs ~15 s for Sirius)
+//! and by the OpenEphyra-style QA engine for document retrieval.
+
+use std::collections::HashMap;
+
+use crate::tokenize;
+
+/// Identifier of an indexed document (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc{}", self.0)
+    }
+}
+
+/// One posting: a document and the term frequency within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posting {
+    doc: DocId,
+    term_freq: u32,
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Matching document.
+    pub doc: DocId,
+    /// BM25 relevance score (higher is better).
+    pub score: f64,
+}
+
+/// BM25 ranking parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`), typically 1.2–2.0.
+    pub k1: f64,
+    /// Length normalization (`b`), 0 = none, 1 = full.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// An inverted index over a set of documents with BM25 scoring.
+///
+/// Build with [`InvertedIndex::add_document`] then call
+/// [`InvertedIndex::finalize`] before searching.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    documents: Vec<String>,
+    doc_lengths: Vec<u32>,
+    avg_doc_len: f64,
+    params: Bm25Params,
+    finalized: bool,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index with default BM25 parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty index with explicit BM25 parameters.
+    pub fn with_params(params: Bm25Params) -> Self {
+        Self {
+            params,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a document and returns its id.
+    pub fn add_document(&mut self, text: &str) -> DocId {
+        let id = DocId(self.documents.len() as u32);
+        let tokens = tokenize::tokenize(text);
+        self.doc_lengths.push(tokens.len() as u32);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (term, term_freq) in tf {
+            self.postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc: id, term_freq });
+        }
+        self.documents.push(text.to_owned());
+        self.finalized = false;
+        id
+    }
+
+    /// Computes collection statistics. Must be called after the last
+    /// [`add_document`](Self::add_document) and before [`search`](Self::search).
+    pub fn finalize(&mut self) {
+        let total: u64 = self.doc_lengths.iter().map(|&l| u64::from(l)).sum();
+        self.avg_doc_len = if self.documents.is_empty() {
+            0.0
+        } else {
+            total as f64 / self.documents.len() as f64
+        };
+        for postings in self.postings.values_mut() {
+            postings.sort_by_key(|p| p.doc);
+        }
+        self.finalized = true;
+    }
+
+    /// Number of indexed documents.
+    pub fn num_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of distinct terms in the index.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Returns the original text of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn document(&self, id: DocId) -> &str {
+        &self.documents[id.0 as usize]
+    }
+
+    /// Document frequency of `term` (number of documents containing it).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, Vec::len)
+    }
+
+    /// BM25 inverse document frequency of `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_documents() as f64;
+        let df = self.doc_freq(term) as f64;
+        // BM25+ style floor keeps idf positive for very common terms.
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Runs a BM25-ranked search and returns up to `k` hits, best first.
+    ///
+    /// Stop words are removed from the query; documents keep them so that the
+    /// QA document filters can still match phrases.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if [`finalize`](Self::finalize) was not called
+    /// after the last document insertion.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        debug_assert!(
+            self.finalized || self.documents.is_empty(),
+            "InvertedIndex::search called before finalize()"
+        );
+        let mut terms = tokenize::content_tokens(query);
+        if terms.is_empty() {
+            // Pure stop-word query: fall back to raw tokens so "who is it"
+            // still retrieves something rather than nothing.
+            terms = tokenize::tokenize(query);
+        }
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for term in &terms {
+            let Some(postings) = self.postings.get(term) else {
+                continue;
+            };
+            let idf = self.idf(term);
+            for p in postings {
+                let dl = f64::from(self.doc_lengths[p.doc.0 as usize]);
+                let tf = f64::from(p.term_freq);
+                let denom = tf
+                    + self.params.k1
+                        * (1.0 - self.params.b + self.params.b * dl / self.avg_doc_len.max(1.0));
+                let contrib = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(p.doc).or_insert(0.0) += contrib;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("the quick brown fox jumps over the lazy dog");
+        idx.add_document("a quick reference to rust programming");
+        idx.add_document("the dog barks at the brown cat");
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn search_ranks_more_relevant_first() {
+        let idx = small_index();
+        let hits = idx.search("brown dog", 3);
+        // Both doc0 and doc2 contain "brown" and "dog"; doc2 is shorter, so
+        // BM25 length normalization ranks it first. doc1 contains neither.
+        assert_eq!(hits[0].doc, DocId(2));
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn doc_freq_and_idf() {
+        let idx = small_index();
+        assert_eq!(idx.doc_freq("quick"), 2);
+        assert_eq!(idx.doc_freq("rust"), 1);
+        assert_eq!(idx.doc_freq("zebra"), 0);
+        assert!(idx.idf("rust") > idx.idf("quick"));
+        assert!(idx.idf("the") > 0.0, "idf stays positive for common terms");
+    }
+
+    #[test]
+    fn search_respects_k() {
+        let idx = small_index();
+        let hits = idx.search("the", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn stop_word_only_query_still_matches() {
+        let idx = small_index();
+        assert!(!idx.search("the", 3).is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_return_empty() {
+        let idx = small_index();
+        assert!(idx.search("xylophone quartz", 5).is_empty());
+    }
+
+    #[test]
+    fn term_frequency_boosts_score() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("rust rust rust rust");
+        idx.add_document("rust and other topics");
+        idx.finalize();
+        let hits = idx.search("rust", 2);
+        assert_eq!(hits[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn num_terms_counts_vocabulary() {
+        let idx = small_index();
+        assert!(idx.num_terms() >= 10);
+    }
+}

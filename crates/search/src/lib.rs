@@ -1,0 +1,147 @@
+//! # sirius-search
+//!
+//! An in-memory web-search substrate standing in for Apache Nutch in the
+//! Sirius reproduction (Hauswald et al., ASPLOS 2015).
+//!
+//! The paper compares the computational demand of an average Sirius IPA query
+//! against a traditional browser-based web-search query served by Apache
+//! Nutch (Section 3, Figure 7a). This crate provides:
+//!
+//! * a [`tokenize`] module with the shared tokenizer,
+//! * an [`index`] module implementing an inverted index with BM25 ranking,
+//! * a [`corpus`] module that procedurally generates a *fact corpus*: web-like
+//!   documents containing facts ("Rome is the capital of Italy") padded with
+//!   filler prose, so that the question-answering pipeline in `sirius-nlp`
+//!   has a realistic document collection to retrieve from and filter.
+//!
+//! # Example
+//!
+//! ```
+//! use sirius_search::{corpus::FactCorpus, SearchEngine};
+//!
+//! let corpus = FactCorpus::generate(42, Default::default());
+//! let engine = SearchEngine::build(corpus.documents().iter().map(|d| d.text.as_str()));
+//! let hits = engine.search("capital of Italy", 5);
+//! assert!(!hits.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod index;
+pub mod tokenize;
+
+pub use corpus::{CorpusConfig, Fact, FactCorpus, FactKind};
+pub use index::{DocId, InvertedIndex, SearchHit};
+
+/// A ready-to-query search engine over a document collection.
+///
+/// This is the "web search" that both the scalability-gap experiment
+/// (Figure 7a) and the OpenEphyra-style QA pipeline issue queries against.
+#[derive(Debug)]
+pub struct SearchEngine {
+    index: InvertedIndex,
+}
+
+impl SearchEngine {
+    /// Builds a search engine by indexing every document in `docs`.
+    pub fn build<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut index = InvertedIndex::new();
+        for doc in docs {
+            index.add_document(doc);
+        }
+        index.finalize();
+        Self { index }
+    }
+
+    /// Runs a free-text query and returns up to `k` ranked hits.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.index.search(query, k)
+    }
+
+    /// Returns the indexed document text for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this engine.
+    pub fn document(&self, id: DocId) -> &str {
+        self.index.document(id)
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.index.num_documents()
+    }
+
+    /// Whether the engine contains no documents.
+    pub fn is_empty(&self) -> bool {
+        self.index.num_documents() == 0
+    }
+
+    /// Access to the underlying inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Serializes the engine (the document collection; the inverted index
+    /// is rebuilt on load).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = sirius_codec::Encoder::new();
+        e.tag("sirius_search_v1");
+        let docs: Vec<&str> = (0..self.index.num_documents())
+            .map(|i| self.index.document(DocId(i as u32)))
+            .collect();
+        e.str_slice(&docs);
+        e.into_bytes()
+    }
+
+    /// Restores an engine saved with [`SearchEngine::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
+        let mut d = sirius_codec::Decoder::new(bytes);
+        d.tag("sirius_search_v1")?;
+        let docs = d.str_vec()?;
+        d.finish()?;
+        Ok(Self::build(docs.iter().map(String::as_str)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_finds_relevant_document() {
+        let engine = SearchEngine::build([
+            "Rome is the capital of Italy",
+            "Paris is the capital of France",
+            "The mitochondria is the powerhouse of the cell",
+        ]);
+        let hits = engine.search("capital Italy", 2);
+        assert_eq!(hits[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn persistence_round_trips_search_results() {
+        let engine = SearchEngine::build(["Rome is the capital of Italy", "filler text here"]);
+        let restored = SearchEngine::from_bytes(&engine.to_bytes()).expect("decode");
+        assert_eq!(restored.len(), engine.len());
+        assert_eq!(
+            restored.search("capital italy", 2),
+            engine.search("capital italy", 2)
+        );
+    }
+
+    #[test]
+    fn empty_engine_is_empty() {
+        let engine = SearchEngine::build(std::iter::empty::<&str>());
+        assert!(engine.is_empty());
+        assert!(engine.search("anything", 3).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Tokenization shared by the search index and the QA pipeline.
+//!
+//! The tokenizer lowercases input and splits on any non-alphanumeric
+//! character, mirroring the simple analyzers used by Apache Nutch/Lucene
+//! `StandardTokenizer` for English web text.
+
+/// A token together with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased token text.
+    pub text: String,
+    /// Byte offset of the token start in the original string.
+    pub offset: usize,
+    /// Position of the token in the token stream (0-based).
+    pub position: usize,
+}
+
+/// Splits `text` into lowercase alphanumeric tokens.
+///
+/// # Example
+///
+/// ```
+/// let toks = sirius_search::tokenize::tokenize("Who was elected 44th president?");
+/// assert_eq!(toks, vec!["who", "was", "elected", "44th", "president"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_with_offsets(text)
+        .into_iter()
+        .map(|t| t.text)
+        .collect()
+}
+
+/// Splits `text` into tokens, retaining byte offsets and stream positions.
+pub fn tokenize_with_offsets(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    let push = |tokens: &mut Vec<Token>, start: usize, end: usize| {
+        let text: String = text[start..end]
+            .chars()
+            .flat_map(char::to_lowercase)
+            .collect();
+        let position = tokens.len();
+        tokens.push(Token {
+            text,
+            offset: start,
+            position,
+        });
+    };
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            push(&mut tokens, s, i);
+        }
+    }
+    if let Some(s) = start {
+        push(&mut tokens, s, text.len());
+    }
+    tokens
+}
+
+/// English stop words filtered out of search queries (but *not* of indexed
+/// documents, so phrase filters in the QA pipeline can still see them).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "that", "the", "to", "was", "were", "will", "with", "who", "what", "when",
+    "where", "which", "how", "why",
+];
+
+/// Returns `true` if `word` (already lowercased) is an English stop word.
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.contains(&word)
+}
+
+/// Tokenizes and removes stop words; used for building search queries.
+pub fn content_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stop_word(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn tokenize_numbers_and_mixed() {
+        assert_eq!(tokenize("44th president (2008)"), vec!["44th", "president", "2008"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!., --").is_empty());
+    }
+
+    #[test]
+    fn offsets_point_at_sources() {
+        let toks = tokenize_with_offsets("ab  cd");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+        assert_eq!(toks[1].position, 1);
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let toks = tokenize("Zürich café");
+        assert_eq!(toks, vec!["zürich", "café"]);
+    }
+
+    #[test]
+    fn content_tokens_drop_stop_words() {
+        assert_eq!(
+            content_tokens("What is the capital of Italy?"),
+            vec!["capital", "italy"]
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! End-to-end automatic speech recognition: model training and recognition.
+//!
+//! [`AsrSystem::train`] builds the full "Trained Data" box of the paper's
+//! Figure 4 — pronunciation dictionary, bigram language model, per-state GMM
+//! acoustic model and hybrid DNN acoustic model — from a text corpus, using
+//! synthesized speech (see [`crate::synth`]) with ground-truth alignments.
+//! [`AsrSystem::recognize`] runs the front-end, acoustic scoring and Viterbi
+//! search, reporting per-stage timing so the end-to-end pipeline can
+//! reproduce the paper's ASR cycle breakdown (Figure 9: scoring dominates).
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dnn::{Dnn, DnnTrainConfig};
+use crate::features::{Frontend, FEATURE_DIM, FRAME_HOP, FRAME_LEN};
+use crate::gmm::Gmm;
+use crate::hmm::{AcousticScorer, Decoder, DecoderConfig, DnnScorer, GmmScorer};
+use crate::lexicon::{Lexicon, NUM_STATES, STATES_PER_PHONE};
+use crate::lm::BigramLm;
+use crate::synth::{SynthConfig, Synthesizer, Utterance};
+
+/// Which acoustic model scores emissions (paper: GMM/HMM vs DNN/HMM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcousticModelKind {
+    /// Gaussian mixture scoring (CMU Sphinx style).
+    Gmm,
+    /// Hybrid deep-neural-network scoring (Kaldi / RWTH RASR style).
+    Dnn,
+}
+
+impl std::fmt::Display for AcousticModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcousticModelKind::Gmm => f.write_str("GMM"),
+            AcousticModelKind::Dnn => f.write_str("DNN"),
+        }
+    }
+}
+
+/// Training hyper-parameters for [`AsrSystem::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsrTrainConfig {
+    /// How many times each vocabulary word is synthesized for training.
+    pub reps: usize,
+    /// GMM mixture components per tied state.
+    pub gmm_components: usize,
+    /// EM iterations after k-means initialization.
+    pub em_iters: usize,
+    /// Hidden layer width of the DNN.
+    pub dnn_hidden: usize,
+    /// DNN training epochs.
+    pub dnn_epochs: usize,
+    /// Cap on labeled frames used for DNN training.
+    pub dnn_frame_cap: usize,
+    /// Context frames on each side for the DNN input window.
+    pub dnn_context: usize,
+}
+
+impl Default for AsrTrainConfig {
+    fn default() -> Self {
+        Self {
+            reps: 4,
+            gmm_components: 8,
+            em_iters: 2,
+            dnn_hidden: 96,
+            dnn_epochs: 6,
+            dnn_frame_cap: 12_000,
+            dnn_context: 1,
+        }
+    }
+}
+
+/// Per-stage timing of one recognition call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AsrTiming {
+    /// MFCC front-end time.
+    pub feature_extraction: Duration,
+    /// Acoustic scoring time (GMM or DNN — the paper's dominant component).
+    pub scoring: Duration,
+    /// Viterbi search time (HMM).
+    pub search: Duration,
+    /// Total recognition wall-clock.
+    pub total: Duration,
+}
+
+/// The output of a recognition call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsrOutput {
+    /// Recognized text (space-joined normalized words).
+    pub text: String,
+    /// Per-stage timing.
+    pub timing: AsrTiming,
+    /// Number of acoustic frames processed.
+    pub frames: usize,
+    /// Search effort (tokens expanded).
+    pub tokens_expanded: usize,
+    /// Confidence in `[0, 1]` from the Viterbi margin (1.0 when no
+    /// competing hypothesis survived).
+    pub confidence: f32,
+}
+
+/// A trained speech recognizer with both GMM and DNN acoustic models.
+#[derive(Debug, Clone)]
+pub struct AsrSystem {
+    frontend: Frontend,
+    lexicon: Lexicon,
+    lm: BigramLm,
+    decoder: Decoder,
+    gmm: GmmScorer,
+    dnn: DnnScorer,
+}
+
+impl AsrSystem {
+    /// Trains all models from a closed-vocabulary text corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `texts` is empty or yields an empty vocabulary.
+    pub fn train(texts: &[&str], seed: u64, config: AsrTrainConfig) -> Self {
+        assert!(!texts.is_empty(), "training corpus must be non-empty");
+        let lexicon = Lexicon::from_texts(texts.iter().copied());
+        assert!(!lexicon.is_empty(), "no pronounceable vocabulary");
+        let lm = BigramLm::train(texts.iter().copied(), &lexicon);
+        let frontend = Frontend::default();
+
+        // Synthesize isolated-word training data with known alignments.
+        let mut synth = Synthesizer::new(seed, SynthConfig::default());
+        let mut state_frames: Vec<Vec<Vec<f32>>> = vec![Vec::new(); NUM_STATES];
+        let mut labeled: Vec<(Vec<f32>, usize)> = Vec::new();
+        for (_, word, _) in lexicon.iter() {
+            for _ in 0..config.reps {
+                let utt = synth.say(word);
+                let feats = frontend.extract(&utt.samples);
+                for (t, feat) in feats.iter().enumerate() {
+                    if let Some(state) = frame_state(&utt, t) {
+                        state_frames[state].push(feat.clone());
+                    }
+                }
+                // DNN training examples need context windows; build below
+                // from the same utterances to keep labels aligned.
+                let windows = build_context_examples(&utt, &feats, config.dnn_context);
+                labeled.extend(windows);
+            }
+        }
+
+        // GMM per tied state, with a global fallback for unseen states.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x517a_11ce);
+        let all_frames: Vec<Vec<f32>> = state_frames.iter().flatten().cloned().collect();
+        assert!(!all_frames.is_empty(), "no training frames produced");
+        let global = Gmm::fit(&all_frames, 1, 1, &mut rng);
+        let gmms: Vec<Gmm> = state_frames
+            .iter()
+            .map(|frames| {
+                if frames.len() >= 16 {
+                    // Cap mixture density by available data (8 frames per
+                    // component keeps the EM fit stable).
+                    let comps = config.gmm_components.min(frames.len() / 8).max(1);
+                    Gmm::fit(frames, comps, config.em_iters, &mut rng)
+                } else if frames.len() >= 2 {
+                    Gmm::fit(frames, 1, 1, &mut rng)
+                } else {
+                    global.clone()
+                }
+            })
+            .collect();
+        let gmm = GmmScorer::new(gmms);
+
+        // DNN on (context window, state) pairs.
+        let mut priors = vec![1.0f32; NUM_STATES]; // add-one smoothing
+        for (_, s) in &labeled {
+            priors[*s] += 1.0;
+        }
+        if labeled.len() > config.dnn_frame_cap {
+            // Deterministic stride subsampling preserves class balance.
+            let stride = labeled.len() / config.dnn_frame_cap + 1;
+            labeled = labeled
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % stride == 0)
+                .map(|(_, x)| x)
+                .collect();
+        }
+        let input_dim = FEATURE_DIM * (2 * config.dnn_context + 1);
+        let mut dnn = Dnn::new(&[input_dim, config.dnn_hidden, NUM_STATES], &mut rng);
+        dnn.train(
+            &labeled,
+            DnnTrainConfig {
+                epochs: config.dnn_epochs,
+                learning_rate: 0.05,
+                batch_size: 32,
+            },
+            &mut rng,
+        );
+        let dnn = DnnScorer::new(dnn, &priors, config.dnn_context);
+
+        let decoder = Decoder::new(&lexicon, DecoderConfig::default());
+        Self {
+            frontend,
+            lexicon,
+            lm,
+            decoder,
+            gmm,
+            dnn,
+        }
+    }
+
+    /// The pronunciation lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// The language model.
+    pub fn lm(&self) -> &BigramLm {
+        &self.lm
+    }
+
+    /// The GMM acoustic scorer.
+    pub fn gmm_scorer(&self) -> &GmmScorer {
+        &self.gmm
+    }
+
+    /// The DNN acoustic scorer.
+    pub fn dnn_scorer(&self) -> &DnnScorer {
+        &self.dnn
+    }
+
+    /// The MFCC front-end.
+    pub fn frontend(&self) -> &Frontend {
+        &self.frontend
+    }
+
+    /// The Viterbi decoder (for N-best decoding and rescoring).
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// Serializes every trained model to a self-contained byte buffer
+    /// (lexicon, language model, GMM and DNN acoustic models). The decoder
+    /// graph and MFCC front-end are reconstructed on load.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = sirius_codec::Encoder::new();
+        e.tag("sirius_asr_v1");
+        self.lexicon.encode(&mut e);
+        self.lm.encode(&mut e);
+        self.gmm.encode(&mut e);
+        self.dnn.encode(&mut e);
+        e.into_bytes()
+    }
+
+    /// Restores a system saved with [`AsrSystem::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed, truncated or version-mismatched bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
+        let mut d = sirius_codec::Decoder::new(bytes);
+        d.tag("sirius_asr_v1")?;
+        let lexicon = Lexicon::decode(&mut d)?;
+        let lm = BigramLm::decode(&mut d)?;
+        let gmm = GmmScorer::decode(&mut d)?;
+        let dnn = DnnScorer::decode(&mut d)?;
+        d.finish()?;
+        if lm.vocab_size() != lexicon.len() {
+            return Err(sirius_codec::DecodeError {
+                message: "language model vocabulary does not match lexicon".into(),
+                offset: 0,
+            });
+        }
+        let decoder = Decoder::new(&lexicon, DecoderConfig::default());
+        Ok(Self {
+            frontend: Frontend::default(),
+            lexicon,
+            lm,
+            decoder,
+            gmm,
+            dnn,
+        })
+    }
+
+    /// Recognizes audio with the selected acoustic model.
+    pub fn recognize(&self, samples: &[f32], kind: AcousticModelKind) -> AsrOutput {
+        let t_total = Instant::now();
+        let t = Instant::now();
+        let frames = self.frontend.extract(samples);
+        let feature_extraction = t.elapsed();
+
+        let t = Instant::now();
+        let emis = match kind {
+            AcousticModelKind::Gmm => self.gmm.score_utterance(&frames),
+            AcousticModelKind::Dnn => self.dnn.score_utterance(&frames),
+        };
+        let scoring = t.elapsed();
+
+        let t = Instant::now();
+        let decoded = self.decoder.decode_scores(&emis, &self.lm, &self.lexicon);
+        let search = t.elapsed();
+
+        let num_frames = frames.len();
+        let (text, tokens_expanded, confidence) = match decoded {
+            Some(r) => (r.words.join(" "), r.tokens_expanded, r.confidence(num_frames)),
+            None => (String::new(), 0, 0.0),
+        };
+        AsrOutput {
+            text,
+            timing: AsrTiming {
+                feature_extraction,
+                scoring,
+                search,
+                total: t_total.elapsed(),
+            },
+            frames: frames.len(),
+            tokens_expanded,
+            confidence,
+        }
+    }
+}
+
+/// Maps an acoustic frame index to its tied HMM state using the utterance's
+/// ground-truth alignment. Returns `None` for frames outside any segment.
+fn frame_state(utt: &Utterance, t: usize) -> Option<usize> {
+    let center = t * FRAME_HOP + FRAME_LEN / 2;
+    let seg = utt
+        .alignment
+        .iter()
+        .find(|s| center >= s.start && center < s.end)?;
+    let pos = (center - seg.start) as f32 / (seg.end - seg.start) as f32;
+    let sub = ((pos * STATES_PER_PHONE as f32) as usize).min(STATES_PER_PHONE - 1);
+    Some(seg.phone.first_state() + sub)
+}
+
+fn build_context_examples(
+    utt: &Utterance,
+    feats: &[Vec<f32>],
+    context: usize,
+) -> Vec<(Vec<f32>, usize)> {
+    (0..feats.len())
+        .filter_map(|t| {
+            frame_state(utt, t)
+                .map(|s| (DnnScorer::context_window(feats, t, context), s))
+        })
+        .collect()
+}
+
+/// Word accuracy between a reference and a hypothesis transcript
+/// (1 − word error rate, floored at zero), computed via edit distance.
+pub fn word_accuracy(reference: &str, hypothesis: &str) -> f64 {
+    let r: Vec<&str> = reference.split_whitespace().collect();
+    let h: Vec<&str> = hypothesis.split_whitespace().collect();
+    if r.is_empty() {
+        return if h.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut dp = vec![vec![0usize; h.len() + 1]; r.len() + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=h.len() {
+        dp[0][j] = j;
+    }
+    for i in 1..=r.len() {
+        for j in 1..=h.len() {
+            let sub = dp[i - 1][j - 1] + usize::from(r[i - 1] != h[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    let wer = dp[r.len()][h.len()] as f64 / r.len() as f64;
+    (1.0 - wer).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: [&str; 6] = [
+        "set my alarm",
+        "call me a cab",
+        "play some jazz",
+        "go home now",
+        "stop the music",
+        "what time is it",
+    ];
+
+    fn system() -> AsrSystem {
+        AsrSystem::train(&super::tests::CORPUS, 42, AsrTrainConfig::default())
+    }
+
+    #[test]
+    fn gmm_recognizes_heldout_utterances() {
+        let asr = system();
+        let mut synth = Synthesizer::new(777, SynthConfig::default());
+        let mut total_acc = 0.0;
+        for text in CORPUS {
+            let utt = synth.say(text);
+            let out = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
+            total_acc += word_accuracy(&utt.words.join(" "), &out.text);
+        }
+        let avg = total_acc / CORPUS.len() as f64;
+        assert!(avg > 0.9, "GMM held-out word accuracy {avg}");
+    }
+
+    #[test]
+    fn dnn_recognizes_heldout_utterances() {
+        let asr = system();
+        let mut synth = Synthesizer::new(778, SynthConfig::default());
+        let mut total_acc = 0.0;
+        for text in CORPUS {
+            let utt = synth.say(text);
+            let out = asr.recognize(&utt.samples, AcousticModelKind::Dnn);
+            total_acc += word_accuracy(&utt.words.join(" "), &out.text);
+        }
+        let avg = total_acc / CORPUS.len() as f64;
+        assert!(avg > 0.85, "DNN held-out word accuracy {avg}");
+    }
+
+    #[test]
+    fn timing_is_populated_and_scoring_dominated() {
+        let asr = system();
+        let mut synth = Synthesizer::new(779, SynthConfig::default());
+        let utt = synth.say("set my alarm");
+        let out = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
+        assert!(out.timing.total >= out.timing.scoring);
+        assert!(out.frames > 0);
+        assert!(out.timing.scoring > Duration::ZERO);
+        assert!(out.timing.search > Duration::ZERO);
+    }
+
+    #[test]
+    fn word_accuracy_metric() {
+        assert_eq!(word_accuracy("a b c", "a b c"), 1.0);
+        assert_eq!(word_accuracy("a b c", "a x c"), 1.0 - 1.0 / 3.0);
+        assert_eq!(word_accuracy("", ""), 1.0);
+        assert_eq!(word_accuracy("a", ""), 0.0);
+        assert!(word_accuracy("a", "a b c d") == 0.0);
+    }
+
+    #[test]
+    fn empty_audio_produces_empty_text() {
+        let asr = system();
+        let out = asr.recognize(&[], AcousticModelKind::Gmm);
+        assert!(out.text.is_empty());
+        assert_eq!(out.frames, 0);
+    }
+}
+
+
+#[cfg(test)]
+mod confidence_tests {
+    use super::*;
+
+    #[test]
+    fn confidence_is_in_unit_range_and_deterministic() {
+        let asr = AsrSystem::train(&["go home now", "stop the music"], 3, AsrTrainConfig::default());
+        let utt = Synthesizer::new(808, SynthConfig::default()).say("go home now");
+        let a = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
+        let b = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
+        assert!((0.0..=1.0).contains(&a.confidence), "{}", a.confidence);
+        assert_eq!(a.confidence, b.confidence);
+        assert_eq!(a.text, "go home now");
+    }
+
+    #[test]
+    fn empty_audio_has_zero_confidence() {
+        let asr = AsrSystem::train(&["yes", "no"], 4, AsrTrainConfig::default());
+        let out = asr.recognize(&[], AcousticModelKind::Gmm);
+        assert_eq!(out.confidence, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_recognition() {
+        let corpus = ["open the door", "close the door"];
+        let asr = AsrSystem::train(&corpus, 6, AsrTrainConfig::default());
+        let bytes = asr.to_bytes();
+        let restored = AsrSystem::from_bytes(&bytes).expect("decode");
+        let utt = Synthesizer::new(606, SynthConfig::default()).say("open the door");
+        let a = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
+        let b = restored.recognize(&utt.samples, AcousticModelKind::Gmm);
+        assert_eq!(a.text, b.text);
+        let a_dnn = asr.recognize(&utt.samples, AcousticModelKind::Dnn);
+        let b_dnn = restored.recognize(&utt.samples, AcousticModelKind::Dnn);
+        assert_eq!(a_dnn.text, b_dnn.text);
+        assert_eq!(restored.lexicon().len(), asr.lexicon().len());
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let asr = AsrSystem::train(&["hi there"], 7, AsrTrainConfig::default());
+        let mut bytes = asr.to_bytes();
+        // Flip a tag byte near the front.
+        bytes[6] ^= 0xff;
+        assert!(AsrSystem::from_bytes(&bytes).is_err());
+        // Truncation is also rejected.
+        let half = &bytes[..bytes.len() / 2];
+        assert!(AsrSystem::from_bytes(half).is_err());
+        assert!(AsrSystem::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! Feed-forward deep neural network for acoustic scoring.
+//!
+//! The paper's DNN-based ASR (Kaldi / RWTH RASR) replaces GMM emission
+//! scoring with the posteriors of a feed-forward network: "scoring amounts
+//! to one forward pass through the network" (Section 2.3.1). This module
+//! implements a small MLP with ReLU hidden layers and a softmax output,
+//! trained by mini-batch SGD with cross-entropy loss; the forward pass is
+//! the Sirius Suite "DNN" kernel (a sequence of matrix multiplications).
+
+use rand::Rng;
+use sirius_codec::{DecodeError, Decoder, Encoder};
+
+/// One fully-connected layer: `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Input width.
+    pub inputs: usize,
+    /// Output width.
+    pub outputs: usize,
+    /// Row-major weights, `w[o * inputs + i]`.
+    pub weights: Vec<f32>,
+    /// Biases, one per output.
+    pub biases: Vec<f32>,
+}
+
+impl Layer {
+    /// Creates a layer with He-initialized weights.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+        let scale = (2.0 / inputs as f32).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+        }
+    }
+
+    /// Dense matrix-vector product — the DNN kernel's inner loop.
+    pub fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.inputs);
+        out.clear();
+        out.reserve(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.biases[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// A feed-forward network: input → hidden (ReLU)* → output (softmax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dnn {
+    layers: Vec<Layer>,
+}
+
+/// Training hyper-parameters for [`Dnn::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnnTrainConfig {
+    /// Number of epochs over the training data.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for DnnTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            learning_rate: 0.05,
+            batch_size: 16,
+        }
+    }
+}
+
+impl Dnn {
+    /// Creates a network with the given layer sizes, e.g. `[130, 128, 128, 81]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are supplied.
+    pub fn new(sizes: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output dimensionality (number of classes / HMM states).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Number of hidden layers (the paper's "depth of a DNN").
+    pub fn num_hidden_layers(&self) -> usize {
+        self.layers.len().saturating_sub(1)
+    }
+
+    /// Total number of weights, a proxy for the kernel's FLOP count.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// One forward pass, returning the softmax class posteriors.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let (acts, _) = self.forward_internal(x);
+        acts.last().cloned().expect("at least one layer")
+    }
+
+    /// Log-posteriors `ln p(class | x)`, used for hybrid DNN/HMM scoring.
+    pub fn log_posteriors(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).iter().map(|p| p.max(1e-12).ln()).collect()
+    }
+
+    /// Forward pass retaining all activations (for backprop).
+    /// Returns (post-activation outputs per layer, pre-activation of last).
+    fn forward_internal(&self, x: &[f32]) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut cur: Vec<f32> = x.to_vec();
+        let mut pre_last = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(&cur, &mut out);
+            if i + 1 == self.layers.len() {
+                pre_last = out.clone();
+                softmax_in_place(&mut out);
+            } else {
+                for v in &mut out {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts.push(out.clone());
+            cur = out;
+        }
+        (acts, pre_last)
+    }
+
+    /// Trains on `(features, label)` pairs with mini-batch SGD.
+    pub fn train(
+        &mut self,
+        data: &[(Vec<f32>, usize)],
+        config: DnnTrainConfig,
+        rng: &mut impl Rng,
+    ) {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(config.batch_size) {
+                self.sgd_batch(data, chunk, config.learning_rate);
+            }
+        }
+    }
+
+    fn sgd_batch(&mut self, data: &[(Vec<f32>, usize)], idxs: &[usize], lr: f32) {
+        // Accumulate gradients over the batch.
+        let mut grad_w: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f32>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        for &i in idxs {
+            let (x, label) = &data[i];
+            let (acts, _) = self.forward_internal(x);
+            // Delta at output: softmax + cross-entropy → p - y.
+            let mut delta: Vec<f32> = acts.last().expect("layers").clone();
+            delta[*label] -= 1.0;
+            for li in (0..self.layers.len()).rev() {
+                let input: &[f32] = if li == 0 { x } else { &acts[li - 1] };
+                let layer = &self.layers[li];
+                for o in 0..layer.outputs {
+                    let d = delta[o];
+                    if d != 0.0 {
+                        let row = &mut grad_w[li][o * layer.inputs..(o + 1) * layer.inputs];
+                        for (g, v) in row.iter_mut().zip(input) {
+                            *g += d * v;
+                        }
+                        grad_b[li][o] += d;
+                    }
+                }
+                if li > 0 {
+                    // Propagate delta through W^T and the ReLU derivative.
+                    let mut next = vec![0.0f32; layer.inputs];
+                    for o in 0..layer.outputs {
+                        let d = delta[o];
+                        if d != 0.0 {
+                            let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                            for (nv, w) in next.iter_mut().zip(row) {
+                                *nv += d * w;
+                            }
+                        }
+                    }
+                    for (nv, a) in next.iter_mut().zip(&acts[li - 1]) {
+                        if *a <= 0.0 {
+                            *nv = 0.0;
+                        }
+                    }
+                    delta = next;
+                }
+            }
+        }
+        let scale = lr / idxs.len() as f32;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (w, g) in layer.weights.iter_mut().zip(&grad_w[li]) {
+                *w -= scale * g;
+            }
+            for (b, g) in layer.biases.iter_mut().zip(&grad_b[li]) {
+                *b -= scale * g;
+            }
+        }
+    }
+
+    /// Classification accuracy over labeled data.
+    pub fn accuracy(&self, data: &[(Vec<f32>, usize)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, label)| {
+                let p = self.forward(x);
+                argmax(&p) == *label
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Cross-entropy loss over labeled data.
+    pub fn loss(&self, data: &[(Vec<f32>, usize)]) -> f64 {
+        data.iter()
+            .map(|(x, label)| -f64::from(self.forward(x)[*label].max(1e-12).ln()))
+            .sum::<f64>()
+            / data.len().max(1) as f64
+    }
+}
+
+impl Dnn {
+    /// Serializes the network (see [`sirius_codec`]).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.tag("dnn");
+        e.u32(self.layers.len() as u32);
+        for l in &self.layers {
+            e.u32(l.inputs as u32);
+            e.u32(l.outputs as u32);
+            e.f32_slice(&l.weights);
+            e.f32_slice(&l.biases);
+        }
+    }
+
+    /// Deserializes a network previously written by [`Dnn::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or inconsistent bytes.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.tag("dnn")?;
+        let n = d.u32()? as usize;
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let inputs = d.u32()? as usize;
+            let outputs = d.u32()? as usize;
+            let weights = d.f32_vec()?;
+            let biases = d.f32_vec()?;
+            if weights.len() != inputs * outputs || biases.len() != outputs {
+                return Err(DecodeError {
+                    message: "inconsistent layer shape".into(),
+                    offset: 0,
+                });
+            }
+            layers.push(Layer {
+                inputs,
+                outputs,
+                weights,
+                biases,
+            });
+        }
+        if layers.is_empty() {
+            return Err(DecodeError {
+                message: "network has no layers".into(),
+                offset: 0,
+            });
+        }
+        Ok(Self { layers })
+    }
+}
+
+/// Index of the maximum element.
+pub fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut xs);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn forward_output_is_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = Dnn::new(&[4, 8, 3], &mut rng);
+        let p = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    fn xor_data() -> Vec<(Vec<f32>, usize)> {
+        vec![
+            (vec![0.0, 0.0], 0),
+            (vec![0.0, 1.0], 1),
+            (vec![1.0, 0.0], 1),
+            (vec![1.0, 1.0], 0),
+        ]
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Dnn::new(&[2, 16, 2], &mut rng);
+        let data = xor_data();
+        net.train(
+            &data,
+            DnnTrainConfig {
+                epochs: 800,
+                learning_rate: 0.3,
+                batch_size: 4,
+            },
+            &mut rng,
+        );
+        assert!(net.accuracy(&data) > 0.99, "accuracy {}", net.accuracy(&data));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let data: Vec<(Vec<f32>, usize)> = (0..200)
+            .map(|i| {
+                let c = i % 3;
+                let center = c as f32 * 2.0 - 2.0;
+                let x: Vec<f32> = (0..6)
+                    .map(|_| center + rng.gen_range(-0.5..0.5))
+                    .collect();
+                (x, c)
+            })
+            .collect();
+        let mut net = Dnn::new(&[6, 24, 3], &mut rng);
+        let before = net.loss(&data);
+        net.train(&data, DnnTrainConfig::default(), &mut rng);
+        let after = net.loss(&data);
+        assert!(after < before * 0.5, "before={before} after={after}");
+        assert!(net.accuracy(&data) > 0.95);
+    }
+
+    #[test]
+    fn log_posteriors_match_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net = Dnn::new(&[3, 5, 4], &mut rng);
+        let x = [0.5, -0.5, 0.25];
+        let p = net.forward(&x);
+        let lp = net.log_posteriors(&x);
+        for (a, b) in p.iter().zip(&lp) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let net = Dnn::new(&[10, 20, 5], &mut rng);
+        assert_eq!(net.num_parameters(), 10 * 20 + 20 + 20 * 5 + 5);
+        assert_eq!(net.input_dim(), 10);
+        assert_eq!(net.output_dim(), 5);
+        assert_eq!(net.num_hidden_layers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_sizes_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = Dnn::new(&[4], &mut rng);
+    }
+}

@@ -1,0 +1,392 @@
+//! Acoustic feature extraction: MFCC front-end.
+//!
+//! The paper's ASR pipeline (Figure 4) starts with "fast pre-processing and
+//! feature extraction of the speech" producing feature vectors for the
+//! decoder. This module implements the standard MFCC chain: pre-emphasis →
+//! framing → Hamming window → FFT power spectrum → mel filterbank → log →
+//! DCT, plus delta features.
+
+use std::f32::consts::PI;
+
+/// Audio sample rate used throughout the crate (Hz).
+pub const SAMPLE_RATE: usize = 16_000;
+/// Analysis frame length in samples (25 ms at 16 kHz).
+pub const FRAME_LEN: usize = 400;
+/// Frame hop in samples (10 ms at 16 kHz).
+pub const FRAME_HOP: usize = 160;
+/// FFT size (next power of two above the frame length).
+pub const FFT_SIZE: usize = 512;
+/// Number of mel filterbank channels.
+pub const NUM_MEL: usize = 26;
+/// Number of cepstral coefficients kept.
+pub const NUM_CEPSTRA: usize = 13;
+/// Final feature dimension: cepstra plus deltas.
+pub const FEATURE_DIM: usize = NUM_CEPSTRA * 2;
+
+/// Configuration of the MFCC front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendConfig {
+    /// Pre-emphasis coefficient (0 disables).
+    pub pre_emphasis: f32,
+    /// Floor applied before the log to avoid `-inf`.
+    pub log_floor: f32,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            pre_emphasis: 0.97,
+            log_floor: 1e-10,
+        }
+    }
+}
+
+/// In-place iterative radix-2 FFT over interleaved complex values.
+///
+/// `re` and `im` must have the same power-of-two length.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn fft(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "fft buffers must have equal length");
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f32;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_re, mut cur_im) = (1.0f32, 0.0f32);
+            for j in 0..len / 2 {
+                let a = i + j;
+                let b = i + j + len / 2;
+                let t_re = re[b] * cur_re - im[b] * cur_im;
+                let t_im = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Converts Hz to mel scale.
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mel to Hz.
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular mel filterbank over FFT bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// `filters[m]` = (start_bin, weights).
+    filters: Vec<(usize, Vec<f32>)>,
+}
+
+impl MelFilterbank {
+    /// Builds `NUM_MEL` triangular filters between 100 Hz and Nyquist.
+    pub fn new() -> Self {
+        let nyquist = SAMPLE_RATE as f32 / 2.0;
+        let lo = hz_to_mel(100.0);
+        let hi = hz_to_mel(nyquist);
+        let centers: Vec<f32> = (0..NUM_MEL + 2)
+            .map(|i| mel_to_hz(lo + (hi - lo) * i as f32 / (NUM_MEL + 1) as f32))
+            .collect();
+        let bin = |hz: f32| -> usize {
+            ((hz / nyquist) * (FFT_SIZE / 2) as f32).round() as usize
+        };
+        let mut filters = Vec::with_capacity(NUM_MEL);
+        for m in 0..NUM_MEL {
+            let (b0, b1, b2) = (bin(centers[m]), bin(centers[m + 1]), bin(centers[m + 2]));
+            let b1 = b1.max(b0 + 1);
+            let b2 = b2.max(b1 + 1);
+            let mut weights = Vec::with_capacity(b2 - b0);
+            for b in b0..b2 {
+                let w = if b < b1 {
+                    (b - b0) as f32 / (b1 - b0) as f32
+                } else {
+                    (b2 - b) as f32 / (b2 - b1) as f32
+                };
+                weights.push(w);
+            }
+            filters.push((b0, weights));
+        }
+        Self { filters }
+    }
+
+    /// Applies the filterbank to a power spectrum of `FFT_SIZE/2 + 1` bins.
+    pub fn apply(&self, power: &[f32]) -> Vec<f32> {
+        self.filters
+            .iter()
+            .map(|(start, weights)| {
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| w * power.get(start + i).copied().unwrap_or(0.0))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl Default for MelFilterbank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The MFCC front-end.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    config: FrontendConfig,
+    filterbank: MelFilterbank,
+    window: Vec<f32>,
+    /// DCT-II basis, `dct[k][m]`.
+    dct: Vec<Vec<f32>>,
+}
+
+impl Frontend {
+    /// Creates a front-end with the given configuration.
+    pub fn new(config: FrontendConfig) -> Self {
+        let window: Vec<f32> = (0..FRAME_LEN)
+            .map(|i| 0.54 - 0.46 * (2.0 * PI * i as f32 / (FRAME_LEN - 1) as f32).cos())
+            .collect();
+        let dct: Vec<Vec<f32>> = (0..NUM_CEPSTRA)
+            .map(|k| {
+                (0..NUM_MEL)
+                    .map(|m| {
+                        (PI * k as f32 * (m as f32 + 0.5) / NUM_MEL as f32).cos()
+                            * (2.0 / NUM_MEL as f32).sqrt()
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            config,
+            filterbank: MelFilterbank::new(),
+            window,
+            dct,
+        }
+    }
+
+    /// Extracts `FEATURE_DIM`-dimensional MFCC+delta features from raw audio.
+    ///
+    /// Returns one feature vector per frame; audio shorter than one frame
+    /// yields an empty vector.
+    pub fn extract(&self, samples: &[f32]) -> Vec<Vec<f32>> {
+        if samples.len() < FRAME_LEN {
+            return Vec::new();
+        }
+        let num_frames = (samples.len() - FRAME_LEN) / FRAME_HOP + 1;
+        let mut cepstra = Vec::with_capacity(num_frames);
+        let mut re = vec![0.0f32; FFT_SIZE];
+        let mut im = vec![0.0f32; FFT_SIZE];
+        for f in 0..num_frames {
+            let start = f * FRAME_HOP;
+            re[..FRAME_LEN].copy_from_slice(&samples[start..start + FRAME_LEN]);
+            re[FRAME_LEN..].fill(0.0);
+            im.fill(0.0);
+            // Pre-emphasis then window.
+            for i in (1..FRAME_LEN).rev() {
+                re[i] -= self.config.pre_emphasis * re[i - 1];
+            }
+            for i in 0..FRAME_LEN {
+                re[i] *= self.window[i];
+            }
+            fft(&mut re, &mut im);
+            let power: Vec<f32> = (0..FFT_SIZE / 2 + 1)
+                .map(|i| re[i] * re[i] + im[i] * im[i])
+                .collect();
+            let mel = self.filterbank.apply(&power);
+            let log_mel: Vec<f32> = mel
+                .iter()
+                .map(|&e| e.max(self.config.log_floor).ln())
+                .collect();
+            let c: Vec<f32> = self
+                .dct
+                .iter()
+                .map(|row| row.iter().zip(&log_mel).map(|(d, l)| d * l).sum())
+                .collect();
+            cepstra.push(c);
+        }
+        add_deltas(&cepstra)
+    }
+}
+
+impl Default for Frontend {
+    fn default() -> Self {
+        Self::new(FrontendConfig::default())
+    }
+}
+
+/// Appends first-order delta features (+/- 2 frame regression) to each frame.
+pub fn add_deltas(cepstra: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let n = cepstra.len();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut v = cepstra[t].clone();
+        let prev = &cepstra[t.saturating_sub(2)];
+        let next = &cepstra[(t + 2).min(n - 1)];
+        for k in 0..cepstra[t].len() {
+            v.push((next[k] - prev[k]) / 4.0);
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[f32]) -> Vec<(f32, f32)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0f64;
+                let mut im = 0.0f64;
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
+                    re += f64::from(v) * ang.cos();
+                    im += f64::from(v) * ang.sin();
+                }
+                (re as f32, im as f32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<f32> = (0..64).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; 64];
+        fft(&mut re, &mut im);
+        let reference = naive_dft(&x);
+        for k in 0..64 {
+            assert!((re[k] - reference[k].0).abs() < 1e-2, "re[{k}]");
+            assert!((im[k] - reference[k].1).abs() < 1e-2, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0f32; 16];
+        let mut im = vec![0.0f32; 16];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-5);
+            assert!(im[k].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sine_peak_lands_in_right_bin() {
+        // 1 kHz tone at 16 kHz, FFT 512 → bin 32.
+        let samples: Vec<f32> = (0..FFT_SIZE)
+            .map(|i| (2.0 * PI * 1000.0 * i as f32 / SAMPLE_RATE as f32).sin())
+            .collect();
+        let mut re = samples;
+        let mut im = vec![0.0; FFT_SIZE];
+        fft(&mut re, &mut im);
+        let power: Vec<f32> = (0..FFT_SIZE / 2)
+            .map(|i| re[i] * re[i] + im[i] * im[i])
+            .collect();
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(peak, 32);
+    }
+
+    #[test]
+    fn mel_conversion_round_trips() {
+        for hz in [100.0f32, 440.0, 1000.0, 4000.0, 7999.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() / hz < 1e-4, "{hz} -> {back}");
+        }
+    }
+
+    #[test]
+    fn filterbank_is_nonnegative_and_covers_spectrum() {
+        let fb = MelFilterbank::new();
+        let flat = vec![1.0f32; FFT_SIZE / 2 + 1];
+        let out = fb.apply(&flat);
+        assert_eq!(out.len(), NUM_MEL);
+        assert!(out.iter().all(|&e| e >= 0.0));
+        assert!(out.iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn extract_produces_expected_frame_count_and_dim() {
+        let fe = Frontend::default();
+        let one_sec: Vec<f32> = (0..SAMPLE_RATE)
+            .map(|i| (2.0 * PI * 300.0 * i as f32 / SAMPLE_RATE as f32).sin())
+            .collect();
+        let feats = fe.extract(&one_sec);
+        let expected = (SAMPLE_RATE - FRAME_LEN) / FRAME_HOP + 1;
+        assert_eq!(feats.len(), expected);
+        assert!(feats.iter().all(|f| f.len() == FEATURE_DIM));
+    }
+
+    #[test]
+    fn short_audio_yields_no_frames() {
+        let fe = Frontend::default();
+        assert!(fe.extract(&vec![0.0; FRAME_LEN - 1]).is_empty());
+    }
+
+    #[test]
+    fn different_tones_produce_different_features() {
+        let fe = Frontend::default();
+        let tone = |hz: f32| -> Vec<f32> {
+            (0..SAMPLE_RATE / 2)
+                .map(|i| (2.0 * PI * hz * i as f32 / SAMPLE_RATE as f32).sin())
+                .collect()
+        };
+        let a = fe.extract(&tone(300.0));
+        let b = fe.extract(&tone(2500.0));
+        let dist: f32 = a[5]
+            .iter()
+            .zip(&b[5])
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!(dist > 1.0, "features too similar: {dist}");
+    }
+
+    #[test]
+    fn deltas_are_zero_for_static_signal() {
+        let frames = vec![vec![1.0f32, 2.0, 3.0]; 10];
+        let with = add_deltas(&frames);
+        for f in with {
+            assert_eq!(f.len(), 6);
+            assert!(f[3..].iter().all(|&d| d.abs() < 1e-9));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Diagonal-covariance Gaussian Mixture Models for acoustic scoring.
+//!
+//! This mirrors CMU Sphinx's acoustic scoring, the paper's Sirius Suite
+//! "GMM" kernel: "the major computation of the algorithm lies in three
+//! nested loops that iteratively score the feature vector against the
+//! training data ... in the forms of a means vector, a pre-calculated
+//! (precs) vector, a weight vector, and a factor vector" (Section 4.3.4).
+//! [`Gmm::log_likelihood`] is exactly that triple loop; `sirius-suite`
+//! re-exposes it as the standalone kernel.
+
+use rand::Rng;
+use sirius_codec::{DecodeError, Decoder, Encoder};
+
+/// One diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm {
+    dim: usize,
+    /// Flattened means, `means[m * dim + d]`.
+    means: Vec<f32>,
+    /// Pre-calculated precisions `1 / (2 * var)`, same layout as means.
+    precs: Vec<f32>,
+    /// Log mixture weights, one per component.
+    weights: Vec<f32>,
+    /// Per-component log normalization factor
+    /// `-0.5 * (dim * ln(2π) + Σ ln var_d)`.
+    factors: Vec<f32>,
+}
+
+impl Gmm {
+    /// Creates a GMM from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are inconsistent with `num_components * dim`, or
+    /// if any variance is non-positive.
+    pub fn from_params(dim: usize, means: Vec<f32>, vars: Vec<f32>, weights: Vec<f32>) -> Self {
+        let m = weights.len();
+        assert!(m <= 64, "at most 64 mixture components supported");
+        assert_eq!(means.len(), m * dim, "means length");
+        assert_eq!(vars.len(), m * dim, "vars length");
+        assert!(vars.iter().all(|&v| v > 0.0), "variances must be positive");
+        let precs: Vec<f32> = vars.iter().map(|&v| 1.0 / (2.0 * v)).collect();
+        let factors: Vec<f32> = (0..m)
+            .map(|k| {
+                let log_det: f32 = vars[k * dim..(k + 1) * dim].iter().map(|v| v.ln()).sum();
+                -0.5 * (dim as f32 * (2.0 * std::f32::consts::PI).ln() + log_det)
+            })
+            .collect();
+        let wsum: f32 = weights.iter().sum();
+        let weights = weights.iter().map(|w| (w / wsum).max(1e-10).ln()).collect();
+        Self {
+            dim,
+            means,
+            precs,
+            weights,
+            factors,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Log-likelihood of one feature vector — the Sirius Suite GMM hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x.len() != self.dim()`.
+    pub fn log_likelihood(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.dim);
+        let mut best = f32::NEG_INFINITY;
+        let mut acc = 0.0f32;
+        // log-sum-exp over components, streaming.
+        let mut logs = [0f32; 64];
+        let m = self.num_components();
+        for k in 0..m {
+            let mut dist = 0.0f32;
+            let base = k * self.dim;
+            for d in 0..self.dim {
+                let diff = x[d] - self.means[base + d];
+                dist += diff * diff * self.precs[base + d];
+            }
+            let l = self.weights[k] + self.factors[k] - dist;
+            logs[k.min(63)] = l;
+            if l > best {
+                best = l;
+            }
+        }
+        if best == f32::NEG_INFINITY {
+            return f32::NEG_INFINITY;
+        }
+        for (k, l) in logs.iter().enumerate().take(m) {
+            let _ = k;
+            acc += (l - best).exp();
+        }
+        best + acc.ln()
+    }
+
+    /// Fits a GMM with `num_components` components to `data` using k-means
+    /// initialization followed by `em_iters` EM iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `num_components` is 0 or > 64.
+    pub fn fit(data: &[Vec<f32>], num_components: usize, em_iters: usize, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit a GMM to no data");
+        assert!(
+            (1..=64).contains(&num_components),
+            "components must be in 1..=64"
+        );
+        let dim = data[0].len();
+        let n = data.len();
+        // k-means++-lite initialization: random distinct points.
+        let mut means: Vec<f32> = Vec::with_capacity(num_components * dim);
+        for _ in 0..num_components {
+            let idx = rng.gen_range(0..n);
+            means.extend_from_slice(&data[idx]);
+        }
+        let mut assignments = vec![0usize; n];
+        for _ in 0..4 {
+            // Assign.
+            for (i, x) in data.iter().enumerate() {
+                let mut best = (f32::INFINITY, 0usize);
+                for k in 0..num_components {
+                    let d: f32 = (0..dim)
+                        .map(|j| {
+                            let diff = x[j] - means[k * dim + j];
+                            diff * diff
+                        })
+                        .sum();
+                    if d < best.0 {
+                        best = (d, k);
+                    }
+                }
+                assignments[i] = best.1;
+            }
+            // Update.
+            let mut counts = vec![0usize; num_components];
+            let mut sums = vec![0.0f32; num_components * dim];
+            for (i, x) in data.iter().enumerate() {
+                let k = assignments[i];
+                counts[k] += 1;
+                for j in 0..dim {
+                    sums[k * dim + j] += x[j];
+                }
+            }
+            for k in 0..num_components {
+                if counts[k] > 0 {
+                    for j in 0..dim {
+                        means[k * dim + j] = sums[k * dim + j] / counts[k] as f32;
+                    }
+                } else {
+                    let idx = rng.gen_range(0..n);
+                    means[k * dim..(k + 1) * dim].copy_from_slice(&data[idx]);
+                }
+            }
+        }
+        // Initial variances and weights from the hard assignment.
+        let mut vars = vec![0.0f32; num_components * dim];
+        let mut counts = vec![0usize; num_components];
+        for (i, x) in data.iter().enumerate() {
+            let k = assignments[i];
+            counts[k] += 1;
+            for j in 0..dim {
+                let diff = x[j] - means[k * dim + j];
+                vars[k * dim + j] += diff * diff;
+            }
+        }
+        for k in 0..num_components {
+            for j in 0..dim {
+                vars[k * dim + j] = (vars[k * dim + j] / counts[k].max(1) as f32).max(1e-2);
+            }
+        }
+        let weights: Vec<f32> = counts
+            .iter()
+            .map(|&c| (c.max(1)) as f32 / n as f32)
+            .collect();
+        let mut gmm = Self::from_params(dim, means, vars, weights);
+
+        // EM refinement.
+        for _ in 0..em_iters {
+            gmm = gmm.em_step(data);
+        }
+        gmm
+    }
+
+    /// Serializes the model (see [`sirius_codec`]).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.tag("gmm");
+        e.u32(self.dim as u32);
+        e.f32_slice(&self.means);
+        e.f32_slice(&self.precs);
+        e.f32_slice(&self.weights);
+        e.f32_slice(&self.factors);
+    }
+
+    /// Deserializes a model previously written by [`Gmm::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or inconsistent bytes.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.tag("gmm")?;
+        let dim = d.u32()? as usize;
+        let means = d.f32_vec()?;
+        let precs = d.f32_vec()?;
+        let weights = d.f32_vec()?;
+        let factors = d.f32_vec()?;
+        if dim == 0
+            || means.len() != precs.len()
+            || weights.len() != factors.len()
+            || means.len() != weights.len() * dim
+        {
+            return Err(DecodeError {
+                message: "inconsistent GMM dimensions".into(),
+                offset: 0,
+            });
+        }
+        Ok(Self {
+            dim,
+            means,
+            precs,
+            weights,
+            factors,
+        })
+    }
+
+    /// One EM iteration over `data`, returning the updated model.
+    fn em_step(&self, data: &[Vec<f32>]) -> Self {
+        let m = self.num_components();
+        let dim = self.dim;
+        let n = data.len();
+        let mut resp_sum = vec![0.0f64; m];
+        let mut mean_acc = vec![0.0f64; m * dim];
+        let mut var_acc = vec![0.0f64; m * dim];
+        let mut logs = vec![0.0f32; m];
+        for x in data {
+            // Per-component log densities.
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..m {
+                let mut dist = 0.0f32;
+                for d in 0..dim {
+                    let diff = x[d] - self.means[k * dim + d];
+                    dist += diff * diff * self.precs[k * dim + d];
+                }
+                logs[k] = self.weights[k] + self.factors[k] - dist;
+                best = best.max(logs[k]);
+            }
+            let denom: f32 = logs.iter().map(|l| (l - best).exp()).sum();
+            for k in 0..m {
+                let r = f64::from((logs[k] - best).exp() / denom);
+                resp_sum[k] += r;
+                for d in 0..dim {
+                    mean_acc[k * dim + d] += r * f64::from(x[d]);
+                }
+            }
+            let _ = n;
+        }
+        let new_means: Vec<f32> = (0..m * dim)
+            .map(|i| (mean_acc[i] / resp_sum[i / dim].max(1e-10)) as f32)
+            .collect();
+        // Second pass for variances against the new means.
+        for x in data {
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..m {
+                let mut dist = 0.0f32;
+                for d in 0..dim {
+                    let diff = x[d] - self.means[k * dim + d];
+                    dist += diff * diff * self.precs[k * dim + d];
+                }
+                logs[k] = self.weights[k] + self.factors[k] - dist;
+                best = best.max(logs[k]);
+            }
+            let denom: f32 = logs.iter().map(|l| (l - best).exp()).sum();
+            for k in 0..m {
+                let r = f64::from((logs[k] - best).exp() / denom);
+                for d in 0..dim {
+                    let diff = f64::from(x[d]) - f64::from(new_means[k * dim + d]);
+                    var_acc[k * dim + d] += r * diff * diff;
+                }
+            }
+        }
+        let new_vars: Vec<f32> = (0..m * dim)
+            .map(|i| ((var_acc[i] / resp_sum[i / dim].max(1e-10)) as f32).max(1e-2))
+            .collect();
+        let total: f64 = resp_sum.iter().sum();
+        let new_weights: Vec<f32> = resp_sum.iter().map(|&r| (r / total) as f32).collect();
+        Self::from_params(dim, new_means, new_vars, new_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn single_gaussian() -> Gmm {
+        Gmm::from_params(2, vec![0.0, 0.0], vec![1.0, 1.0], vec![1.0])
+    }
+
+    #[test]
+    fn log_likelihood_matches_closed_form() {
+        let g = single_gaussian();
+        // log N(0; 0, I) in 2D = -log(2π) ≈ -1.8379.
+        let l = g.log_likelihood(&[0.0, 0.0]);
+        assert!((l - (-(2.0 * std::f32::consts::PI).ln())).abs() < 1e-4, "{l}");
+        // One unit away: subtract 0.5.
+        let l1 = g.log_likelihood(&[1.0, 0.0]);
+        assert!((l - l1 - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn likelihood_decreases_with_distance() {
+        let g = single_gaussian();
+        let l0 = g.log_likelihood(&[0.0, 0.0]);
+        let l3 = g.log_likelihood(&[3.0, 3.0]);
+        assert!(l0 > l3);
+    }
+
+    #[test]
+    fn mixture_weights_normalize() {
+        // Two identical components with asymmetric raw weights must equal a
+        // single component (weights are normalized internally).
+        let two = Gmm::from_params(
+            1,
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![3.0, 1.0],
+        );
+        let one = Gmm::from_params(1, vec![0.0], vec![1.0], vec![1.0]);
+        assert!((two.log_likelihood(&[0.5]) - one.log_likelihood(&[0.5])).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fit_recovers_two_clusters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for i in 0..400 {
+            let c = if i % 2 == 0 { -4.0 } else { 4.0 };
+            data.push(vec![
+                c + rng.gen_range(-0.5..0.5),
+                c + rng.gen_range(-0.5..0.5),
+            ]);
+        }
+        let g = Gmm::fit(&data, 2, 5, &mut rng);
+        // Points near the cluster centers must score far better than the gap.
+        let near = g.log_likelihood(&[4.0, 4.0]);
+        let gap = g.log_likelihood(&[0.0, 0.0]);
+        assert!(near > gap + 5.0, "near={near} gap={gap}");
+    }
+
+    #[test]
+    fn fit_separates_classes_for_classification() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let sample = |c: f32, rng: &mut ChaCha8Rng| -> Vec<f32> {
+            (0..4).map(|_| c + rng.gen_range(-0.4..0.4)).collect()
+        };
+        let a_data: Vec<Vec<f32>> = (0..200).map(|_| sample(-2.0, &mut rng)).collect();
+        let b_data: Vec<Vec<f32>> = (0..200).map(|_| sample(2.0, &mut rng)).collect();
+        let ga = Gmm::fit(&a_data, 2, 3, &mut rng);
+        let gb = Gmm::fit(&b_data, 2, 3, &mut rng);
+        let mut correct = 0;
+        for _ in 0..100 {
+            let x = sample(-2.0, &mut rng);
+            if ga.log_likelihood(&x) > gb.log_likelihood(&x) {
+                correct += 1;
+            }
+            let y = sample(2.0, &mut rng);
+            if gb.log_likelihood(&y) > ga.log_likelihood(&y) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 195, "classification accuracy {correct}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "variances must be positive")]
+    fn zero_variance_rejected() {
+        let _ = Gmm::from_params(1, vec![0.0], vec![0.0], vec![1.0]);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = single_gaussian();
+        assert_eq!(g.dim(), 2);
+        assert_eq!(g.num_components(), 1);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::Gmm;
+    use proptest::prelude::*;
+    use rand::{Rng as _, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    proptest! {
+        /// The mixture log-likelihood is bounded above by the best
+        /// component density (weights <= 1) plus log(M), and below by the
+        /// best component plus its log-weight.
+        #[test]
+        fn log_likelihood_respects_mixture_bounds(
+            x in prop::collection::vec(-5.0f32..5.0, 4),
+            seed in 0u64..500,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let data: Vec<Vec<f32>> = (0..40)
+                .map(|_| (0..4).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+                .collect();
+            let g = Gmm::fit(&data, 3, 1, &mut rng);
+            let l = g.log_likelihood(&x);
+            prop_assert!(l.is_finite());
+            // Shifting the query far away must not increase likelihood.
+            let far: Vec<f32> = x.iter().map(|v| v + 100.0).collect();
+            prop_assert!(g.log_likelihood(&far) < l);
+        }
+
+        /// Likelihood is invariant to the order of data during k-means
+        /// init only up to RNG; but scoring itself must be deterministic.
+        #[test]
+        fn scoring_is_deterministic(x in prop::collection::vec(-5.0f32..5.0, 4)) {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let data: Vec<Vec<f32>> = (0..30)
+                .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                .collect();
+            let g = Gmm::fit(&data, 2, 1, &mut rng);
+            prop_assert_eq!(g.log_likelihood(&x), g.log_likelihood(&x));
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! HMM decoding graph and beam Viterbi search.
+//!
+//! Mirrors the paper's ASR pipeline (Figure 4): "the HMM builds a tree of
+//! states for the current speech frame using input feature vectors. The GMM
+//! or DNN scores the probability of the state transitions in the tree, and
+//! the Viterbi algorithm then searches for the most likely path."
+//!
+//! Words are linear chains of 3-state left-to-right phone HMMs with tied
+//! emissions (81 tied states, [`crate::lexicon::NUM_STATES`]); word-to-word
+//! transitions carry bigram language-model scores, with optional inter-word
+//! silence.
+
+use crate::gmm::Gmm;
+use crate::dnn::Dnn;
+use crate::lexicon::{Lexicon, NUM_STATES, SIL, STATES_PER_PHONE};
+use crate::lm::BigramLm;
+
+/// Scores acoustic frames against all tied HMM states.
+pub trait AcousticScorer {
+    /// Returns `scores[t][s]` = log-likelihood of frame `t` under tied state
+    /// `s`, for the whole utterance at once (DNN scorers need frame context).
+    fn score_utterance(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>>;
+
+    /// Human-readable model name ("GMM" or "DNN").
+    fn name(&self) -> &'static str;
+}
+
+/// GMM emission scorer: one diagonal GMM per tied state (the Sphinx path).
+#[derive(Debug, Clone)]
+pub struct GmmScorer {
+    gmms: Vec<Gmm>,
+}
+
+impl GmmScorer {
+    /// Creates a scorer from per-state GMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`NUM_STATES`] models are provided.
+    pub fn new(gmms: Vec<Gmm>) -> Self {
+        assert_eq!(gmms.len(), NUM_STATES, "need one GMM per tied state");
+        Self { gmms }
+    }
+
+    /// The per-state models.
+    pub fn models(&self) -> &[Gmm] {
+        &self.gmms
+    }
+}
+
+impl GmmScorer {
+    /// Serializes all per-state models.
+    pub fn encode(&self, e: &mut sirius_codec::Encoder) {
+        e.tag("gmm_scorer");
+        e.u32(self.gmms.len() as u32);
+        for g in &self.gmms {
+            g.encode(e);
+        }
+    }
+
+    /// Deserializes a scorer written by [`GmmScorer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes or a wrong state count.
+    pub fn decode(
+        d: &mut sirius_codec::Decoder<'_>,
+    ) -> Result<Self, sirius_codec::DecodeError> {
+        d.tag("gmm_scorer")?;
+        let n = d.u32()? as usize;
+        if n != NUM_STATES {
+            return Err(sirius_codec::DecodeError {
+                message: format!("expected {NUM_STATES} state models, found {n}"),
+                offset: 0,
+            });
+        }
+        let gmms = (0..n).map(|_| Gmm::decode(d)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { gmms })
+    }
+}
+
+impl AcousticScorer for GmmScorer {
+    fn score_utterance(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        frames
+            .iter()
+            .map(|f| self.gmms.iter().map(|g| g.log_likelihood(f)).collect())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "GMM"
+    }
+}
+
+/// Hybrid DNN/HMM emission scorer: scaled log-posteriors minus log-priors
+/// (the Kaldi/RASR path).
+#[derive(Debug, Clone)]
+pub struct DnnScorer {
+    dnn: Dnn,
+    log_priors: Vec<f32>,
+    /// Number of context frames on each side fed to the network.
+    context: usize,
+    /// Acoustic scale applied to the pseudo log-likelihoods.
+    scale: f32,
+}
+
+impl DnnScorer {
+    /// Creates a scorer from a trained network and state priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network output or prior vector is not [`NUM_STATES`]
+    /// wide.
+    pub fn new(dnn: Dnn, priors: &[f32], context: usize) -> Self {
+        assert_eq!(dnn.output_dim(), NUM_STATES, "DNN output width");
+        assert_eq!(priors.len(), NUM_STATES, "prior vector width");
+        let total: f32 = priors.iter().sum();
+        let log_priors = priors.iter().map(|p| (p / total).max(1e-8).ln()).collect();
+        Self {
+            dnn,
+            log_priors,
+            context,
+            scale: 1.2,
+        }
+    }
+
+    /// The underlying network.
+    pub fn dnn(&self) -> &Dnn {
+        &self.dnn
+    }
+
+    /// Builds the stacked context window for frame `t`.
+    pub fn context_window(frames: &[Vec<f32>], t: usize, context: usize) -> Vec<f32> {
+        let dim = frames[0].len();
+        let mut x = Vec::with_capacity(dim * (2 * context + 1));
+        let n = frames.len() as isize;
+        for off in -(context as isize)..=(context as isize) {
+            let idx = (t as isize + off).clamp(0, n - 1) as usize;
+            x.extend_from_slice(&frames[idx]);
+        }
+        x
+    }
+}
+
+impl DnnScorer {
+    /// Serializes the scorer.
+    pub fn encode(&self, e: &mut sirius_codec::Encoder) {
+        e.tag("dnn_scorer");
+        self.dnn.encode(e);
+        e.f32_slice(&self.log_priors);
+        e.u32(self.context as u32);
+        e.f32(self.scale);
+    }
+
+    /// Deserializes a scorer written by [`DnnScorer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or inconsistent bytes.
+    pub fn decode(
+        d: &mut sirius_codec::Decoder<'_>,
+    ) -> Result<Self, sirius_codec::DecodeError> {
+        d.tag("dnn_scorer")?;
+        let dnn = Dnn::decode(d)?;
+        let log_priors = d.f32_vec()?;
+        let context = d.u32()? as usize;
+        let scale = d.f32()?;
+        if dnn.output_dim() != NUM_STATES || log_priors.len() != NUM_STATES {
+            return Err(sirius_codec::DecodeError {
+                message: "scorer width mismatch".into(),
+                offset: 0,
+            });
+        }
+        Ok(Self {
+            dnn,
+            log_priors,
+            context,
+            scale,
+        })
+    }
+}
+
+impl AcousticScorer for DnnScorer {
+    fn score_utterance(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        (0..frames.len())
+            .map(|t| {
+                let x = Self::context_window(frames, t, self.context);
+                let lp = self.dnn.log_posteriors(&x);
+                lp.iter()
+                    .zip(&self.log_priors)
+                    .map(|(p, pr)| self.scale * (p - pr))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "DNN"
+    }
+}
+
+/// Decoder tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderConfig {
+    /// Log-domain pruning beam; larger is slower but more exact.
+    pub beam: f32,
+    /// Additive penalty applied when entering a new word.
+    pub word_insertion_penalty: f32,
+    /// Weight on language-model log-probabilities.
+    pub lm_weight: f32,
+    /// HMM self-loop probability.
+    pub self_loop: f32,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        Self {
+            beam: 2500.0,
+            word_insertion_penalty: -4.0,
+            lm_weight: 3.0,
+            self_loop: 0.6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChainState {
+    /// Tied emission state id.
+    emission: u16,
+    /// Word index, `u32::MAX` for the silence chain.
+    word: u32,
+}
+
+/// The decoding result plus search statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeResult {
+    /// Recognized words, in order.
+    pub words: Vec<String>,
+    /// Viterbi path log-score.
+    pub score: f32,
+    /// Log-score of the best competing acceptance state with a different
+    /// word history, if any. The gap to `score` is a confidence margin.
+    pub runner_up_score: Option<f32>,
+    /// Whether the path ended at a true acceptance state (a word end or
+    /// the inter-word silence). `false` means the beam pruned every
+    /// complete path and the best surviving mid-word token was accepted
+    /// as a fallback.
+    pub complete: bool,
+    /// Total tokens expanded (search effort).
+    pub tokens_expanded: usize,
+}
+
+impl DecodeResult {
+    /// A [0, 1] confidence estimate from the per-frame score margin between
+    /// the best hypothesis and its closest competitor.
+    pub fn confidence(&self, num_frames: usize) -> f32 {
+        match self.runner_up_score {
+            None => 1.0,
+            Some(second) => {
+                let margin = (self.score - second) / num_frames.max(1) as f32;
+                (margin / 2.0).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Beam Viterbi decoder over a word-loop graph.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    entries: Vec<ChainState>,
+    word_first: Vec<usize>,
+    word_last: Vec<usize>,
+    sil_first: usize,
+    sil_last: usize,
+    config: DecoderConfig,
+    num_words: usize,
+}
+
+const ROOT: u32 = u32::MAX;
+
+impl Decoder {
+    /// Builds the decoding graph for `lexicon` with configuration `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lexicon is empty.
+    pub fn new(lexicon: &Lexicon, config: DecoderConfig) -> Self {
+        assert!(!lexicon.is_empty(), "decoder needs a non-empty lexicon");
+        let mut entries = Vec::new();
+        let mut word_first = Vec::with_capacity(lexicon.len());
+        let mut word_last = Vec::with_capacity(lexicon.len());
+        for (w, _, pron) in lexicon.iter() {
+            word_first.push(entries.len());
+            for phone in pron {
+                for s in 0..STATES_PER_PHONE {
+                    entries.push(ChainState {
+                        emission: (phone.first_state() + s) as u16,
+                        word: w as u32,
+                    });
+                }
+            }
+            word_last.push(entries.len() - 1);
+        }
+        let sil_first = entries.len();
+        for s in 0..STATES_PER_PHONE {
+            entries.push(ChainState {
+                emission: (SIL.first_state() + s) as u16,
+                word: u32::MAX,
+            });
+        }
+        let sil_last = entries.len() - 1;
+        Self {
+            entries,
+            word_first,
+            word_last,
+            sil_first,
+            sil_last,
+            config,
+            num_words: lexicon.len(),
+        }
+    }
+
+    /// Number of graph states (search-space size).
+    pub fn num_graph_states(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The decoder's configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// First graph state of word `w`'s chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn word_first_state(&self, w: usize) -> usize {
+        self.word_first[w]
+    }
+
+    /// Last graph state of word `w`'s chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn word_last_state(&self, w: usize) -> usize {
+        self.word_last[w]
+    }
+
+    /// First state of the inter-word silence chain.
+    pub fn sil_first_state(&self) -> usize {
+        self.sil_first
+    }
+
+    /// Last state of the inter-word silence chain.
+    pub fn sil_last_state(&self) -> usize {
+        self.sil_last
+    }
+
+    /// Tied emission-state id of graph state `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn emission_of(&self, e: usize) -> usize {
+        self.entries[e].emission as usize
+    }
+
+    /// Whether graph state `e` ends a word chain.
+    pub fn is_word_end_state(&self, e: usize) -> bool {
+        let st = &self.entries[e];
+        st.word != u32::MAX && e == self.word_last[st.word as usize]
+    }
+
+    /// Decodes pre-scored emissions `emis[t][tied_state]` into words.
+    ///
+    /// Returns `None` if no complete path survives the beam.
+    pub fn decode_scores(&self, emis: &[Vec<f32>], lm: &BigramLm, lexicon: &Lexicon) -> Option<DecodeResult> {
+        let t_max = emis.len();
+        if t_max == 0 {
+            return None;
+        }
+        let n = self.entries.len();
+        let log_self = self.config.self_loop.ln();
+        let log_adv = (1.0 - self.config.self_loop).ln();
+        let wip = self.config.word_insertion_penalty;
+        let lmw = self.config.lm_weight;
+
+        let neg = f32::NEG_INFINITY;
+        let mut cur = vec![neg; n];
+        let mut cur_hist = vec![ROOT; n];
+        let mut nxt = vec![neg; n];
+        let mut nxt_hist = vec![ROOT; n];
+        // History arena: (word, previous entry index).
+        let mut arena: Vec<(u32, u32)> = Vec::with_capacity(1024);
+        let mut tokens_expanded = 0usize;
+
+        // Initialization at t = 0: silence or any word start.
+        cur[self.sil_first] = emis[0][self.entries[self.sil_first].emission as usize];
+        for w in 0..self.num_words {
+            let e = self.word_first[w];
+            arena.push((w as u32, ROOT));
+            cur[e] = lmw * lm.log_start(w) + wip + emis[0][self.entries[e].emission as usize];
+            cur_hist[e] = (arena.len() - 1) as u32;
+        }
+
+        for t in 1..t_max {
+            nxt.fill(neg);
+            let best = cur.iter().copied().fold(neg, f32::max);
+            if best == neg {
+                eprintln!("DBG died t={t}");
+                return None;
+            }
+            let threshold = best - self.config.beam;
+            let frame = &emis[t];
+            let relax = |target: usize, score: f32, hist: u32, nxt: &mut Vec<f32>, nxt_hist: &mut Vec<u32>| {
+                if score > nxt[target] {
+                    nxt[target] = score;
+                    nxt_hist[target] = hist;
+                }
+            };
+            for e in 0..n {
+                let s = cur[e];
+                if s < threshold {
+                    continue;
+                }
+                tokens_expanded += 1;
+                let hist = cur_hist[e];
+                let st = self.entries[e];
+                // Self loop.
+                relax(
+                    e,
+                    s + log_self + frame[st.emission as usize],
+                    hist,
+                    &mut nxt,
+                    &mut nxt_hist,
+                );
+                let is_word_end = st.word != u32::MAX
+                    && e == self.word_last[st.word as usize];
+                let in_sil = e >= self.sil_first;
+                if !is_word_end && e != self.sil_last {
+                    // Advance within the chain.
+                    let target = e + 1;
+                    relax(
+                        target,
+                        s + log_adv + frame[self.entries[target].emission as usize],
+                        hist,
+                        &mut nxt,
+                        &mut nxt_hist,
+                    );
+                }
+                if !is_word_end && !in_sil {
+                    continue;
+                }
+                // Exits: into silence (word ends only) and into new words.
+                // Silence is modelled with a flexible duration: any silence
+                // state may exit into a word, so short pauses do not require
+                // traversing the full 3-state chain.
+                let exit_score = s + log_adv;
+                if is_word_end {
+                    relax(
+                        self.sil_first,
+                        exit_score + frame[self.entries[self.sil_first].emission as usize],
+                        hist,
+                        &mut nxt,
+                        &mut nxt_hist,
+                    );
+                }
+                let prev_word = if hist == ROOT {
+                    None
+                } else {
+                    Some(arena[hist as usize].0 as usize)
+                };
+                for w in 0..self.num_words {
+                    let lm_score = match prev_word {
+                        Some(p) => lm.log_bigram(p, w),
+                        None => lm.log_start(w),
+                    };
+                    let target = self.word_first[w];
+                    let cand = exit_score
+                        + lmw * lm_score
+                        + wip
+                        + frame[self.entries[target].emission as usize];
+                    if cand > nxt[target] {
+                        arena.push((w as u32, hist));
+                        nxt[target] = cand;
+                        nxt_hist[target] = (arena.len() - 1) as u32;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            std::mem::swap(&mut cur_hist, &mut nxt_hist);
+        }
+
+        // Accept at word ends or anywhere in the (flexible-length) silence.
+        let mut best: Option<(f32, u32)> = None;
+        let mut accept: Vec<(f32, u32)> = Vec::new();
+        for w in 0..self.num_words {
+            let e = self.word_last[w];
+            if cur[e] > neg {
+                accept.push((cur[e], cur_hist[e]));
+                if best.is_none_or(|(b, _)| cur[e] > b) {
+                    best = Some((cur[e], cur_hist[e]));
+                }
+            }
+        }
+        for e in self.sil_first..=self.sil_last {
+            if cur[e] > neg {
+                accept.push((cur[e], cur_hist[e]));
+                if best.is_none_or(|(b, _)| cur[e] > b) {
+                    best = Some((cur[e], cur_hist[e]));
+                }
+            }
+        }
+        // Fallback: if no acceptance state survived the beam (very narrow
+        // beams on hard utterances), accept the best surviving token so the
+        // caller still gets the words recognized so far.
+        let complete = best.is_some();
+        if best.is_none() {
+            for e in 0..n {
+                if cur[e] > neg && best.is_none_or(|(b, _)| cur[e] > b) {
+                    best = Some((cur[e], cur_hist[e]));
+                }
+            }
+        }
+        let (score, best_hist) = best?;
+        // Runner-up: the best acceptance with a different word history.
+        let runner_up_score = accept
+            .iter()
+            .filter(|(_, h)| *h != best_hist)
+            .map(|(s, _)| *s)
+            .fold(None, |acc: Option<f32>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
+        let mut hist = best_hist;
+        let mut words_rev = Vec::new();
+        while hist != ROOT {
+            let (w, prev) = arena[hist as usize];
+            words_rev.push(lexicon.word(w as usize).to_owned());
+            hist = prev;
+        }
+        words_rev.reverse();
+        Some(DecodeResult {
+            words: words_rev,
+            score,
+            runner_up_score,
+            complete,
+            tokens_expanded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::NUM_PHONES;
+
+    fn tiny_lexicon() -> Lexicon {
+        Lexicon::from_texts(["go on", "no go"])
+    }
+
+    /// Builds synthetic emissions that strongly prefer the tied states of the
+    /// given phone sequence, `frames_per_state` frames each.
+    fn emissions_for(phones: &[(usize, usize)], frames_per_state: usize) -> Vec<Vec<f32>> {
+        let mut emis = Vec::new();
+        for &(phone, state) in phones {
+            for _ in 0..frames_per_state {
+                let mut frame = vec![-10.0f32; NUM_STATES];
+                frame[phone * STATES_PER_PHONE + state] = 0.0;
+                emis.push(frame);
+            }
+        }
+        emis
+    }
+
+    fn phone_id(c: char) -> usize {
+        (c as u8 - b'a') as usize
+    }
+
+    #[test]
+    fn decodes_a_clean_word() {
+        let lex = tiny_lexicon();
+        let lm = BigramLm::train(["go on", "no go"], &lex);
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        // "go": g(0,1,2) o(0,1,2)
+        let phones: Vec<(usize, usize)> = "go"
+            .chars()
+            .flat_map(|c| (0..3).map(move |s| (phone_id(c), s)))
+            .collect();
+        let emis = emissions_for(&phones, 3);
+        let out = dec.decode_scores(&emis, &lm, &lex).expect("decode");
+        assert_eq!(out.words, vec!["go"]);
+        assert!(out.tokens_expanded > 0);
+    }
+
+    #[test]
+    fn decodes_a_two_word_phrase_with_silence() {
+        let lex = tiny_lexicon();
+        let lm = BigramLm::train(["go on", "no go"], &lex);
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        let sil = NUM_PHONES - 1;
+        let mut phones: Vec<(usize, usize)> = Vec::new();
+        for c in "go".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        for s in 0..3 {
+            phones.push((sil, s));
+        }
+        for c in "on".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        let emis = emissions_for(&phones, 3);
+        let out = dec.decode_scores(&emis, &lm, &lex).expect("decode");
+        assert_eq!(out.words, vec!["go", "on"]);
+    }
+
+    #[test]
+    fn lm_disambiguates_similar_acoustics() {
+        // Lexicon where "on" follows "go" in the LM; acoustics are equally
+        // ambiguous between "on" and "no" (same letters, different order is
+        // acoustically distinct though, so instead we just verify the LM
+        // shifts scores): decoding "go ??" with weak emissions should prefer
+        // the LM-favoured continuation.
+        let lex = Lexicon::from_texts(["go on", "go on", "go on", "no go"]);
+        let lm = BigramLm::train(["go on", "go on", "go on", "no go"], &lex);
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        let sil = NUM_PHONES - 1;
+        let mut phones: Vec<(usize, usize)> = Vec::new();
+        for c in "go".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        for s in 0..3 {
+            phones.push((sil, s));
+        }
+        // Ambiguous segment: slight preference for 'o'+'n'.
+        for c in "on".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        let emis = emissions_for(&phones, 3);
+        let out = dec.decode_scores(&emis, &lm, &lex).expect("decode");
+        assert_eq!(out.words[0], "go");
+        assert_eq!(out.words.last().map(String::as_str), Some("on"));
+    }
+
+    #[test]
+    fn empty_emissions_return_none() {
+        let lex = tiny_lexicon();
+        let lm = BigramLm::train(["go on"], &lex);
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        assert!(dec.decode_scores(&[], &lm, &lex).is_none());
+    }
+
+    #[test]
+    fn graph_size_matches_lexicon() {
+        let lex = tiny_lexicon();
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        // go(2)+on(2)+no(2) letters = 6 phones * 3 states + 3 silence.
+        assert_eq!(dec.num_graph_states(), 6 * 3 + 3);
+    }
+
+    #[test]
+    fn narrow_beam_expands_fewer_tokens() {
+        let lex = tiny_lexicon();
+        let lm = BigramLm::train(["go on", "no go"], &lex);
+        let phones: Vec<(usize, usize)> = "go"
+            .chars()
+            .flat_map(|c| (0..3).map(move |s| (phone_id(c), s)))
+            .collect();
+        let emis = emissions_for(&phones, 4);
+        let wide = Decoder::new(&lex, DecoderConfig::default())
+            .decode_scores(&emis, &lm, &lex)
+            .expect("wide decode");
+        let narrow = Decoder::new(
+            &lex,
+            DecoderConfig {
+                beam: 4.0,
+                ..DecoderConfig::default()
+            },
+        )
+        .decode_scores(&emis, &lm, &lex)
+        .expect("narrow decode");
+        assert!(narrow.tokens_expanded <= wide.tokens_expanded);
+    }
+}
+
+#[cfg(test)]
+mod scorer_tests {
+    use super::*;
+    use crate::dnn::Dnn;
+    use crate::features::FEATURE_DIM;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn context_window_clamps_at_edges() {
+        let frames = vec![vec![1.0f32; 4], vec![2.0; 4], vec![3.0; 4]];
+        let w = DnnScorer::context_window(&frames, 0, 1);
+        assert_eq!(w.len(), 12);
+        // Left context clamps to frame 0.
+        assert_eq!(&w[0..4], &[1.0; 4]);
+        assert_eq!(&w[4..8], &[1.0; 4]);
+        assert_eq!(&w[8..12], &[2.0; 4]);
+        let w = DnnScorer::context_window(&frames, 2, 1);
+        assert_eq!(&w[8..12], &[3.0; 4], "right context clamps to last frame");
+    }
+
+    #[test]
+    fn dnn_scorer_produces_full_state_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Dnn::new(&[FEATURE_DIM * 3, 16, NUM_STATES], &mut rng);
+        let scorer = DnnScorer::new(net, &vec![1.0; NUM_STATES], 1);
+        let frames = vec![vec![0.1f32; FEATURE_DIM]; 5];
+        let scores = scorer.score_utterance(&frames);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|r| r.len() == NUM_STATES));
+        assert!(scores.iter().flatten().all(|s| s.is_finite()));
+        assert_eq!(scorer.name(), "DNN");
+    }
+
+    #[test]
+    fn uniform_priors_leave_relative_scores_unchanged() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = Dnn::new(&[FEATURE_DIM * 3, 16, NUM_STATES], &mut rng);
+        let uniform = DnnScorer::new(net.clone(), &vec![1.0; NUM_STATES], 1);
+        // Non-uniform priors must change scores for frequent states.
+        let mut priors = vec![1.0f32; NUM_STATES];
+        priors[0] = 100.0;
+        let skewed = DnnScorer::new(net, &priors, 1);
+        let frames = vec![vec![0.2f32; FEATURE_DIM]; 2];
+        let u = uniform.score_utterance(&frames);
+        let s = skewed.score_utterance(&frames);
+        // Hybrid scoring divides by the prior: a larger prior for state 0
+        // lowers its pseudo-likelihood.
+        assert!(s[0][0] < u[0][0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one GMM per tied state")]
+    fn wrong_gmm_count_panics() {
+        let _ = GmmScorer::new(Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod beam_property_tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// A wider beam never produces a worse Viterbi score.
+        #[test]
+        fn wider_beams_never_score_worse(seed in 0u64..50) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let lex = Lexicon::from_texts(["go on", "no go"]);
+            let lm = crate::lm::BigramLm::train(["go on", "no go"], &lex);
+            // Random emissions over 20 frames.
+            let emis: Vec<Vec<f32>> = (0..20)
+                .map(|_| (0..NUM_STATES).map(|_| rng.gen_range(-30.0f32..0.0)).collect())
+                .collect();
+            let decode = |beam: f32| {
+                Decoder::new(&lex, DecoderConfig { beam, ..DecoderConfig::default() })
+                    .decode_scores(&emis, &lm, &lex)
+            };
+            let narrow = decode(5.0);
+            let wide = decode(500.0);
+            if let (Some(n), Some(w)) = (narrow, wide) {
+                // Fallback (incomplete) scores are not comparable: they end
+                // mid-word and skip the acceptance constraint.
+                if n.complete && w.complete {
+                    prop_assert!(w.score >= n.score - 1e-3,
+                        "wide {} < narrow {}", w.score, n.score);
+                }
+                prop_assert!(w.complete, "a 500-wide beam must complete");
+            }
+        }
+    }
+}

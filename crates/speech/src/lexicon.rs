@@ -1,0 +1,382 @@
+//! Phoneme inventory, pronunciation lexicon and text normalization.
+//!
+//! The reproduction uses a grapheme-derived phoneme inventory: each letter
+//! maps to one phone (plus a silence phone), so a pronunciation dictionary
+//! can be derived for any vocabulary. This substitutes for CMU Sphinx's
+//! CMUdict, which we cannot ship; the acoustic distinctions are synthetic
+//! anyway (see [`crate::synth`]), so a 27-phone inventory exercises the same
+//! decoder structure with measurable accuracy.
+
+/// Number of distinct phones: 26 letters + silence.
+pub const NUM_PHONES: usize = 27;
+/// The silence phone id.
+pub const SIL: Phone = Phone(26);
+/// Emitting HMM states per phone (classic 3-state left-to-right topology).
+pub const STATES_PER_PHONE: usize = 3;
+/// Total number of tied HMM emission states.
+pub const NUM_STATES: usize = NUM_PHONES * STATES_PER_PHONE;
+
+/// A phone identifier in `0..NUM_PHONES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Phone(pub u8);
+
+impl Phone {
+    /// The phone for a lowercase ASCII letter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in `'a'..='z'`.
+    pub fn from_letter(c: char) -> Self {
+        assert!(c.is_ascii_lowercase(), "phone letters are a-z, got {c:?}");
+        Phone(c as u8 - b'a')
+    }
+
+    /// The letter for this phone, or `'-'` for silence.
+    pub fn letter(self) -> char {
+        if self == SIL {
+            '-'
+        } else {
+            (b'a' + self.0) as char
+        }
+    }
+
+    /// The first tied HMM state id of this phone.
+    pub fn first_state(self) -> usize {
+        self.0 as usize * STATES_PER_PHONE
+    }
+}
+
+impl std::fmt::Display for Phone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Derives the pronunciation (phone string) of a word.
+///
+/// Non-letter characters are dropped; the word must contain at least one
+/// ASCII letter after lowercasing.
+pub fn pronounce(word: &str) -> Vec<Phone> {
+    word.chars()
+        .flat_map(char::to_lowercase)
+        .filter(char::is_ascii_lowercase)
+        .map(Phone::from_letter)
+        .collect()
+}
+
+/// A pronunciation lexicon over a closed vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    words: Vec<String>,
+    prons: Vec<Vec<Phone>>,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a lexicon from every word of every sentence in `texts`.
+    pub fn from_texts<'a, I: IntoIterator<Item = &'a str>>(texts: I) -> Self {
+        let mut lex = Self::new();
+        for text in texts {
+            for word in normalize_text(text).split_whitespace() {
+                lex.add_word(word);
+            }
+        }
+        lex
+    }
+
+    /// Adds `word` (idempotent). Returns its index.
+    pub fn add_word(&mut self, word: &str) -> usize {
+        let w = word.to_lowercase();
+        if let Some(i) = self.words.iter().position(|x| *x == w) {
+            return i;
+        }
+        let pron = pronounce(&w);
+        assert!(!pron.is_empty(), "word {word:?} has no pronounceable letters");
+        self.words.push(w);
+        self.prons.push(pron);
+        self.words.len() - 1
+    }
+
+    /// Number of vocabulary words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn word(&self, index: usize) -> &str {
+        &self.words[index]
+    }
+
+    /// The pronunciation of word `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn pron(&self, index: usize) -> &[Phone] {
+        &self.prons[index]
+    }
+
+    /// Looks up a word's index.
+    pub fn word_index(&self, word: &str) -> Option<usize> {
+        let w = word.to_lowercase();
+        self.words.iter().position(|x| *x == w)
+    }
+
+    /// Iterates over `(index, word, pronunciation)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str, &[Phone])> {
+        self.words
+            .iter()
+            .zip(&self.prons)
+            .enumerate()
+            .map(|(i, (w, p))| (i, w.as_str(), p.as_slice()))
+    }
+}
+
+impl Lexicon {
+    /// Serializes the lexicon (pronunciations are re-derived on decode).
+    pub fn encode(&self, e: &mut sirius_codec::Encoder) {
+        e.tag("lexicon");
+        e.str_slice(&self.words);
+    }
+
+    /// Deserializes a lexicon written by [`Lexicon::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes or unpronounceable words.
+    pub fn decode(
+        d: &mut sirius_codec::Decoder<'_>,
+    ) -> Result<Self, sirius_codec::DecodeError> {
+        d.tag("lexicon")?;
+        let words = d.str_vec()?;
+        let mut lex = Self::new();
+        for w in &words {
+            if pronounce(w).is_empty() {
+                return Err(sirius_codec::DecodeError {
+                    message: format!("unpronounceable word {w:?}"),
+                    offset: 0,
+                });
+            }
+            lex.add_word(w);
+        }
+        Ok(lex)
+    }
+}
+
+/// Normalizes query text to spoken words: lowercases, expands digits and
+/// ordinals ("44th" → "forty fourth", "8" → "eight"), drops punctuation.
+pub fn normalize_text(text: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for raw in text.split_whitespace() {
+        let token: String = raw
+            .chars()
+            .flat_map(char::to_lowercase)
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if token.is_empty() {
+            continue;
+        }
+        if token.chars().any(|c| c.is_ascii_digit()) {
+            out.extend(expand_numeric(&token));
+        } else {
+            out.push(token);
+        }
+    }
+    out.join(" ")
+}
+
+fn expand_numeric(token: &str) -> Vec<String> {
+    // Split the token into alternating alpha/digit runs and expand each
+    // digit run ("44th" → "forty fourth", "8am" → "eight am",
+    // "a0" → "a zero"), so normalization is idempotent.
+    let mut runs: Vec<(bool, String)> = Vec::new();
+    for c in token.chars() {
+        let is_digit = c.is_ascii_digit();
+        match runs.last_mut() {
+            Some((d, s)) if *d == is_digit => s.push(c),
+            _ => runs.push((is_digit, c.to_string())),
+        }
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < runs.len() {
+        let (is_digit, run) = &runs[i];
+        if *is_digit {
+            let n: u64 = run.parse().unwrap_or(0);
+            // An immediately following "th"/"st"/"nd"/"rd" marks an ordinal.
+            let ordinal = runs
+                .get(i + 1)
+                .is_some_and(|(d, s)| !d && matches!(s.as_str(), "th" | "st" | "nd" | "rd"));
+            out.extend(number_to_words(n, ordinal));
+            i += if ordinal { 2 } else { 1 };
+        } else {
+            out.push(run.clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+const ONES: [&str; 20] = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+    "nineteen",
+];
+const TENS: [&str; 10] = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+];
+const ONES_ORD: [&str; 20] = [
+    "zeroth", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth",
+    "ninth", "tenth", "eleventh", "twelfth", "thirteenth", "fourteenth", "fifteenth",
+    "sixteenth", "seventeenth", "eighteenth", "nineteenth",
+];
+
+/// Converts `n` to English words (cardinal or ordinal), supporting 0..=9999.
+pub fn number_to_words(n: u64, ordinal: bool) -> Vec<String> {
+    if n >= 10_000 {
+        // Spell digit-by-digit for large numbers (e.g. years beyond range).
+        return n
+            .to_string()
+            .chars()
+            .map(|c| ONES[c.to_digit(10).expect("digit") as usize].to_owned())
+            .collect();
+    }
+    let mut words: Vec<String> = Vec::new();
+    let mut rest = n;
+    if rest >= 1000 {
+        words.push(ONES[(rest / 1000) as usize].to_owned());
+        words.push("thousand".to_owned());
+        rest %= 1000;
+    }
+    if rest >= 100 {
+        words.push(ONES[(rest / 100) as usize].to_owned());
+        words.push("hundred".to_owned());
+        rest %= 100;
+    }
+    if rest > 0 || words.is_empty() {
+        if rest < 20 {
+            words.push(if ordinal && rest < 20 {
+                ONES_ORD[rest as usize].to_owned()
+            } else {
+                ONES[rest as usize].to_owned()
+            });
+            return finish(words, ordinal, true);
+        }
+        let t = (rest / 10) as usize;
+        let o = (rest % 10) as usize;
+        if o == 0 {
+            let tens = TENS[t].to_owned();
+            words.push(if ordinal {
+                // twenty → twentieth
+                format!("{}ieth", tens.trim_end_matches('y'))
+            } else {
+                tens
+            });
+            return finish(words, ordinal, true);
+        }
+        words.push(TENS[t].to_owned());
+        words.push(if ordinal {
+            ONES_ORD[o].to_owned()
+        } else {
+            ONES[o].to_owned()
+        });
+        return finish(words, ordinal, true);
+    }
+    finish(words, ordinal, false)
+}
+
+fn finish(mut words: Vec<String>, ordinal: bool, last_inflected: bool) -> Vec<String> {
+    if ordinal && !last_inflected {
+        if let Some(last) = words.last_mut() {
+            last.push_str("th"); // "hundred" → "hundredth"
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_round_trip() {
+        for c in 'a'..='z' {
+            assert_eq!(Phone::from_letter(c).letter(), c);
+        }
+        assert_eq!(SIL.letter(), '-');
+    }
+
+    #[test]
+    fn pronounce_strips_non_letters() {
+        let p = pronounce("Alarm!");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], Phone::from_letter('a'));
+    }
+
+    #[test]
+    fn lexicon_dedupes_and_indexes() {
+        let mut lex = Lexicon::new();
+        let a = lex.add_word("alarm");
+        let b = lex.add_word("Alarm");
+        assert_eq!(a, b);
+        assert_eq!(lex.len(), 1);
+        assert_eq!(lex.word_index("ALARM"), Some(a));
+        assert_eq!(lex.word(a), "alarm");
+        assert_eq!(lex.pron(a).len(), 5);
+    }
+
+    #[test]
+    fn lexicon_from_texts_covers_all_words() {
+        let lex = Lexicon::from_texts(["set my alarm", "who was elected"]);
+        for w in ["set", "my", "alarm", "who", "was", "elected"] {
+            assert!(lex.word_index(w).is_some(), "{w} missing");
+        }
+    }
+
+    #[test]
+    fn normalize_expands_numbers() {
+        assert_eq!(normalize_text("Set my alarm for 8am."), "set my alarm for eight am");
+        assert_eq!(
+            normalize_text("Who was elected 44th president?"),
+            "who was elected forty fourth president"
+        );
+        assert_eq!(normalize_text("in 1990"), "in one thousand nine hundred ninety");
+        assert_eq!(normalize_text("the 2nd door"), "the second door");
+        assert_eq!(normalize_text("20th century"), "twentieth century");
+        assert_eq!(normalize_text("100th day"), "one hundredth day");
+    }
+
+    #[test]
+    fn number_words_basic() {
+        assert_eq!(number_to_words(0, false), vec!["zero"]);
+        assert_eq!(number_to_words(13, false), vec!["thirteen"]);
+        assert_eq!(number_to_words(44, false), vec!["forty", "four"]);
+        assert_eq!(number_to_words(44, true), vec!["forty", "fourth"]);
+        assert_eq!(
+            number_to_words(2015, false),
+            vec!["two", "thousand", "fifteen"]
+        );
+        assert_eq!(number_to_words(123456, false).len(), 6);
+    }
+
+    #[test]
+    fn first_state_layout() {
+        assert_eq!(Phone::from_letter('a').first_state(), 0);
+        assert_eq!(Phone::from_letter('b').first_state(), 3);
+        assert_eq!(SIL.first_state(), 78);
+        assert_eq!(NUM_STATES, 81);
+    }
+}

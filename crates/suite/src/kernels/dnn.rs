@@ -1,0 +1,100 @@
+//! Sirius Suite DNN kernel: batched feed-forward scoring (baseline: RWTH
+//! RASR's DNN scoring).
+//!
+//! Granularity: "for each matrix multiplication" — each frame's forward pass
+//! is a chain of matrix-vector products; the parallel port splits the frame
+//! batch across threads (paper Table 4, Section 4.4.1).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sirius_speech::dnn::Dnn;
+
+use crate::parallel::{checksum_f32, chunked_map};
+use crate::{Kernel, Service};
+
+/// Input dimensionality (stacked MFCC context window).
+pub const INPUT_DIM: usize = 120;
+/// Hidden layer width.
+pub const HIDDEN: usize = 256;
+/// Output classes (tied HMM states).
+pub const OUTPUTS: usize = 128;
+
+/// The DNN forward-pass kernel input.
+#[derive(Debug)]
+pub struct DnnKernel {
+    net: Dnn,
+    frames: Vec<Vec<f32>>,
+}
+
+impl DnnKernel {
+    /// Generates an input set; `scale` multiplies the frame count
+    /// (scale 1.0 ≈ 512 frames).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = Dnn::new(&[INPUT_DIM, HIDDEN, HIDDEN, OUTPUTS], &mut rng);
+        let n = ((512.0 * scale).ceil() as usize).max(1);
+        let frames = (0..n)
+            .map(|_| (0..INPUT_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        Self { net, frames }
+    }
+
+    fn forward_checksum(&self, i: usize) -> u64 {
+        self.net
+            .forward(&self.frames[i])
+            .iter()
+            .map(|&p| checksum_f32(p))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Kernel for DnnKernel {
+    fn name(&self) -> &'static str {
+        "DNN"
+    }
+
+    fn service(&self) -> Service {
+        Service::Asr
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "RWTH RASR"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each matrix multiplication"
+    }
+
+    fn items(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.frames.len()).fold(0u64, |acc, i| acc.wrapping_add(self.forward_checksum(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.frames.len(), threads, |i| self.forward_checksum(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_equals_parallel() {
+        let k = DnnKernel::generate(0.02, 5);
+        assert_eq!(k.run_baseline(), k.run_parallel(3));
+    }
+
+    #[test]
+    fn network_shape_is_as_documented() {
+        let k = DnnKernel::generate(0.01, 6);
+        assert_eq!(k.net.input_dim(), INPUT_DIM);
+        assert_eq!(k.net.output_dim(), OUTPUTS);
+        assert_eq!(k.net.num_hidden_layers(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sirius Suite FD kernel: SURF feature description for a vector of
+//! keypoints (baseline: SURF descriptor).
+//!
+//! Granularity: "for each keypoint" — orientation assignment and descriptor
+//! accumulation are independent per keypoint, so the port splits the
+//! keypoint vector across threads.
+
+use sirius_vision::integral::IntegralImage;
+use sirius_vision::surf::{self, KeyPoint, SurfConfig};
+use sirius_vision::synth;
+
+use crate::parallel::{checksum_f32, chunked_map};
+use crate::{Kernel, Service};
+
+/// The feature-description kernel input: an integral image and keypoints.
+pub struct FdKernel {
+    integral: IntegralImage,
+    keypoints: Vec<KeyPoint>,
+    config: SurfConfig,
+}
+
+impl std::fmt::Debug for FdKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FdKernel")
+            .field("keypoints", &self.keypoints.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FdKernel {
+    /// Generates an input set; `scale` multiplies the keypoint count by
+    /// replicating detections with jittered positions (scale 1.0 ≈ several
+    /// hundred keypoints).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let image = synth::generate_scene(seed, 384, 288);
+        let config = SurfConfig::default();
+        let integral = IntegralImage::new(&image);
+        let detected = surf::detect_on_integral(&integral, &config);
+        let target = ((detected.len().max(1) as f64) * (4.0 * scale).max(0.05)).ceil() as usize;
+        let mut keypoints = Vec::with_capacity(target.max(1));
+        let mut i = 0usize;
+        while keypoints.len() < target.max(1) {
+            let mut kp = detected[i % detected.len().max(1)];
+            // Jitter replicas so the work is not byte-identical.
+            let rep = (i / detected.len().max(1)) as f32;
+            kp.x = (kp.x + rep).min(image.width() as f32 - 1.0);
+            keypoints.push(kp);
+            i += 1;
+        }
+        Self {
+            integral,
+            keypoints,
+            config,
+        }
+    }
+
+    fn describe_checksum(&self, i: usize) -> u64 {
+        let mut kp = self.keypoints[i];
+        kp.orientation = if self.config.upright {
+            0.0
+        } else {
+            surf::assign_orientation(&self.integral, &kp)
+        };
+        surf::describe_keypoint(&self.integral, &kp)
+            .0
+            .iter()
+            .map(|&v| checksum_f32(v))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Kernel for FdKernel {
+    fn name(&self) -> &'static str {
+        "FD"
+    }
+
+    fn service(&self) -> Service {
+        Service::Imm
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "SURF"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each keypoint"
+    }
+
+    fn items(&self) -> usize {
+        self.keypoints.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.keypoints.len()).fold(0u64, |acc, i| acc.wrapping_add(self.describe_checksum(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.keypoints.len(), threads, |i| self.describe_checksum(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_equals_parallel() {
+        let k = FdKernel::generate(0.05, 31);
+        assert_eq!(k.run_baseline(), k.run_parallel(4));
+    }
+
+    #[test]
+    fn keypoint_count_scales() {
+        let small = FdKernel::generate(0.05, 32);
+        let large = FdKernel::generate(0.5, 32);
+        assert!(large.items() > small.items());
+    }
+}

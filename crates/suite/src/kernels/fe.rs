@@ -1,0 +1,139 @@
+//! Sirius Suite FE kernel: SURF feature extraction (baseline: SURF detector
+//! over the whole image).
+//!
+//! Granularity: "for each image tile" — the multicore port pre-tiles the
+//! image and assigns tiles to threads, exactly the paper's strategy:
+//! "Each thread of the CPU is assigned one or more tiles of the input image
+//! ... as the tile size decreases, the number of 'good' keypoints decreases,
+//! so we fix the tile size to a minimum of 50×50 per thread"
+//! (Section 4.3.1). Tiling changes the detected keypoint set at tile
+//! borders, so this kernel is validated approximately, not bit-exactly.
+
+use sirius_vision::image::GrayImage;
+use sirius_vision::surf::{self, SurfConfig};
+use sirius_vision::synth;
+
+use crate::parallel::dynamic_map;
+use crate::{Kernel, Service};
+
+/// Minimum tile side enforced by the port (the paper's 50×50 floor).
+pub const MIN_TILE: usize = 50;
+
+/// The feature-extraction kernel input: one image and a tile grid.
+#[derive(Debug)]
+pub struct FeKernel {
+    image: GrayImage,
+    tile: usize,
+    config: SurfConfig,
+}
+
+impl FeKernel {
+    /// Generates an input image; `scale` controls image area
+    /// (scale 1.0 ≈ 512×384).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let f = scale.sqrt().max(0.2);
+        let w = ((512.0 * f) as usize).max(96);
+        let h = ((384.0 * f) as usize).max(96);
+        Self {
+            image: synth::generate_scene(seed, w, h),
+            tile: 128,
+            config: SurfConfig::default(),
+        }
+    }
+
+    /// Creates a kernel over a caller-provided image with a given tile size
+    /// (clamped to the paper's 50×50 minimum). Used by the tile-size
+    /// ablation bench.
+    pub fn with_tile_size(image: GrayImage, tile: usize) -> Self {
+        Self {
+            image,
+            tile: tile.max(MIN_TILE),
+            config: SurfConfig::default(),
+        }
+    }
+
+    /// Number of keypoints found by the sequential whole-image detector.
+    pub fn baseline_keypoints(&self) -> usize {
+        surf::detect(&self.image, &self.config).len()
+    }
+
+    /// Number of keypoints found by the tiled port.
+    pub fn tiled_keypoints(&self, threads: usize) -> usize {
+        self.run_parallel(threads) as usize
+    }
+}
+
+fn keypoint_count_checksum(kps: usize) -> u64 {
+    kps as u64
+}
+
+impl Kernel for FeKernel {
+    fn name(&self) -> &'static str {
+        "FE"
+    }
+
+    fn service(&self) -> Service {
+        Service::Imm
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "SURF"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each image tile"
+    }
+
+    fn items(&self) -> usize {
+        self.image.tiles(self.tile, self.tile).len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        keypoint_count_checksum(surf::detect(&self.image, &self.config).len())
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        let tiles = self.image.tiles(self.tile, self.tile);
+        // Tiles have irregular keypoint density; use work-queue scheduling.
+        dynamic_map(tiles.len(), threads, |i| {
+            let (_, _, tile) = &tiles[i];
+            keypoint_count_checksum(surf::detect(tile, &self.config).len())
+        })
+    }
+
+    fn exact(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_detection_finds_comparable_keypoints() {
+        let k = FeKernel::generate(0.4, 21);
+        let base = k.baseline_keypoints();
+        let tiled = k.tiled_keypoints(4);
+        assert!(base > 0, "baseline found nothing");
+        // The paper accepts keypoint loss from tiling; sanity-check the
+        // ports stay within a factor of two of each other.
+        assert!(
+            tiled * 2 >= base && base * 3 >= tiled,
+            "base={base} tiled={tiled}"
+        );
+    }
+
+    #[test]
+    fn tile_size_is_floored_at_50() {
+        let img = synth::generate_scene(1, 128, 128);
+        let k = FeKernel::with_tile_size(img, 10);
+        assert_eq!(k.tile, MIN_TILE);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let k = FeKernel::generate(0.2, 22);
+        assert_eq!(k.run_parallel(1), k.run_parallel(4));
+    }
+}

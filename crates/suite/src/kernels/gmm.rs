@@ -1,0 +1,229 @@
+//! Sirius Suite GMM kernel: acoustic scoring of feature vectors against a
+//! bank of Gaussian mixtures (baseline: CMU Sphinx acoustic scoring).
+//!
+//! Granularity: "for each HMM state" — every (frame, state) pair is an
+//! independent log-likelihood evaluation; the parallel port splits frames
+//! across threads, each scoring all states (paper Table 4, Section 4.4.1).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sirius_speech::gmm::Gmm;
+
+use crate::parallel::{checksum_f32, chunked_map};
+use crate::{Kernel, Service};
+
+/// The GMM scoring kernel input: a senone bank and a batch of frames.
+#[derive(Debug)]
+pub struct GmmKernel {
+    states: Vec<Gmm>,
+    frames: Vec<Vec<f32>>,
+    /// Raw parameters in component-major (AoS) layout, for the layout
+    /// ablation: `aos[state][component * DIM + d]` pairs of (mean, prec).
+    aos_params: Vec<Vec<(f32, f32)>>,
+    /// The same parameters in dimension-major (SoA) layout:
+    /// `soa[state][d * COMPONENTS + component]`.
+    soa_params: Vec<Vec<(f32, f32)>>,
+    /// Per-(state, component) `log weight + log normalizer` offsets.
+    offsets: Vec<Vec<f32>>,
+}
+
+/// Feature dimensionality (Sphinx-like).
+pub const DIM: usize = 32;
+/// Mixture components per state.
+pub const COMPONENTS: usize = 8;
+/// Number of tied states in the bank.
+pub const NUM_STATES: usize = 128;
+
+impl GmmKernel {
+    /// Generates an input set; `scale` multiplies the frame count
+    /// (scale 1.0 ≈ 256 frames).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(NUM_STATES);
+        let mut aos_params = Vec::with_capacity(NUM_STATES);
+        let mut soa_params = Vec::with_capacity(NUM_STATES);
+        let mut offsets = Vec::with_capacity(NUM_STATES);
+        for _ in 0..NUM_STATES {
+            let means: Vec<f32> = (0..COMPONENTS * DIM)
+                .map(|_| rng.gen_range(-3.0f32..3.0))
+                .collect();
+            let vars: Vec<f32> = (0..COMPONENTS * DIM)
+                .map(|_| rng.gen_range(0.2f32..2.0))
+                .collect();
+            let weights: Vec<f32> =
+                (0..COMPONENTS).map(|_| rng.gen_range(0.1f32..1.0)).collect();
+            // AoS (component-major) raw parameters.
+            let aos: Vec<(f32, f32)> = means
+                .iter()
+                .zip(&vars)
+                .map(|(&m, &v)| (m, 1.0 / (2.0 * v)))
+                .collect();
+            // SoA (dimension-major) transposition.
+            let mut soa = vec![(0.0f32, 0.0f32); COMPONENTS * DIM];
+            for k in 0..COMPONENTS {
+                for d in 0..DIM {
+                    soa[d * COMPONENTS + k] = aos[k * DIM + d];
+                }
+            }
+            let wsum: f32 = weights.iter().sum();
+            let offs: Vec<f32> = (0..COMPONENTS)
+                .map(|k| {
+                    let log_det: f32 =
+                        vars[k * DIM..(k + 1) * DIM].iter().map(|v| v.ln()).sum();
+                    (weights[k] / wsum).ln()
+                        - 0.5 * (DIM as f32 * (2.0 * std::f32::consts::PI).ln() + log_det)
+                })
+                .collect();
+            states.push(Gmm::from_params(DIM, means, vars, weights));
+            aos_params.push(aos);
+            soa_params.push(soa);
+            offsets.push(offs);
+        }
+        let n = ((256.0 * scale).ceil() as usize).max(1);
+        let frames = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+            .collect();
+        Self {
+            states,
+            frames,
+            aos_params,
+            soa_params,
+            offsets,
+        }
+    }
+
+    fn score_frame(&self, i: usize) -> u64 {
+        let frame = &self.frames[i];
+        self.states
+            .iter()
+            .map(|g| checksum_f32(g.log_likelihood(frame)))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Scores one frame with the component-major (AoS) layout: the natural
+    /// CPU layout, which produces strided accesses when a SIMD lane per
+    /// component walks the dimensions.
+    pub fn score_frame_aos(&self, i: usize) -> f32 {
+        let frame = &self.frames[i];
+        let mut total = 0.0f32;
+        for (params, offs) in self.aos_params.iter().zip(&self.offsets) {
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..COMPONENTS {
+                let mut dist = 0.0f32;
+                for d in 0..DIM {
+                    let (mean, prec) = params[k * DIM + d];
+                    let diff = frame[d] - mean;
+                    dist += diff * diff * prec;
+                }
+                best = best.max(offs[k] - dist);
+            }
+            total += best;
+        }
+        total
+    }
+
+    /// Scores one frame with the dimension-major (SoA) layout, the
+    /// coalescing-friendly transposition the paper applies for its GPU port
+    /// ("optimizing the data structure layout to ensure coalesced global
+    /// memory accesses", Section 4.4.1): all components advance through the
+    /// dimensions together.
+    pub fn score_frame_soa(&self, i: usize) -> f32 {
+        let frame = &self.frames[i];
+        let mut total = 0.0f32;
+        let mut dists = [0.0f32; COMPONENTS];
+        for (params, offs) in self.soa_params.iter().zip(&self.offsets) {
+            dists.fill(0.0);
+            for d in 0..DIM {
+                let x = frame[d];
+                let row = &params[d * COMPONENTS..(d + 1) * COMPONENTS];
+                for (k, &(mean, prec)) in row.iter().enumerate() {
+                    let diff = x - mean;
+                    dists[k] += diff * diff * prec;
+                }
+            }
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..COMPONENTS {
+                best = best.max(offs[k] - dists[k]);
+            }
+            total += best;
+        }
+        total
+    }
+
+    /// Runs the whole batch under one layout; used by the layout ablation.
+    pub fn run_layout(&self, soa: bool) -> f64 {
+        (0..self.frames.len())
+            .map(|i| {
+                f64::from(if soa {
+                    self.score_frame_soa(i)
+                } else {
+                    self.score_frame_aos(i)
+                })
+            })
+            .sum()
+    }
+}
+
+impl Kernel for GmmKernel {
+    fn name(&self) -> &'static str {
+        "GMM"
+    }
+
+    fn service(&self) -> Service {
+        Service::Asr
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "CMU Sphinx"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each HMM state"
+    }
+
+    fn items(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.frames.len()).fold(0u64, |acc, i| acc.wrapping_add(self.score_frame(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.frames.len(), threads, |i| self.score_frame(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_equals_parallel() {
+        let k = GmmKernel::generate(0.05, 9);
+        assert_eq!(k.run_baseline(), k.run_parallel(4));
+    }
+
+    #[test]
+    fn scale_controls_items() {
+        assert!(GmmKernel::generate(0.1, 1).items() < GmmKernel::generate(1.0, 1).items());
+    }
+
+    #[test]
+    fn aos_and_soa_layouts_agree() {
+        let k = GmmKernel::generate(0.05, 10);
+        for i in 0..k.items() {
+            let aos = k.score_frame_aos(i);
+            let soa = k.score_frame_soa(i);
+            assert!(
+                (aos - soa).abs() <= 1e-2 * aos.abs().max(1.0),
+                "frame {i}: aos {aos} vs soa {soa}"
+            );
+        }
+        let a = k.run_layout(false);
+        let b = k.run_layout(true);
+        assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0));
+    }
+}

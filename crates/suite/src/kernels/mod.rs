@@ -1,0 +1,9 @@
+//! The seven Sirius Suite kernels (paper Table 4).
+
+pub mod crf;
+pub mod dnn;
+pub mod fd;
+pub mod fe;
+pub mod gmm;
+pub mod regex;
+pub mod stemmer;

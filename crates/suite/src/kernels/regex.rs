@@ -1,0 +1,167 @@
+//! Sirius Suite Regex kernel: matching a battery of expressions against a
+//! sentence set (baseline: SLRE; input: 100 expressions / 400 sentences).
+//!
+//! Granularity: "for each regex-sentence pair" — the parallel port flattens
+//! the (expression × sentence) grid and splits the pairs across threads.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sirius_nlp::regex::Regex;
+
+use crate::parallel::chunked_map;
+use crate::{Kernel, Service};
+
+/// The regex kernel input: compiled patterns and a sentence set.
+#[derive(Debug)]
+pub struct RegexKernel {
+    patterns: Vec<Regex>,
+    sentences: Vec<String>,
+}
+
+/// Number of expressions (paper: 100).
+pub const NUM_PATTERNS: usize = 100;
+
+const WORDS: &[&str] = &[
+    "the", "president", "capital", "restaurant", "closes", "at", "10", "pm", "who", "what",
+    "elected", "44th", "city", "famous", "alarm", "set", "for", "8am", "where", "italy",
+    "harry", "potter", "author", "of", "is", "in", "opened", "1990", "2015", "this",
+];
+
+fn pattern_battery(rng: &mut impl Rng) -> Vec<Regex> {
+    // A core of question-analysis patterns plus generated variants, matching
+    // the paper's mix of query-word and token-shape filters.
+    let mut sources: Vec<String> = vec![
+        r"^(what|who|where|when|which|why|how)$".into(),
+        r"[0-9]+(th|st|nd|rd)".into(),
+        r"^[A-Z][a-z]+".into(),
+        r"[^a-zA-Z0-9 ]".into(),
+        r"(is|was|are|were|does|do|did)".into(),
+        r"[0-9]+ ?(am|pm)".into(),
+        r"(open|close)(s|d)?".into(),
+        r"\d{4}".into(),
+    ];
+    let fragments = ["[a-z]+", "\\d+", "(a|e|i|o|u)", "[A-Z]", "\\w+", "\\s"];
+    let suffixes = ["", "s", "ed", "ing", "er"];
+    while sources.len() < NUM_PATTERNS {
+        let style = rng.gen_range(0..3);
+        let p = match style {
+            0 => {
+                // word(alternation) with suffix class
+                let a = WORDS.choose(rng).expect("non-empty");
+                let b = WORDS.choose(rng).expect("non-empty");
+                let s = suffixes.choose(rng).expect("non-empty");
+                format!("({a}|{b}){s}")
+            }
+            1 => {
+                let f = fragments.choose(rng).expect("non-empty");
+                let g = fragments.choose(rng).expect("non-empty");
+                format!("{f} {g}")
+            }
+            _ => {
+                let w = WORDS.choose(rng).expect("non-empty");
+                let n = rng.gen_range(1..4);
+                format!("{w}.{{0,{n}}}[a-z]*")
+            }
+        };
+        sources.push(p);
+    }
+    sources
+        .iter()
+        .map(|p| Regex::new(p).expect("generated patterns compile"))
+        .collect()
+}
+
+fn sentence_set(rng: &mut impl Rng, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(6..18);
+            let words: Vec<&str> = (0..len)
+                .map(|_| *WORDS.choose(rng).expect("non-empty"))
+                .collect();
+            let mut s = words.join(" ");
+            if rng.gen_bool(0.3) {
+                s.push('?');
+            } else {
+                s.push('.');
+            }
+            s
+        })
+        .collect()
+}
+
+impl RegexKernel {
+    /// Generates an input set; `scale` multiplies the sentence count
+    /// (scale 1.0 ≈ the paper's 400 sentences).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let patterns = pattern_battery(&mut rng);
+        let n = ((400.0 * scale).ceil() as usize).max(1);
+        let sentences = sentence_set(&mut rng, n);
+        Self {
+            patterns,
+            sentences,
+        }
+    }
+
+    fn pair_checksum(&self, pair: usize) -> u64 {
+        let p = &self.patterns[pair / self.sentences.len()];
+        let s = &self.sentences[pair % self.sentences.len()];
+        p.count_matches(s) as u64
+    }
+}
+
+impl Kernel for RegexKernel {
+    fn name(&self) -> &'static str {
+        "Regex"
+    }
+
+    fn service(&self) -> Service {
+        Service::Qa
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "SLRE"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each regex-sentence pair"
+    }
+
+    fn items(&self) -> usize {
+        self.patterns.len() * self.sentences.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.items()).fold(0u64, |acc, i| acc.wrapping_add(self.pair_checksum(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.items(), threads, |i| self.pair_checksum(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_equals_parallel() {
+        let k = RegexKernel::generate(0.1, 7);
+        assert_eq!(k.run_baseline(), k.run_parallel(4));
+    }
+
+    #[test]
+    fn battery_has_100_patterns() {
+        let k = RegexKernel::generate(0.05, 8);
+        assert_eq!(k.patterns.len(), NUM_PATTERNS);
+    }
+
+    #[test]
+    fn some_pairs_actually_match() {
+        let k = RegexKernel::generate(0.1, 9);
+        assert!(k.run_baseline() > 0, "no matches in the whole grid");
+    }
+}

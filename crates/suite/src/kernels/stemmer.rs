@@ -1,0 +1,104 @@
+//! Sirius Suite Stemmer kernel: Porter stemming of a word list (baseline:
+//! Porter's reference implementation; input: the paper's 4M-word list,
+//! scaled).
+//!
+//! Granularity: "for each individual word". The port offers both the default
+//! chunked assignment and the interleaved assignment the paper found faster
+//! on the Phi (Section 4.4.2) — see [`StemmerKernel::run_interleaved`].
+
+use sirius_nlp::stemmer;
+
+use crate::parallel::{chunked_map, dynamic_map, interleaved_map};
+use crate::wordlist;
+use crate::{Kernel, Service};
+
+/// The stemmer kernel input: a word list.
+#[derive(Debug)]
+pub struct StemmerKernel {
+    words: Vec<String>,
+}
+
+impl StemmerKernel {
+    /// Generates an input set; `scale` multiplies the word count
+    /// (scale 1.0 ≈ 200k words; the paper's 4M list is scale 20).
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let n = ((200_000.0 * scale).ceil() as usize).max(1);
+        Self {
+            words: wordlist::generate(seed, n),
+        }
+    }
+
+    /// Creates a kernel over caller-provided words.
+    pub fn from_words(words: Vec<String>) -> Self {
+        Self { words }
+    }
+
+    fn stem_checksum(&self, i: usize) -> u64 {
+        let stemmed = stemmer::stem(&self.words[i]);
+        // Order-independent checksum over bytes and length.
+        stemmed
+            .bytes()
+            .fold(stemmed.len() as u64, |acc, b| acc.wrapping_add(u64::from(b).wrapping_mul(131)))
+    }
+
+    /// The interleaved-assignment variant (the paper's Phi tuning).
+    pub fn run_interleaved(&self, threads: usize) -> u64 {
+        interleaved_map(self.words.len(), threads, |i| self.stem_checksum(i))
+    }
+
+    /// The work-queue variant (threads claim words dynamically).
+    pub fn run_workqueue(&self, threads: usize) -> u64 {
+        dynamic_map(self.words.len(), threads, |i| self.stem_checksum(i))
+    }
+}
+
+impl Kernel for StemmerKernel {
+    fn name(&self) -> &'static str {
+        "Stemmer"
+    }
+
+    fn service(&self) -> Service {
+        Service::Qa
+    }
+
+    fn baseline_origin(&self) -> &'static str {
+        "Porter"
+    }
+
+    fn granularity(&self) -> &'static str {
+        "for each individual word"
+    }
+
+    fn items(&self) -> usize {
+        self.words.len()
+    }
+
+    fn run_baseline(&self) -> u64 {
+        (0..self.words.len()).fold(0u64, |acc, i| acc.wrapping_add(self.stem_checksum(i)))
+    }
+
+    fn run_parallel(&self, threads: usize) -> u64 {
+        chunked_map(self.words.len(), threads, |i| self.stem_checksum(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_assignments_agree() {
+        let k = StemmerKernel::generate(0.01, 3);
+        let base = k.run_baseline();
+        assert_eq!(base, k.run_parallel(4));
+        assert_eq!(base, k.run_interleaved(4));
+        assert_eq!(base, k.run_workqueue(4));
+    }
+
+    #[test]
+    fn custom_words() {
+        let k = StemmerKernel::from_words(vec!["running".into(), "caresses".into()]);
+        assert_eq!(k.items(), 2);
+        assert_eq!(k.run_baseline(), k.run_parallel(2));
+    }
+}

@@ -1,0 +1,237 @@
+//! # sirius-suite
+//!
+//! Sirius Suite: the seven computational bottlenecks the paper extracts from
+//! the end-to-end Sirius pipeline (Table 4), "comprising 92% of the cycles
+//! consumed by Sirius", each with a single-threaded baseline and a real
+//! multicore data-parallel port (the paper's pthread CMP methodology,
+//! Section 4.3.1).
+//!
+//! | Service | Kernel | Data granularity |
+//! |---------|--------|------------------|
+//! | ASR | GMM | each feature vector's HMM-state scores |
+//! | ASR | DNN | each forward pass (matrix multiplication) |
+//! | QA  | Stemmer | each individual word |
+//! | QA  | Regex | each regex-sentence pair |
+//! | QA  | CRF | each sentence |
+//! | IMM | FE | each image tile |
+//! | IMM | FD | each keypoint |
+//!
+//! # Example
+//!
+//! ```
+//! use sirius_suite::{standard_suite, measure};
+//!
+//! let suite = standard_suite(0.05, 42); // tiny scale for the doctest
+//! for kernel in &suite {
+//!     let m = measure(kernel.as_ref(), 2, 1);
+//!     assert!(m.parallel_time.as_nanos() > 0, "{}", m.name);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod parallel;
+pub mod wordlist;
+
+use std::time::{Duration, Instant};
+
+/// The Sirius service a kernel belongs to (paper Table 4, column 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// Automatic speech recognition.
+    Asr,
+    /// Question answering.
+    Qa,
+    /// Image matching.
+    Imm,
+}
+
+impl std::fmt::Display for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Service::Asr => f.write_str("ASR"),
+            Service::Qa => f.write_str("QA"),
+            Service::Imm => f.write_str("IMM"),
+        }
+    }
+}
+
+/// A Sirius Suite kernel: a self-contained workload with a sequential
+/// baseline and a multicore port.
+pub trait Kernel: Send + Sync {
+    /// Kernel name as used in the paper ("GMM", "DNN", "Stemmer", ...).
+    fn name(&self) -> &'static str;
+    /// Owning service.
+    fn service(&self) -> Service;
+    /// Baseline implementation origin (paper Table 4, column 3).
+    fn baseline_origin(&self) -> &'static str;
+    /// Data granularity of the parallel port (paper Table 4, column 5).
+    fn granularity(&self) -> &'static str;
+    /// Number of parallel work items in the input set.
+    fn items(&self) -> usize;
+    /// Runs the single-threaded baseline; returns an order-independent
+    /// checksum of the results.
+    fn run_baseline(&self) -> u64;
+    /// Runs the multicore port with `threads` threads.
+    fn run_parallel(&self, threads: usize) -> u64;
+    /// Whether the parallel port must produce a bit-identical checksum.
+    /// Tiled feature extraction is allowed to differ (paper Section 4.3.1
+    /// notes tiling changes the keypoint set).
+    fn exact(&self) -> bool {
+        true
+    }
+}
+
+/// Timing of one kernel at a fixed thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Owning service.
+    pub service: Service,
+    /// Work items processed.
+    pub items: usize,
+    /// Best-of-`repeats` sequential time.
+    pub baseline_time: Duration,
+    /// Best-of-`repeats` parallel time.
+    pub parallel_time: Duration,
+    /// Threads used for the parallel port.
+    pub threads: usize,
+    /// Whether the parallel checksum matched the baseline (always reported;
+    /// only meaningful when [`Kernel::exact`]).
+    pub checksum_match: bool,
+}
+
+impl Measurement {
+    /// Multicore speedup over the single-threaded baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time.as_secs_f64() / self.parallel_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measures a kernel: runs baseline and parallel `repeats` times each and
+/// keeps the fastest of each.
+pub fn measure(kernel: &dyn Kernel, threads: usize, repeats: usize) -> Measurement {
+    let repeats = repeats.max(1);
+    let mut baseline_time = Duration::MAX;
+    let mut parallel_time = Duration::MAX;
+    let mut base_sum = 0u64;
+    let mut par_sum = 0u64;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        base_sum = kernel.run_baseline();
+        baseline_time = baseline_time.min(t.elapsed());
+        let t = Instant::now();
+        par_sum = kernel.run_parallel(threads);
+        parallel_time = parallel_time.min(t.elapsed());
+    }
+    Measurement {
+        name: kernel.name(),
+        service: kernel.service(),
+        items: kernel.items(),
+        baseline_time,
+        parallel_time,
+        threads,
+        checksum_match: !kernel.exact() || base_sum == par_sum,
+    }
+}
+
+/// Builds all seven kernels at the given input scale (1.0 ≈ a few hundred
+/// milliseconds of baseline work per kernel on a laptop-class core; the
+/// paper-sized inputs are reached around scale 20).
+pub fn standard_suite(scale: f64, seed: u64) -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(kernels::gmm::GmmKernel::generate(scale, seed)),
+        Box::new(kernels::dnn::DnnKernel::generate(scale, seed ^ 1)),
+        Box::new(kernels::stemmer::StemmerKernel::generate(scale, seed ^ 2)),
+        Box::new(kernels::regex::RegexKernel::generate(scale, seed ^ 3)),
+        Box::new(kernels::crf::CrfKernel::generate(scale, seed ^ 4)),
+        Box::new(kernels::fe::FeKernel::generate(scale, seed ^ 5)),
+        Box::new(kernels::fd::FdKernel::generate(scale, seed ^ 6)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_kernels_with_table4_names() {
+        let suite = standard_suite(0.02, 1);
+        let names: Vec<&str> = suite.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]);
+    }
+
+    #[test]
+    fn parallel_ports_validate_against_baselines() {
+        for kernel in standard_suite(0.02, 2) {
+            let base = kernel.run_baseline();
+            for threads in [1, 2, 4] {
+                let par = kernel.run_parallel(threads);
+                if kernel.exact() {
+                    assert_eq!(base, par, "{} at {threads} threads", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_reports_speedup() {
+        let suite = standard_suite(0.02, 3);
+        let m = measure(suite[2].as_ref(), 2, 1);
+        assert_eq!(m.name, "Stemmer");
+        assert!(m.checksum_match);
+        assert!(m.speedup() > 0.0);
+        assert!(m.items > 0);
+    }
+
+    #[test]
+    fn kernels_are_deterministic_per_seed() {
+        let a = standard_suite(0.02, 9);
+        let b = standard_suite(0.02, 9);
+        for (ka, kb) in a.iter().zip(&b) {
+            assert_eq!(ka.run_baseline(), kb.run_baseline(), "{}", ka.name());
+        }
+    }
+
+    #[test]
+    fn table4_metadata_matches_the_paper() {
+        let suite = standard_suite(0.02, 10);
+        let by_name = |n: &str| {
+            suite
+                .iter()
+                .find(|k| k.name() == n)
+                .unwrap_or_else(|| panic!("kernel {n}"))
+        };
+        assert_eq!(by_name("GMM").baseline_origin(), "CMU Sphinx");
+        assert_eq!(by_name("DNN").baseline_origin(), "RWTH RASR");
+        assert_eq!(by_name("Stemmer").baseline_origin(), "Porter");
+        assert_eq!(by_name("Regex").baseline_origin(), "SLRE");
+        assert_eq!(by_name("CRF").baseline_origin(), "CRFsuite");
+        assert_eq!(by_name("FE").baseline_origin(), "SURF");
+        assert_eq!(by_name("FD").baseline_origin(), "SURF");
+        assert_eq!(by_name("Stemmer").granularity(), "for each individual word");
+        assert_eq!(by_name("Regex").granularity(), "for each regex-sentence pair");
+        assert_eq!(by_name("FE").granularity(), "for each image tile");
+        assert_eq!(by_name("FD").granularity(), "for each keypoint");
+    }
+
+    #[test]
+    fn services_match_table4() {
+        let suite = standard_suite(0.02, 4);
+        let services: Vec<Service> = suite.iter().map(|k| k.service()).collect();
+        assert_eq!(
+            services,
+            vec![
+                Service::Asr,
+                Service::Asr,
+                Service::Qa,
+                Service::Qa,
+                Service::Qa,
+                Service::Imm,
+                Service::Imm
+            ]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Word-list generation for the stemmer kernel.
+//!
+//! The paper's stemmer input is a 4M-word list. We generate morphologically
+//! rich pseudo-English: random stems combined with real English suffixes so
+//! every Porter step gets exercised, plus a sprinkling of genuine words.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "st",
+    "tr", "pl", "gr", "cl", "br", "sp",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ea", "ou", "ai"];
+const CODAS: &[&str] = &[
+    "t", "n", "r", "l", "s", "d", "m", "p", "ct", "nt", "st", "rm", "nd",
+];
+const SUFFIXES: &[&str] = &[
+    "", "s", "es", "ed", "ing", "er", "est", "ly", "ness", "ful", "ation", "ational", "tional",
+    "izer", "ization", "iveness", "fulness", "ousness", "aliti", "iviti", "biliti", "icate",
+    "ative", "alize", "ical", "ment", "ence", "ance", "able", "ible", "ant", "ent", "ism", "ate",
+    "iti", "ous", "ive", "ize", "ion", "al", "y", "ies", "eed",
+];
+const REAL_WORDS: &[&str] = &[
+    "caresses", "ponies", "relational", "conditional", "vietnamization", "predication",
+    "operator", "feudalism", "decisiveness", "hopefulness", "formalize", "electricity",
+    "adjustable", "defensible", "replacement", "adoption", "triplicate", "dependent",
+];
+
+/// Generates `n` pseudo-English words, deterministically per seed.
+pub fn generate(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 37 == 0 {
+                (*REAL_WORDS.choose(&mut rng).expect("non-empty")).to_owned()
+            } else {
+                let mut w = String::new();
+                let syllables = rng.gen_range(1..=3);
+                for _ in 0..syllables {
+                    w.push_str(ONSETS.choose(&mut rng).expect("non-empty"));
+                    w.push_str(VOWELS.choose(&mut rng).expect("non-empty"));
+                }
+                if rng.gen_bool(0.6) {
+                    w.push_str(CODAS.choose(&mut rng).expect("non-empty"));
+                }
+                w.push_str(SUFFIXES.choose(&mut rng).expect("non-empty"));
+                w
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(1, 1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, generate(1, 1000));
+        assert_ne!(a, generate(2, 1000));
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        for w in generate(3, 500) {
+            assert!(!w.is_empty());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn suffixes_are_present() {
+        let words = generate(4, 5000);
+        let with_ing = words.iter().filter(|w| w.ends_with("ing")).count();
+        let with_ation = words.iter().filter(|w| w.ends_with("ation")).count();
+        assert!(with_ing > 20, "ing: {with_ing}");
+        assert!(with_ation > 20, "ation: {with_ation}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Approximate nearest-neighbour search over SURF descriptors.
+//!
+//! The paper matches query descriptors "to pre-clustered descriptors
+//! representing the database images by using an approximate nearest neighbor
+//! (ANN) search" (Section 2.3.2). This module implements a k-d tree with a
+//! bounded-leaf best-bin-first search: `max_checks` limits how many leaf
+//! points are examined, trading exactness for speed (the `exact` mode visits
+//! everything and is used as the oracle in property tests and the ANN
+//! ablation bench).
+
+use crate::surf::Descriptor;
+
+/// A payload-carrying point in the index.
+#[derive(Debug, Clone)]
+struct Entry {
+    vector: Vec<f32>,
+    /// Caller-supplied payload (e.g. image id).
+    payload: u32,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into `entries`.
+        points: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Result of a nearest-neighbour query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Squared Euclidean distance.
+    pub distance_sq: f32,
+    /// Payload of the matched point.
+    pub payload: u32,
+}
+
+/// A k-d tree over fixed-dimension float vectors.
+#[derive(Debug)]
+pub struct KdTree {
+    entries: Vec<Entry>,
+    root: Node,
+    dim: usize,
+}
+
+/// Search budget: how many leaf points may be examined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchBudget {
+    /// Visit every candidate reachable by exact backtracking (exact NN).
+    Exact,
+    /// Examine at most this many leaf points (approximate NN).
+    MaxChecks(usize),
+}
+
+const LEAF_SIZE: usize = 12;
+
+impl KdTree {
+    /// Builds a tree from `(vector, payload)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or vectors have inconsistent dimensions.
+    pub fn build(points: Vec<(Vec<f32>, u32)>) -> Self {
+        assert!(!points.is_empty(), "cannot build a k-d tree from no points");
+        let dim = points[0].0.len();
+        assert!(
+            points.iter().all(|(v, _)| v.len() == dim),
+            "inconsistent dimensions"
+        );
+        let entries: Vec<Entry> = points
+            .into_iter()
+            .map(|(vector, payload)| Entry { vector, payload })
+            .collect();
+        let mut idxs: Vec<u32> = (0..entries.len() as u32).collect();
+        let root = Self::build_node(&entries, &mut idxs, dim);
+        Self { entries, root, dim }
+    }
+
+    /// Builds a tree over descriptors with their index as payload.
+    pub fn from_descriptors<'a, I>(descriptors: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (&'a Descriptor, u32)>,
+    {
+        let pts: Vec<(Vec<f32>, u32)> = descriptors
+            .into_iter()
+            .map(|(d, p)| (d.0.clone(), p))
+            .collect();
+        if pts.is_empty() {
+            None
+        } else {
+            Some(Self::build(pts))
+        }
+    }
+
+    fn build_node(entries: &[Entry], idxs: &mut [u32], dim: usize) -> Node {
+        if idxs.len() <= LEAF_SIZE {
+            return Node::Leaf {
+                points: idxs.to_vec(),
+            };
+        }
+        // Split on the dimension with the largest spread.
+        let mut best_dim = 0;
+        let mut best_spread = -1.0f32;
+        for d in 0..dim {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &i in idxs.iter() {
+                let v = entries[i as usize].vector[d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        if best_spread <= 0.0 {
+            // All points identical along every axis.
+            return Node::Leaf {
+                points: idxs.to_vec(),
+            };
+        }
+        let mid = idxs.len() / 2;
+        idxs.select_nth_unstable_by(mid, |&a, &b| {
+            entries[a as usize].vector[best_dim].total_cmp(&entries[b as usize].vector[best_dim])
+        });
+        let value = entries[idxs[mid] as usize].vector[best_dim];
+        let (left_idx, right_idx) = idxs.split_at_mut(mid);
+        let left = Self::build_node(entries, left_idx, dim);
+        let right = Self::build_node(entries, right_idx, dim);
+        Node::Split {
+            dim: best_dim,
+            value,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the indexed `(vector, payload)` points, in insertion
+    /// order (used for persistence; the tree is rebuilt on load).
+    pub fn iter_points(&self) -> impl Iterator<Item = (&[f32], u32)> {
+        self.entries.iter().map(|e| (e.vector.as_slice(), e.payload))
+    }
+
+    /// Finds the two nearest neighbours of `query` (for the ratio test).
+    ///
+    /// Returns `(best, second)`; `second` is `None` if only one point exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest2(&self, query: &[f32], budget: SearchBudget) -> (Neighbor, Option<Neighbor>) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut state = SearchState {
+            best: [None, None],
+            checks: 0,
+            max_checks: match budget {
+                SearchBudget::Exact => usize::MAX,
+                SearchBudget::MaxChecks(c) => c.max(1),
+            },
+        };
+        self.search_node(&self.root, query, &mut state);
+        let best = state.best[0].expect("tree is non-empty");
+        (best, state.best[1])
+    }
+
+    /// Finds the single nearest neighbour.
+    pub fn nearest(&self, query: &[f32], budget: SearchBudget) -> Neighbor {
+        self.nearest2(query, budget).0
+    }
+
+    fn search_node(&self, node: &Node, query: &[f32], state: &mut SearchState) {
+        match node {
+            Node::Leaf { points } => {
+                for &i in points {
+                    if state.checks >= state.max_checks {
+                        return;
+                    }
+                    state.checks += 1;
+                    let e = &self.entries[i as usize];
+                    let d: f32 = e
+                        .vector
+                        .iter()
+                        .zip(query)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    state.offer(Neighbor {
+                        distance_sq: d,
+                        payload: e.payload,
+                    });
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*dim] - value;
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.search_node(near, query, state);
+                if state.checks >= state.max_checks {
+                    return;
+                }
+                // Backtrack only if the splitting plane is closer than the
+                // current worst of the two best.
+                let worst = state.best[1]
+                    .or(state.best[0])
+                    .map_or(f32::INFINITY, |n| n.distance_sq);
+                if diff * diff < worst {
+                    self.search_node(far, query, state);
+                }
+            }
+        }
+    }
+}
+
+struct SearchState {
+    best: [Option<Neighbor>; 2],
+    checks: usize,
+    max_checks: usize,
+}
+
+impl SearchState {
+    fn offer(&mut self, n: Neighbor) {
+        match self.best[0] {
+            None => self.best[0] = Some(n),
+            Some(b0) if n.distance_sq < b0.distance_sq => {
+                self.best[1] = self.best[0];
+                self.best[0] = Some(n);
+            }
+            Some(_) => match self.best[1] {
+                None => self.best[1] = Some(n),
+                Some(b1) if n.distance_sq < b1.distance_sq => self.best[1] = Some(n),
+                Some(_) => {}
+            },
+        }
+    }
+}
+
+/// Linear-scan exact nearest neighbour, the oracle for tests and ablations.
+pub fn linear_nearest(points: &[(Vec<f32>, u32)], query: &[f32]) -> Option<Neighbor> {
+    points
+        .iter()
+        .map(|(v, p)| Neighbor {
+            distance_sq: v.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum(),
+            payload: *p,
+        })
+        .min_by(|a, b| a.distance_sq.total_cmp(&b.distance_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<(Vec<f32>, u32)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_search_matches_linear_scan() {
+        let pts = random_points(300, 8, 1);
+        let tree = KdTree::build(pts.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let expect = linear_nearest(&pts, &q).expect("non-empty");
+            let got = tree.nearest(&q, SearchBudget::Exact);
+            assert_eq!(got.payload, expect.payload);
+            assert!((got.distance_sq - expect.distance_sq).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn approximate_search_is_close() {
+        let pts = random_points(2000, 16, 3);
+        let tree = KdTree::build(pts.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut hits_small = 0;
+        let mut hits_large = 0;
+        for _ in 0..100 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let expect = linear_nearest(&pts, &q).expect("non-empty");
+            let small = tree.nearest(&q, SearchBudget::MaxChecks(64));
+            let large = tree.nearest(&q, SearchBudget::MaxChecks(512));
+            hits_small += usize::from(small.payload == expect.payload);
+            hits_large += usize::from(large.payload == expect.payload);
+            // Even when approximate, the answer must not be wildly off.
+            assert!(small.distance_sq <= expect.distance_sq * 4.0 + 1e-6);
+        }
+        // Recall improves with budget; a generous budget is near-exact.
+        assert!(hits_large >= hits_small, "{hits_large} < {hits_small}");
+        assert!(hits_large >= 70, "only {hits_large}/100 exact at 512 checks");
+        assert!(hits_small >= 15, "only {hits_small}/100 exact at 64 checks");
+    }
+
+    #[test]
+    fn nearest2_orders_results() {
+        let pts = vec![
+            (vec![0.0, 0.0], 0),
+            (vec![1.0, 0.0], 1),
+            (vec![5.0, 5.0], 2),
+        ];
+        let tree = KdTree::build(pts);
+        let (a, b) = tree.nearest2(&[0.1, 0.0], SearchBudget::Exact);
+        assert_eq!(a.payload, 0);
+        assert_eq!(b.expect("second").payload, 1);
+        assert!(a.distance_sq <= b.expect("second").distance_sq);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(vec![(vec![1.0, 2.0], 7)]);
+        let (a, b) = tree.nearest2(&[0.0, 0.0], SearchBudget::Exact);
+        assert_eq!(a.payload, 7);
+        assert!(b.is_none());
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![(vec![1.0, 1.0], 0); 40];
+        let tree = KdTree::build(pts);
+        let n = tree.nearest(&[1.0, 1.0], SearchBudget::Exact);
+        assert_eq!(n.distance_sq, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_build_panics() {
+        let _ = KdTree::build(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        let tree = KdTree::build(vec![(vec![0.0, 0.0], 0)]);
+        let _ = tree.nearest(&[0.0], SearchBudget::Exact);
+    }
+}

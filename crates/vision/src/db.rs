@@ -1,0 +1,588 @@
+//! Image database and matching: the IMM service back-end.
+//!
+//! Mirrors the paper's image-matching flow (Section 2.3.2): descriptors from
+//! the input image are matched against the database descriptors with an ANN
+//! search and a ratio test; "the database image with the highest number of
+//! matches is returned".
+
+use std::time::{Duration, Instant};
+
+use crate::ann::{KdTree, SearchBudget};
+use crate::image::GrayImage;
+use crate::integral::IntegralImage;
+use crate::surf::{self, SurfConfig};
+use crate::verify::{ransac_similarity, Correspondence, RansacConfig, Verification};
+
+/// Identifier of a database image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ImageId(pub u32);
+
+/// Matching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// SURF detector/descriptor settings.
+    pub surf: SurfConfig,
+    /// Lowe ratio test threshold (best/second distance).
+    pub ratio: f32,
+    /// ANN search budget.
+    pub budget: SearchBudget,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            surf: SurfConfig::default(),
+            ratio: 0.75,
+            budget: SearchBudget::MaxChecks(96),
+        }
+    }
+}
+
+/// Per-stage timing of one image-matching query (FE / FD / ANN).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ImmTiming {
+    /// Feature extraction (detector) time.
+    pub feature_extraction: Duration,
+    /// Feature description time.
+    pub feature_description: Duration,
+    /// ANN search + voting time.
+    pub ann_search: Duration,
+    /// Total wall-clock.
+    pub total: Duration,
+}
+
+/// The result of matching a query image against the database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// Best-matching image, or `None` when nothing passed the ratio test.
+    pub best: Option<ImageId>,
+    /// Votes per database image, sorted descending.
+    pub votes: Vec<(ImageId, usize)>,
+    /// Number of query keypoints.
+    pub query_keypoints: usize,
+    /// Geometric verification of the winning image, when
+    /// [`ImageDatabase::match_image_verified`] was used and a consensus
+    /// transform was found.
+    pub verification: Option<Verification>,
+    /// Per-stage timing.
+    pub timing: ImmTiming,
+}
+
+/// A database of SURF-indexed images.
+#[derive(Debug)]
+pub struct ImageDatabase {
+    config: MatchConfig,
+    tree: Option<KdTree>,
+    num_images: u32,
+    descriptor_count: usize,
+    /// Image id of each indexed descriptor (tree payloads index this).
+    desc_image: Vec<u32>,
+    /// Keypoint position of each indexed descriptor, for geometric
+    /// verification.
+    desc_pos: Vec<(f32, f32)>,
+}
+
+/// Incremental database construction, supporting multiple enrolled views
+/// per image (the Stanford MVS data set photographs each object several
+/// times; enrolling extra views makes matching robust to stronger
+/// viewpoint changes).
+#[derive(Debug)]
+pub struct ImageDatabaseBuilder {
+    config: MatchConfig,
+    points: Vec<(Vec<f32>, u32)>,
+    desc_image: Vec<u32>,
+    desc_pos: Vec<(f32, f32)>,
+    num_images: u32,
+}
+
+impl ImageDatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new(config: MatchConfig) -> Self {
+        Self {
+            config,
+            points: Vec::new(),
+            desc_image: Vec::new(),
+            desc_pos: Vec::new(),
+            num_images: 0,
+        }
+    }
+
+    /// Enrolls a new image; returns its id.
+    pub fn add_image(&mut self, img: &GrayImage) -> ImageId {
+        let id = ImageId(self.num_images);
+        self.num_images += 1;
+        self.add_view(id, img);
+        id
+    }
+
+    /// Enrolls an additional view of an existing image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by a prior [`add_image`] call.
+    ///
+    /// [`add_image`]: Self::add_image
+    pub fn add_view(&mut self, id: ImageId, img: &GrayImage) {
+        assert!(id.0 < self.num_images, "unknown image id {id:?}");
+        let (kps, descs) = surf::extract(img, &self.config.surf);
+        for (kp, d) in kps.iter().zip(descs) {
+            // Payload is the global descriptor index; image id and keypoint
+            // geometry live in parallel arrays.
+            self.points.push((d.0, self.desc_image.len() as u32));
+            self.desc_image.push(id.0);
+            self.desc_pos.push((kp.x, kp.y));
+        }
+    }
+
+    /// Finalizes the index.
+    pub fn build(self) -> ImageDatabase {
+        let descriptor_count = self.points.len();
+        let tree = if self.points.is_empty() {
+            None
+        } else {
+            Some(KdTree::build(self.points))
+        };
+        ImageDatabase {
+            config: self.config,
+            tree,
+            num_images: self.num_images,
+            descriptor_count,
+            desc_image: self.desc_image,
+            desc_pos: self.desc_pos,
+        }
+    }
+}
+
+impl ImageDatabase {
+    /// Builds a database by extracting and indexing features from `images`
+    /// (one view each).
+    pub fn build<'a, I>(images: I, config: MatchConfig) -> Self
+    where
+        I: IntoIterator<Item = &'a GrayImage>,
+    {
+        let mut builder = ImageDatabaseBuilder::new(config);
+        for img in images {
+            builder.add_image(img);
+        }
+        builder.build()
+    }
+
+    /// Serializes the database (configuration + indexed descriptors); the
+    /// k-d tree is rebuilt on load.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = sirius_codec::Encoder::new();
+        e.tag("sirius_imm_v1");
+        e.u32(self.num_images);
+        e.f32(self.config.ratio);
+        match self.config.budget {
+            SearchBudget::Exact => e.u32(0),
+            SearchBudget::MaxChecks(c) => e.u32(c as u32),
+        };
+        e.u32(self.config.surf.octaves as u32);
+        e.f32(self.config.surf.threshold);
+        e.u32(self.config.surf.init_step as u32);
+        e.bool(self.config.surf.upright);
+        match &self.tree {
+            None => {
+                e.u32(0);
+            }
+            Some(tree) => {
+                e.u32(tree.len() as u32);
+                for (v, payload) in tree.iter_points() {
+                    e.u32(payload);
+                    e.f32_slice(v);
+                }
+            }
+        }
+        e.u32_slice(&self.desc_image);
+        e.u32(self.desc_pos.len() as u32);
+        for &(x, y) in &self.desc_pos {
+            e.f32(x);
+            e.f32(y);
+        }
+        e.into_bytes()
+    }
+
+    /// Restores a database saved with [`ImageDatabase::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed, truncated or inconsistent bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
+        let mut d = sirius_codec::Decoder::new(bytes);
+        d.tag("sirius_imm_v1")?;
+        let num_images = d.u32()?;
+        let ratio = d.f32()?;
+        let budget = match d.u32()? {
+            0 => SearchBudget::Exact,
+            c => SearchBudget::MaxChecks(c as usize),
+        };
+        let config = MatchConfig {
+            surf: SurfConfig {
+                octaves: d.u32()? as usize,
+                threshold: d.f32()?,
+                init_step: d.u32()? as usize,
+                upright: d.bool()?,
+            },
+            ratio,
+            budget,
+        };
+        let n = d.u32()? as usize;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            let payload = d.u32()?;
+            points.push((d.f32_vec()?, payload));
+        }
+        let desc_image = d.u32_vec()?;
+        let np = d.u32()? as usize;
+        let mut desc_pos = Vec::with_capacity(np);
+        for _ in 0..np {
+            let x = d.f32()?;
+            let y = d.f32()?;
+            desc_pos.push((x, y));
+        }
+        d.finish()?;
+        if desc_image.len() != n
+            || desc_pos.len() != n
+            || points.iter().any(|&(_, p)| p as usize >= n)
+            || desc_image.iter().any(|&img| img >= num_images)
+        {
+            return Err(sirius_codec::DecodeError {
+                message: "inconsistent descriptor tables".into(),
+                offset: 0,
+            });
+        }
+        let descriptor_count = points.len();
+        let tree = if points.is_empty() {
+            None
+        } else {
+            Some(KdTree::build(points))
+        };
+        Ok(Self {
+            config,
+            tree,
+            num_images,
+            descriptor_count,
+            desc_image,
+            desc_pos,
+        })
+    }
+
+    /// Number of database images.
+    pub fn num_images(&self) -> usize {
+        self.num_images as usize
+    }
+
+    /// Number of indexed descriptors.
+    pub fn num_descriptors(&self) -> usize {
+        self.descriptor_count
+    }
+
+    /// Matches a query image, reporting votes and per-stage timing.
+    pub fn match_image(&self, query: &GrayImage) -> MatchResult {
+        self.match_internal(query, false)
+    }
+
+    /// Matches a query image and geometrically verifies the candidates:
+    /// putative correspondences must agree on a similarity transform
+    /// (RANSAC), and candidates are re-ranked by inlier count.
+    pub fn match_image_verified(&self, query: &GrayImage) -> MatchResult {
+        self.match_internal(query, true)
+    }
+
+    fn match_internal(&self, query: &GrayImage, verify: bool) -> MatchResult {
+        let t_total = Instant::now();
+        let t = Instant::now();
+        let ii = IntegralImage::new(query);
+        let kps = surf::detect_on_integral(&ii, &self.config.surf);
+        let feature_extraction = t.elapsed();
+
+        let t = Instant::now();
+        let (_, descs) = surf::describe_on_integral(&ii, &kps, &self.config.surf);
+        let feature_description = t.elapsed();
+
+        let t = Instant::now();
+        let mut counts = vec![0usize; self.num_images as usize];
+        // Per-image correspondences: (query position, database position).
+        let mut correspondences: Vec<Vec<Correspondence>> =
+            vec![Vec::new(); self.num_images as usize];
+        if let Some(tree) = &self.tree {
+            for (kp, d) in kps.iter().zip(&descs) {
+                let (best, second) = tree.nearest2(&d.0, self.config.budget);
+                let best_image = self.desc_image[best.payload as usize];
+                let passes = match second {
+                    Some(s) if self.desc_image[s.payload as usize] != best_image => {
+                        best.distance_sq < self.config.ratio * self.config.ratio * s.distance_sq
+                    }
+                    // Second neighbour from the same image (or absent) means
+                    // the match is unambiguous between images.
+                    _ => true,
+                };
+                if passes {
+                    counts[best_image as usize] += 1;
+                    if verify {
+                        correspondences[best_image as usize]
+                            .push(((kp.x, kp.y), self.desc_pos[best.payload as usize]));
+                    }
+                }
+            }
+        }
+        let mut votes: Vec<(ImageId, usize)> = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (ImageId(i as u32), c))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let mut verification = None;
+        if verify && !votes.is_empty() {
+            // Verify the top candidates and re-rank by inlier count.
+            let ransac = RansacConfig::default();
+            let mut verified: Vec<(ImageId, usize, Option<Verification>)> = votes
+                .iter()
+                .take(3)
+                .map(|&(id, v)| {
+                    let ver = ransac_similarity(&correspondences[id.0 as usize], &ransac);
+                    let inliers = ver.as_ref().map_or(0, |x| x.inliers);
+                    (id, inliers.max(usize::from(v > 0)), ver)
+                })
+                .collect();
+            verified.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            if let Some((winner, _, ver)) = verified.into_iter().next() {
+                // Promote the geometrically strongest candidate.
+                if let Some(pos) = votes.iter().position(|&(id, _)| id == winner) {
+                    let entry = votes.remove(pos);
+                    votes.insert(0, entry);
+                }
+                verification = ver;
+            }
+        }
+        let ann_search = t.elapsed();
+
+        MatchResult {
+            best: votes.first().map(|&(id, _)| id),
+            votes,
+            query_keypoints: kps.len(),
+            verification,
+            timing: ImmTiming {
+                feature_extraction,
+                feature_description,
+                ann_search,
+                total: t_total.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    fn build_db(n: usize) -> (ImageDatabase, Vec<GrayImage>) {
+        let scenes: Vec<GrayImage> = (0..n as u64)
+            .map(|s| synth::generate_scene(s, 160, 160))
+            .collect();
+        let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        (db, scenes)
+    }
+
+    #[test]
+    fn identical_queries_match_their_source() {
+        let (db, scenes) = build_db(6);
+        assert_eq!(db.num_images(), 6);
+        assert!(db.num_descriptors() > 20);
+        for (i, scene) in scenes.iter().enumerate() {
+            let r = db.match_image(scene);
+            assert_eq!(r.best, Some(ImageId(i as u32)), "image {i}");
+        }
+    }
+
+    #[test]
+    fn transformed_views_match_their_source() {
+        let (db, scenes) = build_db(6);
+        let mut correct = 0;
+        for (i, scene) in scenes.iter().enumerate() {
+            let view = synth::random_view(scene, 1000 + i as u64);
+            let r = db.match_image(&view);
+            if r.best == Some(ImageId(i as u32)) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 5, "only {correct}/6 views matched");
+    }
+
+    #[test]
+    fn timing_is_populated() {
+        let (db, scenes) = build_db(2);
+        let r = db.match_image(&scenes[0]);
+        assert!(r.timing.total >= r.timing.ann_search);
+        assert!(r.timing.feature_extraction > Duration::ZERO);
+        assert!(r.query_keypoints > 0);
+    }
+
+    #[test]
+    fn empty_database_matches_nothing() {
+        let db = ImageDatabase::build(std::iter::empty(), MatchConfig::default());
+        let query = synth::generate_scene(3, 96, 96);
+        let r = db.match_image(&query);
+        assert_eq!(r.best, None);
+        assert!(r.votes.is_empty());
+    }
+
+    #[test]
+    fn votes_are_sorted_descending() {
+        let (db, scenes) = build_db(4);
+        let r = db.match_image(&scenes[2]);
+        for pair in r.votes.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod multiview_tests {
+    use super::*;
+    use crate::synth::{self, ViewConfig};
+
+    fn strong_view(scene: &GrayImage, seed: u64) -> GrayImage {
+        synth::render_view(
+            scene,
+            &ViewConfig {
+                scale: 0.7,
+                rotation: 0.45,
+                translate: (12.0, -10.0),
+                noise: 0.02,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn multiview_enrollment_improves_strong_transform_matching() {
+        let scenes: Vec<GrayImage> = (0..5u64)
+            .map(|s| synth::generate_scene(500 + s, 160, 160))
+            .collect();
+        // Single-view database.
+        let single = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        // Multi-view database: enroll two moderate extra views per image.
+        let mut builder = ImageDatabaseBuilder::new(MatchConfig::default());
+        for scene in &scenes {
+            let id = builder.add_image(scene);
+            builder.add_view(id, &synth::random_view(scene, 42 + u64::from(id.0)));
+            builder.add_view(id, &synth::random_view(scene, 142 + u64::from(id.0)));
+        }
+        let multi = builder.build();
+        assert!(multi.num_descriptors() > single.num_descriptors());
+
+        let mut single_hits = 0;
+        let mut multi_hits = 0;
+        for (i, scene) in scenes.iter().enumerate() {
+            let q = strong_view(scene, 900 + i as u64);
+            if single.match_image(&q).best == Some(ImageId(i as u32)) {
+                single_hits += 1;
+            }
+            if multi.match_image(&q).best == Some(ImageId(i as u32)) {
+                multi_hits += 1;
+            }
+        }
+        assert!(
+            multi_hits >= single_hits,
+            "multi {multi_hits} vs single {single_hits}"
+        );
+        assert!(multi_hits >= 3, "multi-view only matched {multi_hits}/5");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown image id")]
+    fn view_for_unknown_id_panics() {
+        let mut b = ImageDatabaseBuilder::new(MatchConfig::default());
+        let img = synth::generate_scene(1, 96, 96);
+        b.add_view(ImageId(0), &img);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn database_round_trips_through_bytes() {
+        let scenes: Vec<GrayImage> = (0..4u64)
+            .map(|s| synth::generate_scene(700 + s, 128, 128))
+            .collect();
+        let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        let bytes = db.to_bytes();
+        let restored = ImageDatabase::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.num_images(), db.num_images());
+        assert_eq!(restored.num_descriptors(), db.num_descriptors());
+        for (i, scene) in scenes.iter().enumerate() {
+            let view = synth::random_view(scene, 70 + i as u64);
+            assert_eq!(
+                db.match_image(&view).best,
+                restored.match_image(&view).best,
+                "image {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_database_bytes_rejected() {
+        let scenes = [synth::generate_scene(1, 96, 96)];
+        let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        let mut bytes = db.to_bytes();
+        bytes[5] ^= 0x40;
+        assert!(ImageDatabase::from_bytes(&bytes).is_err());
+        assert!(ImageDatabase::from_bytes(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = ImageDatabase::build(std::iter::empty(), MatchConfig::default());
+        let restored = ImageDatabase::from_bytes(&db.to_bytes()).expect("decode");
+        assert_eq!(restored.num_images(), 0);
+        assert_eq!(restored.num_descriptors(), 0);
+    }
+}
+
+#[cfg(test)]
+mod verified_match_tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn verified_matching_finds_consensus_on_true_views() {
+        let scenes: Vec<GrayImage> = (0..5u64)
+            .map(|s| synth::generate_scene(300 + s, 160, 160))
+            .collect();
+        let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        let mut verified_hits = 0;
+        let mut with_consensus = 0;
+        for (i, scene) in scenes.iter().enumerate() {
+            let view = synth::random_view(scene, 40 + i as u64);
+            let r = db.match_image_verified(&view);
+            if r.best == Some(ImageId(i as u32)) {
+                verified_hits += 1;
+            }
+            if let Some(v) = &r.verification {
+                with_consensus += 1;
+                assert!(v.inliers >= 4);
+                // The recovered transform's scale must be plausible for a
+                // random_view (0.85..1.2).
+                assert!((0.5..=2.0).contains(&v.transform.scale), "{}", v.transform.scale);
+            }
+        }
+        assert!(verified_hits >= 4, "only {verified_hits}/5 matched");
+        assert!(with_consensus >= 3, "only {with_consensus}/5 verified");
+    }
+
+    #[test]
+    fn plain_match_has_no_verification() {
+        let scenes = [synth::generate_scene(9, 128, 128)];
+        let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+        let r = db.match_image(&scenes[0]);
+        assert!(r.verification.is_none());
+    }
+}

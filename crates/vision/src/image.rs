@@ -1,0 +1,196 @@
+//! Grayscale image representation and sampling.
+
+/// A row-major grayscale image with `f32` intensities (nominally 0..1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates an image from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(data.len(), width * height, "data length mismatch");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixel data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel value with edge clamping for out-of-range coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Bilinear sample at fractional coordinates (edge-clamped).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (x0, y0) = (x0 as isize, y0 as isize);
+        let v00 = self.get_clamped(x0, y0);
+        let v10 = self.get_clamped(x0 + 1, y0);
+        let v01 = self.get_clamped(x0, y0 + 1);
+        let v11 = self.get_clamped(x0 + 1, y0 + 1);
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy
+    }
+
+    /// Extracts a tile `[x0, x0+w) x [y0, y0+h)`, edge-clamped.
+    pub fn crop_clamped(&self, x0: isize, y0: isize, w: usize, h: usize) -> GrayImage {
+        let mut out = GrayImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                out.set(x, y, self.get_clamped(x0 + x as isize, y0 + y as isize));
+            }
+        }
+        out
+    }
+
+    /// Splits the image into tiles of roughly `tile_w x tile_h` (the last
+    /// row/column of tiles absorbs the remainder). Used by the multicore FE
+    /// port, which assigns tiles to threads (paper Section 4.3.1).
+    ///
+    /// Returns `(x_offset, y_offset, tile)` triples.
+    pub fn tiles(&self, tile_w: usize, tile_h: usize) -> Vec<(usize, usize, GrayImage)> {
+        let tile_w = tile_w.max(1).min(self.width);
+        let tile_h = tile_h.max(1).min(self.height);
+        let nx = self.width / tile_w;
+        let ny = self.height / tile_h;
+        let mut out = Vec::with_capacity(nx.max(1) * ny.max(1));
+        for ty in 0..ny.max(1) {
+            for tx in 0..nx.max(1) {
+                let x0 = tx * tile_w;
+                let y0 = ty * tile_h;
+                let w = if tx + 1 == nx.max(1) { self.width - x0 } else { tile_w };
+                let h = if ty + 1 == ny.max(1) { self.height - y0 } else { tile_h };
+                out.push((x0, y0, self.crop_clamped(x0 as isize, y0 as isize, w, h)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = GrayImage::new(4, 3);
+        img.set(2, 1, 0.5);
+        assert_eq!(img.get(2, 1), 0.5);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 1.0);
+        img.set(1, 1, 2.0);
+        assert_eq!(img.get_clamped(-5, -5), 1.0);
+        assert_eq!(img.get_clamped(10, 10), 2.0);
+    }
+
+    #[test]
+    fn bilinear_interpolates() {
+        let img = GrayImage::from_data(2, 1, vec![0.0, 1.0]);
+        assert!((img.sample_bilinear(0.5, 0.0) - 0.5).abs() < 1e-6);
+        assert!((img.sample_bilinear(0.0, 0.0) - 0.0).abs() < 1e-6);
+        assert!((img.sample_bilinear(1.0, 0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiles_cover_image_exactly() {
+        let img = GrayImage::from_data(7, 5, (0..35).map(|i| i as f32).collect());
+        let tiles = img.tiles(3, 2);
+        let total: usize = tiles.iter().map(|(_, _, t)| t.width() * t.height()).sum();
+        assert_eq!(total, 35);
+        // Every pixel must be recoverable from its tile.
+        for (x0, y0, t) in &tiles {
+            for y in 0..t.height() {
+                for x in 0..t.width() {
+                    assert_eq!(t.get(x, y), img.get(x0 + x, y0 + y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_larger_than_image() {
+        let img = GrayImage::new(4, 4);
+        let tiles = img.tiles(100, 100);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].2.width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_data_length_panics() {
+        let _ = GrayImage::from_data(3, 3, vec![0.0; 8]);
+    }
+}

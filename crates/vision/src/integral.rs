@@ -1,0 +1,127 @@
+//! Integral images (summed-area tables).
+//!
+//! SURF's speed comes from evaluating box filters in constant time over an
+//! integral image (Bay et al., 2006). Both the Hessian detector and the Haar
+//! wavelet responses in this crate are built on [`IntegralImage::box_sum`].
+
+use crate::image::GrayImage;
+
+/// A summed-area table with one extra row/column of zeros, so
+/// `sum(x, y) = Σ pixels in [0, x) × [0, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width + 1) * (height + 1)` prefix sums in f64 for accuracy.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `img`.
+    pub fn new(img: &GrayImage) -> Self {
+        let w = img.width();
+        let h = img.height();
+        let stride = w + 1;
+        let mut table = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += f64::from(img.get(x, y));
+                table[(y + 1) * stride + (x + 1)] = table[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum of pixels in `[0, x) × [0, y)` (both clamped to the image).
+    #[inline]
+    pub fn prefix(&self, x: usize, y: usize) -> f64 {
+        let cx = x.min(self.width);
+        let cy = y.min(self.height);
+        self.table[cy * (self.width + 1) + cx]
+    }
+
+    /// Sum over the rectangle `[x0, x1) × [y0, y1)`, clamping negative or
+    /// out-of-range bounds to the image; empty or inverted rectangles sum
+    /// to zero.
+    #[inline]
+    pub fn box_sum(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> f64 {
+        let cx0 = x0.clamp(0, self.width as isize) as usize;
+        let cy0 = y0.clamp(0, self.height as isize) as usize;
+        let cx1 = x1.clamp(0, self.width as isize) as usize;
+        let cy1 = y1.clamp(0, self.height as isize) as usize;
+        if cx1 <= cx0 || cy1 <= cy0 {
+            return 0.0;
+        }
+        self.prefix(cx1, cy1) + self.prefix(cx0, cy0)
+            - self.prefix(cx1, cy0)
+            - self.prefix(cx0, cy1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sum(img: &GrayImage, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        let mut s = 0.0;
+        for y in y0..y1.min(img.height()) {
+            for x in x0..x1.min(img.width()) {
+                s += f64::from(img.get(x, y));
+            }
+        }
+        s
+    }
+
+    fn test_image() -> GrayImage {
+        let data: Vec<f32> = (0..48).map(|i| ((i * 13 + 5) % 17) as f32 / 17.0).collect();
+        GrayImage::from_data(8, 6, data)
+    }
+
+    #[test]
+    fn box_sum_matches_naive() {
+        let img = test_image();
+        let ii = IntegralImage::new(&img);
+        for (x0, y0, x1, y1) in [(0, 0, 8, 6), (1, 1, 4, 5), (3, 2, 8, 3), (0, 5, 8, 6)] {
+            let expect = naive_sum(&img, x0, y0, x1, y1);
+            let got = ii.box_sum(x0 as isize, y0 as isize, x1 as isize, y1 as isize);
+            assert!((got - expect).abs() < 1e-9, "({x0},{y0},{x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_clamped() {
+        let img = test_image();
+        let ii = IntegralImage::new(&img);
+        let full = naive_sum(&img, 0, 0, 8, 6);
+        assert!((ii.box_sum(-10, -10, 100, 100) - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_inverted_boxes_are_zero() {
+        let ii = IntegralImage::new(&test_image());
+        assert_eq!(ii.box_sum(3, 3, 3, 5), 0.0);
+        assert_eq!(ii.box_sum(5, 5, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn single_pixel_box() {
+        let img = test_image();
+        let ii = IntegralImage::new(&img);
+        assert!((ii.box_sum(2, 3, 3, 4) - f64::from(img.get(2, 3))).abs() < 1e-9);
+    }
+}

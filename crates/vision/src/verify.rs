@@ -1,0 +1,253 @@
+//! Geometric verification of descriptor matches.
+//!
+//! Production mobile-visual-search pipelines (the Stanford MVS line of work
+//! behind the paper's image database) follow ANN matching with a geometric
+//! consistency check: the putative correspondences must agree on a single
+//! similarity transform (scale + rotation + translation). This module
+//! estimates that transform with RANSAC and counts inliers, which
+//! [`crate::db::ImageDatabase::match_image_verified`] uses to re-rank
+//! candidate images.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A correspondence: a point in the query image and its putative match in
+/// a database image.
+pub type Correspondence = ((f32, f32), (f32, f32));
+
+/// A 2-D similarity transform `p' = s·R(θ)·p + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Similarity {
+    /// Uniform scale factor.
+    pub scale: f32,
+    /// Rotation in radians.
+    pub rotation: f32,
+    /// Translation, applied after rotation and scale.
+    pub translate: (f32, f32),
+}
+
+impl Similarity {
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
+        let (c, s) = (self.rotation.cos(), self.rotation.sin());
+        (
+            self.scale * (c * p.0 - s * p.1) + self.translate.0,
+            self.scale * (s * p.0 + c * p.1) + self.translate.1,
+        )
+    }
+
+    /// Estimates the similarity mapping `(a1, a2)` onto `(b1, b2)`.
+    ///
+    /// Returns `None` for degenerate (coincident) source points.
+    pub fn from_two_pairs(
+        a1: (f32, f32),
+        b1: (f32, f32),
+        a2: (f32, f32),
+        b2: (f32, f32),
+    ) -> Option<Similarity> {
+        let da = (a2.0 - a1.0, a2.1 - a1.1);
+        let db = (b2.0 - b1.0, b2.1 - b1.1);
+        let len_a = (da.0 * da.0 + da.1 * da.1).sqrt();
+        let len_b = (db.0 * db.0 + db.1 * db.1).sqrt();
+        if len_a < 1e-6 {
+            return None;
+        }
+        let scale = len_b / len_a;
+        let rotation = db.1.atan2(db.0) - da.1.atan2(da.0);
+        let (c, s) = (rotation.cos(), rotation.sin());
+        let translate = (
+            b1.0 - scale * (c * a1.0 - s * a1.1),
+            b1.1 - scale * (s * a1.0 + c * a1.1),
+        );
+        Some(Similarity {
+            scale,
+            rotation,
+            translate,
+        })
+    }
+}
+
+/// The outcome of RANSAC verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// The consensus transform.
+    pub transform: Similarity,
+    /// Number of correspondences within tolerance of the transform.
+    pub inliers: usize,
+    /// Indices of the inlier correspondences.
+    pub inlier_indices: Vec<usize>,
+}
+
+/// RANSAC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RansacConfig {
+    /// Number of random minimal samples to draw.
+    pub iterations: usize,
+    /// Inlier reprojection tolerance in pixels.
+    pub tolerance: f32,
+    /// Reject transforms with implausible scale (outside `1/max..max`).
+    pub max_scale: f32,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 64,
+            tolerance: 6.0,
+            max_scale: 4.0,
+        }
+    }
+}
+
+/// Finds the similarity transform with the largest consensus among the
+/// `(source, destination)` correspondences. Deterministic for a given
+/// input (the RNG is seeded from the correspondence count).
+///
+/// Returns `None` when fewer than 2 correspondences exist or no sample
+/// yields at least 2 inliers beyond the minimal pair.
+pub fn ransac_similarity(
+    pairs: &[Correspondence],
+    config: &RansacConfig,
+) -> Option<Verification> {
+    if pairs.len() < 2 {
+        return None;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9a5c ^ pairs.len() as u64);
+    let mut best: Option<Verification> = None;
+    for _ in 0..config.iterations {
+        let i = rng.gen_range(0..pairs.len());
+        let mut j = rng.gen_range(0..pairs.len());
+        if i == j {
+            j = (j + 1) % pairs.len();
+        }
+        let Some(t) = Similarity::from_two_pairs(pairs[i].0, pairs[i].1, pairs[j].0, pairs[j].1)
+        else {
+            continue;
+        };
+        if t.scale > config.max_scale || t.scale < 1.0 / config.max_scale {
+            continue;
+        }
+        let tol_sq = config.tolerance * config.tolerance;
+        let inlier_indices: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, (src, dst))| {
+                let p = t.apply(*src);
+                let dx = p.0 - dst.0;
+                let dy = p.1 - dst.1;
+                dx * dx + dy * dy <= tol_sq
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if inlier_indices.len() >= 4
+            && best
+                .as_ref()
+                .is_none_or(|b| inlier_indices.len() > b.inliers)
+        {
+            best = Some(Verification {
+                transform: t,
+                inliers: inlier_indices.len(),
+                inlier_indices,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transform_points(t: &Similarity, pts: &[(f32, f32)]) -> Vec<Correspondence> {
+        pts.iter().map(|&p| (p, t.apply(p))).collect()
+    }
+
+    fn grid() -> Vec<(f32, f32)> {
+        (0..5)
+            .flat_map(|x| (0..5).map(move |y| (x as f32 * 13.0, y as f32 * 9.0 + x as f32)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_a_known_transform() {
+        let truth = Similarity {
+            scale: 1.2,
+            rotation: 0.3,
+            translate: (10.0, -5.0),
+        };
+        let pairs = transform_points(&truth, &grid());
+        let v = ransac_similarity(&pairs, &RansacConfig::default()).expect("consensus");
+        assert_eq!(v.inliers, pairs.len());
+        assert!((v.transform.scale - truth.scale).abs() < 0.05);
+        assert!((v.transform.rotation - truth.rotation).abs() < 0.05);
+    }
+
+    #[test]
+    fn tolerates_outliers() {
+        let truth = Similarity {
+            scale: 0.9,
+            rotation: -0.2,
+            translate: (3.0, 4.0),
+        };
+        let mut pairs = transform_points(&truth, &grid());
+        // Corrupt 40% of the correspondences.
+        let n = pairs.len();
+        for k in 0..(n * 2 / 5) {
+            pairs[k * 2 % n].1 = (999.0 + k as f32 * 31.0, -777.0 - k as f32 * 17.0);
+        }
+        let clean = pairs.iter().filter(|(s, d)| {
+            let p = truth.apply(*s);
+            (p.0 - d.0).abs() < 1.0 && (p.1 - d.1).abs() < 1.0
+        }).count();
+        let v = ransac_similarity(&pairs, &RansacConfig::default()).expect("consensus");
+        assert!(v.inliers >= clean.saturating_sub(1), "{} < {clean}", v.inliers);
+        assert!((v.transform.scale - truth.scale).abs() < 0.05);
+    }
+
+    #[test]
+    fn random_correspondences_fail_verification() {
+        // Scattered matches with no geometric consensus.
+        let pairs: Vec<Correspondence> = (0..30)
+            .map(|i| {
+                let i = i as f32;
+                (
+                    (i * 37.0 % 101.0, i * 53.0 % 97.0),
+                    (i * 71.0 % 89.0, i * 29.0 % 103.0),
+                )
+            })
+            .collect();
+        match ransac_similarity(&pairs, &RansacConfig::default()) {
+            None => {}
+            Some(v) => assert!(
+                (v.inliers as f64) < pairs.len() as f64 * 0.4,
+                "spurious consensus of {}",
+                v.inliers
+            ),
+        }
+    }
+
+    #[test]
+    fn too_few_pairs_returns_none() {
+        assert!(ransac_similarity(&[], &RansacConfig::default()).is_none());
+        assert!(
+            ransac_similarity(&[((0.0, 0.0), (1.0, 1.0))], &RansacConfig::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn degenerate_sample_is_skipped() {
+        assert!(Similarity::from_two_pairs((1.0, 1.0), (2.0, 2.0), (1.0, 1.0), (3.0, 3.0)).is_none());
+    }
+
+    #[test]
+    fn implausible_scales_are_rejected() {
+        let truth = Similarity {
+            scale: 10.0, // beyond max_scale 4.0
+            rotation: 0.0,
+            translate: (0.0, 0.0),
+        };
+        let pairs = transform_points(&truth, &grid());
+        assert!(ransac_similarity(&pairs, &RansacConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Explores the paper's datacenter design space (Section 5): service
+//! speedups per accelerator, TCO, and the homogeneous/heterogeneous design
+//! choices of Tables 8 and 9.
+//!
+//! ```text
+//! cargo run --example datacenter_design
+//! ```
+
+use sirius_accel::platform::PlatformKind;
+use sirius_accel::service::{service_speedup, ServiceKind};
+use sirius_dcsim::design::{
+    design_point, heterogeneous_design, homogeneous_design, mean_query_latency_reduction,
+    Objective,
+};
+use sirius_dcsim::gap;
+use sirius_dcsim::tco::TcoParams;
+
+fn main() {
+    let params = TcoParams::default();
+
+    println!("service speedups over a single Haswell core (paper Fig 14):");
+    for s in ServiceKind::ALL {
+        print!("  {s:<10}");
+        for p in PlatformKind::ALL {
+            print!("  {p}: {:>6.1}x", service_speedup(s, p));
+        }
+        println!();
+    }
+
+    println!("\nlatency vs TCO trade-off (paper Fig 19):");
+    for s in ServiceKind::ALL {
+        for p in [PlatformKind::Gpu, PlatformKind::Fpga] {
+            let d = design_point(s, p, &params);
+            println!(
+                "  {s:<10} on {p:<4}: latency {:>6.1}x better, TCO {:>4.1}x better",
+                d.latency_improvement,
+                1.0 / d.tco_normalized
+            );
+        }
+    }
+
+    println!("\nhomogeneous DC designs (paper Table 8):");
+    for obj in [
+        Objective::MinLatency,
+        Objective::MinTcoWithLatencyConstraint,
+        Objective::MaxEfficiencyWithLatencyConstraint,
+    ] {
+        let pick = homogeneous_design(obj, &PlatformKind::ALL, &params);
+        println!("  {obj:<35} -> {}", pick.map_or("-".into(), |p| p.to_string()));
+    }
+
+    println!("\nheterogeneous (partitioned) DC, min-latency (paper Table 9):");
+    for (s, p) in heterogeneous_design(Objective::MinLatency, &PlatformKind::ALL, &params) {
+        println!("  {s:<10} -> {p}");
+    }
+
+    let gpu = mean_query_latency_reduction(PlatformKind::Gpu);
+    let fpga = mean_query_latency_reduction(PlatformKind::Fpga);
+    println!("\nheadline results (paper Section 5.2.5 / Fig 21):");
+    println!("  GPU  DC: mean query latency reduction {gpu:.1}x (paper ~10x)");
+    println!("  FPGA DC: mean query latency reduction {fpga:.1}x (paper ~16x)");
+    println!(
+        "  scalability gap 165x -> {:.0}x (GPU) / {:.0}x (FPGA)",
+        gap::bridged_gap(165.0, gpu),
+        gap::bridged_gap(165.0, fpga)
+    );
+}

@@ -1,0 +1,57 @@
+//! Two-pass speech recognition: N-best decoding followed by language-model
+//! rescoring (the hybrid hypothesis-rescoring approach the paper cites for
+//! production GPU decoders).
+//!
+//! ```text
+//! cargo run --release --example nbest_rescoring
+//! ```
+
+use sirius_speech::asr::{AsrSystem, AsrTrainConfig};
+use sirius_speech::hmm::{AcousticScorer, DecoderConfig};
+use sirius_speech::lm::TrigramLm;
+use sirius_speech::nbest;
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+
+fn main() {
+    let corpus = [
+        "go on now",
+        "go on now",
+        "no go on",
+        "on and on",
+        "now and then",
+    ];
+    println!("training recognizer on {} sentences...", corpus.len());
+    let asr = AsrSystem::train(&corpus, 77, AsrTrainConfig::default());
+
+    let spoken = "go on now";
+    let utt = Synthesizer::new(4242, SynthConfig::default()).say(spoken);
+    println!("\nspoken: {spoken:?}\n");
+
+    let frames = asr.frontend().extract(&utt.samples);
+    let emissions = asr.gmm_scorer().score_utterance(&frames);
+    let nbest = asr
+        .decoder()
+        .decode_nbest(&emissions, asr.lm(), asr.lexicon(), 5);
+
+    println!("first pass (acoustic + bigram LM):");
+    for h in &nbest {
+        println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+    }
+
+    let config = DecoderConfig::default();
+    for weight in [0.0f32, config.lm_weight, 12.0] {
+        let rescored = nbest::rescore(&nbest, &config, asr.lm(), asr.lm(), asr.lexicon(), weight);
+        println!("\nrescored with bigram LM, weight {weight}:");
+        for h in rescored.iter().take(3) {
+            println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+        }
+    }
+
+    // Second pass with a stronger (trigram) model.
+    let trigram = TrigramLm::train(corpus.iter().copied(), asr.lexicon());
+    let rescored = nbest::rescore(&nbest, &config, asr.lm(), &trigram, asr.lexicon(), config.lm_weight);
+    println!("\nrescored with trigram LM, weight {}:", config.lm_weight);
+    for h in rescored.iter().take(3) {
+        println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+    }
+}

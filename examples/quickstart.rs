@@ -1,0 +1,47 @@
+//! Quickstart: build Sirius, speak one command and one question.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome};
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+
+fn main() {
+    println!("training Sirius (ASR + QA + IMM models)...");
+    let sirius = Sirius::build(SiriusConfig::default());
+    let mut voice = Synthesizer::new(2026, SynthConfig::default());
+
+    // A voice command: ASR -> query classifier -> device action.
+    let utt = voice.say("Set my alarm for 8am");
+    let response = sirius.process(&SiriusInput {
+        audio: utt.samples,
+        image: None,
+    });
+    println!("\nyou said:   {:?}", utt.words.join(" "));
+    println!("recognized: {:?}", response.recognized);
+    match &response.outcome {
+        SiriusOutcome::Action(a) => println!("action:     {} ({:?})", a.action, a.command.trim()),
+        SiriusOutcome::Answer(_) => println!("unexpectedly routed to QA"),
+    }
+
+    // A voice query: ASR -> QA over the fact corpus.
+    let utt = voice.say("What is the capital of Italy");
+    let response = sirius.process(&SiriusInput {
+        audio: utt.samples,
+        image: None,
+    });
+    println!("\nyou said:   {:?}", utt.words.join(" "));
+    println!("recognized: {:?}", response.recognized);
+    match &response.outcome {
+        SiriusOutcome::Answer(Some(answer)) => println!("answer:     {answer}"),
+        SiriusOutcome::Answer(None) => println!("no answer found"),
+        SiriusOutcome::Action(_) => println!("unexpectedly routed to an action"),
+    }
+    println!(
+        "\nlatency: asr {:?} + qa {:?} (total {:?})",
+        response.timing.asr.total,
+        response.timing.qa.as_ref().map(|q| q.total),
+        response.timing.total
+    );
+}

@@ -1,0 +1,45 @@
+//! Train once, ship the models: serializes a fully trained Sirius to disk
+//! and restores it without retraining (the paper's "deployability" design
+//! objective, Section 2.1).
+//!
+//! ```text
+//! cargo run --release --example save_load_models
+//! ```
+
+use std::time::Instant;
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome};
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = Instant::now();
+    println!("training Sirius from scratch...");
+    let sirius = Sirius::build(SiriusConfig::default());
+    let train_time = t.elapsed();
+
+    let path = std::env::temp_dir().join("sirius_models.bin");
+    let bytes = sirius.to_bytes();
+    std::fs::write(&path, &bytes)?;
+    println!(
+        "trained in {train_time:.2?}; wrote {} KiB of models to {}",
+        bytes.len() / 1024,
+        path.display()
+    );
+
+    let t = Instant::now();
+    let restored = Sirius::from_bytes(&std::fs::read(&path)?)?;
+    println!("restored in {:.2?} (no training)", t.elapsed());
+
+    let utt = Synthesizer::new(77, SynthConfig::default()).say("What is the capital of Japan");
+    let response = restored.process(&SiriusInput {
+        audio: utt.samples,
+        image: None,
+    });
+    println!("recognized: {:?}", response.recognized);
+    match response.outcome {
+        SiriusOutcome::Answer(Some(answer)) => println!("answer:     {answer}"),
+        other => println!("unexpected outcome: {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

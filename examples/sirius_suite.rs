@@ -1,0 +1,47 @@
+//! Runs the seven Sirius Suite kernels (paper Table 4) at a chosen scale
+//! and prints the measured multicore speedups — the CMP column of Table 5.
+//!
+//! ```text
+//! cargo run --release --example sirius_suite [scale] [threads]
+//! ```
+
+use sirius_suite::{measure, standard_suite};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let threads: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+
+    println!("Sirius Suite at scale {scale} with {threads} threads\n");
+    println!(
+        "{:<8} {:<8} {:>10} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "kernel", "service", "items", "baseline", "parallel", "speedup", "paper CMP", "checksum"
+    );
+    for kernel in standard_suite(scale, 42) {
+        let m = measure(kernel.as_ref(), threads, 3);
+        let paper = sirius_accel::paper::table5(m.name, 0).unwrap_or(f64::NAN);
+        println!(
+            "{:<8} {:<8} {:>10} {:>12.2?} {:>12.2?} {:>8.1}x {:>9.1}x {:>9}",
+            m.name,
+            m.service.to_string(),
+            m.items,
+            m.baseline_time,
+            m.parallel_time,
+            m.speedup(),
+            paper,
+            if m.checksum_match { "ok" } else { "MISMATCH" },
+        );
+    }
+    println!("\ngranularity per kernel (paper Table 4):");
+    for kernel in standard_suite(0.01, 42) {
+        println!(
+            "  {:<8} baseline: {:<12} granularity: {}",
+            kernel.name(),
+            kernel.baseline_origin(),
+            kernel.granularity()
+        );
+    }
+}

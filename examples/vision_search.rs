@@ -1,0 +1,54 @@
+//! Mobile-visual-search style demo of the IMM service: build an image
+//! database of storefront scenes, then match photos taken from different
+//! viewpoints (paper Section 2.3.2).
+//!
+//! ```text
+//! cargo run --release --example vision_search
+//! ```
+
+use sirius_vision::db::{ImageDatabase, MatchConfig};
+use sirius_vision::synth;
+
+fn main() {
+    let venues = [
+        "Luigi Trattoria",
+        "Sakura Sushi House",
+        "Blue Bottle Cafe",
+        "Golden Gate Diner",
+        "Crown Books",
+        "Harbor Grill",
+    ];
+    println!("indexing {} venue images...", venues.len());
+    let scenes: Vec<_> = (0..venues.len() as u64)
+        .map(|s| synth::generate_scene(1000 + s, 192, 192))
+        .collect();
+    let db = ImageDatabase::build(scenes.iter(), MatchConfig::default());
+    println!(
+        "database: {} images, {} SURF descriptors\n",
+        db.num_images(),
+        db.num_descriptors()
+    );
+
+    let mut correct = 0;
+    for (i, scene) in scenes.iter().enumerate() {
+        let photo = synth::random_view(scene, 9000 + i as u64);
+        let result = db.match_image(&photo);
+        let matched = result
+            .best
+            .map(|id| venues[id.0 as usize])
+            .unwrap_or("<no match>");
+        let ok = result.best.map(|id| id.0 as usize) == Some(i);
+        correct += usize::from(ok);
+        println!(
+            "photo of {:<22} -> {:<22} [{}]  ({} keypoints, FE {:?}, FD {:?}, ANN {:?})",
+            venues[i],
+            matched,
+            if ok { "ok" } else { "MISS" },
+            result.query_keypoints,
+            result.timing.feature_extraction,
+            result.timing.feature_description,
+            result.timing.ann_search,
+        );
+    }
+    println!("\nmatched {correct}/{} photos", venues.len());
+}

@@ -1,0 +1,73 @@
+//! Runs the paper's full 42-query input set (Table 1) end to end and
+//! reports per-class accuracy and latency — a miniature of the paper's
+//! Section 3 characterization.
+//!
+//! ```text
+//! cargo run --release --example voice_assistant
+//! ```
+
+use std::time::Instant;
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusOutcome};
+use sirius::profile::Profiler;
+use sirius::taxonomy::QueryKind;
+use sirius::prepare_input_set;
+
+fn main() {
+    println!("training Sirius...");
+    let sirius = Sirius::build(SiriusConfig::default());
+    let prepared = prepare_input_set(&sirius, 0xfeed);
+    let mut profiler = Profiler::new();
+    let mut correct = [0usize; 3];
+    let mut totals = [0usize; 3];
+
+    println!("running {} queries...\n", prepared.len());
+    for p in &prepared {
+        let idx = p.spec.kind as usize;
+        totals[idx] += 1;
+        let t = Instant::now();
+        let response = sirius.process(&p.input());
+        let elapsed = t.elapsed();
+        profiler.record(p.spec.kind, &response);
+        let ok = match &response.outcome {
+            SiriusOutcome::Action(a) => a.action == p.spec.expected,
+            SiriusOutcome::Answer(Some(answer)) => answer.eq_ignore_ascii_case(p.spec.expected),
+            SiriusOutcome::Answer(None) => false,
+        };
+        correct[idx] += usize::from(ok);
+        let status = if ok { "ok " } else { "MISS" };
+        println!(
+            "[{status}] {:>4} {:<55} -> {:?} ({elapsed:.2?})",
+            p.spec.kind.to_string(),
+            p.spec.text,
+            match &response.outcome {
+                SiriusOutcome::Action(a) => a.action.clone(),
+                SiriusOutcome::Answer(ans) => ans.clone().unwrap_or_else(|| "-".into()),
+            },
+        );
+    }
+
+    println!("\nper-class results:");
+    for kind in QueryKind::ALL {
+        let i = kind as usize;
+        println!(
+            "  {:>4}: {}/{} correct",
+            kind.to_string(),
+            correct[i],
+            totals[i]
+        );
+    }
+    println!("\nlatency by class (paper Fig 7b shape: VC < VQ < VIQ):");
+    for (kind, stats) in profiler.latency_stats() {
+        println!(
+            "  {kind:>4}: mean {:?}  min {:?}  max {:?}",
+            stats.mean, stats.min, stats.max
+        );
+    }
+    println!("\nQA latency correlates with document-filter hits (paper Fig 8c):");
+    println!(
+        "  Pearson r = {:.2} over {} QA queries",
+        profiler.filter_hit_correlation(),
+        profiler.filter_hit_samples().len()
+    );
+}

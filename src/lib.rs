@@ -1,0 +1,15 @@
+//! # sirius-e2e
+//!
+//! Workspace-level integration harness for the Sirius reproduction. The
+//! interesting code lives in the member crates; this package hosts the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). See the README for the crate map.
+
+pub use sirius;
+pub use sirius_accel;
+pub use sirius_dcsim;
+pub use sirius_nlp;
+pub use sirius_search;
+pub use sirius_speech;
+pub use sirius_suite;
+pub use sirius_vision;

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full Sirius pipeline driven through
+//! its public API, exercising speech, vision, NLP and search together.
+
+use std::sync::OnceLock;
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome};
+use sirius::taxonomy::QueryKind;
+use sirius::{prepare_input_set, PreparedQuery};
+use sirius_speech::asr::AcousticModelKind;
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+
+fn context() -> &'static (Sirius, Vec<PreparedQuery>) {
+    static CTX: OnceLock<(Sirius, Vec<PreparedQuery>)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let sirius = Sirius::build(SiriusConfig::default());
+        let prepared = prepare_input_set(&sirius, 0xe2e);
+        (sirius, prepared)
+    })
+}
+
+#[test]
+fn input_set_accuracy_across_all_classes() {
+    let (sirius, prepared) = context();
+    let mut correct = 0usize;
+    for p in prepared {
+        let response = sirius.process(&p.input());
+        let ok = match &response.outcome {
+            SiriusOutcome::Action(a) => a.action == p.spec.expected,
+            SiriusOutcome::Answer(Some(ans)) => ans.eq_ignore_ascii_case(p.spec.expected),
+            SiriusOutcome::Answer(None) => false,
+        };
+        correct += usize::from(ok);
+    }
+    // 42 queries across three classes; demand strong end-to-end accuracy.
+    assert!(correct >= 33, "only {correct}/42 queries handled correctly");
+}
+
+#[test]
+fn dnn_asr_path_answers_questions_too() {
+    let (sirius, prepared) = context();
+    let vq = prepared
+        .iter()
+        .find(|p| p.spec.kind == QueryKind::VoiceQuery)
+        .expect("input set has VQ");
+    let response = sirius.process_with(&vq.input(), AcousticModelKind::Dnn);
+    assert!(matches!(response.outcome, SiriusOutcome::Answer(_)));
+    assert!(!response.recognized.is_empty());
+}
+
+#[test]
+fn viq_resolves_venue_through_image_matching() {
+    let (sirius, prepared) = context();
+    let mut resolved = 0usize;
+    let mut total = 0usize;
+    for p in prepared
+        .iter()
+        .filter(|p| p.spec.kind == QueryKind::VoiceImageQuery)
+    {
+        total += 1;
+        let response = sirius.process(&p.input());
+        if let Some(venue) = &response.matched_venue {
+            if venue.eq_ignore_ascii_case(p.spec.venue.expect("VIQ has venue")) {
+                resolved += 1;
+            }
+        }
+    }
+    assert!(
+        resolved * 10 >= total * 8,
+        "only {resolved}/{total} venues resolved from images"
+    );
+}
+
+#[test]
+fn latency_ordering_matches_figure_7b() {
+    // VC exercises ASR only; VIQ exercises ASR + QA + IMM. Mean latencies
+    // must be ordered VC < VIQ (paper Figure 7b).
+    let (sirius, prepared) = context();
+    let mean = |kind: QueryKind| -> f64 {
+        let xs: Vec<f64> = prepared
+            .iter()
+            .filter(|p| p.spec.kind == kind)
+            .map(|p| {
+                let t = std::time::Instant::now();
+                let _ = sirius.process(&p.input());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let vc = mean(QueryKind::VoiceCommand);
+    let viq = mean(QueryKind::VoiceImageQuery);
+    assert!(
+        viq > vc,
+        "VIQ ({viq:.3}s) should be slower than VC ({vc:.3}s)"
+    );
+}
+
+#[test]
+fn out_of_vocabulary_audio_degrades_gracefully() {
+    let (sirius, _) = context();
+    // Words never seen in training: decoding still returns *something* from
+    // the closed vocabulary without panicking.
+    let utt = Synthesizer::new(123, SynthConfig::default()).say("zephyr quixotic vortex");
+    let response = sirius.process(&SiriusInput {
+        audio: utt.samples,
+        image: None,
+    });
+    // The outcome may be an action or an (empty) answer; the pipeline just
+    // must not crash and must report timing.
+    assert!(response.timing.total > std::time::Duration::ZERO);
+}
+
+#[test]
+fn silence_only_audio_is_handled() {
+    let (sirius, _) = context();
+    let response = sirius.process(&SiriusInput {
+        audio: vec![0.0; 16_000],
+        image: None,
+    });
+    assert!(response.timing.asr.total > std::time::Duration::ZERO);
+}
+
+#[test]
+fn wrong_image_still_answers_with_some_venue() {
+    let (sirius, prepared) = context();
+    let viq = prepared
+        .iter()
+        .find(|p| p.spec.kind == QueryKind::VoiceImageQuery)
+        .expect("has VIQ");
+    // Supply an unrelated procedural image: matching may pick any venue but
+    // the pipeline must still produce a QA-routed response.
+    let noise_image = sirius_vision::synth::generate_scene(0xdead, 160, 160);
+    let response = sirius.process(&SiriusInput {
+        audio: viq.utterance.samples.clone(),
+        image: Some(noise_image),
+    });
+    assert!(matches!(response.outcome, SiriusOutcome::Answer(_)));
+    assert!(response.timing.imm.is_some());
+}

@@ -1,0 +1,147 @@
+//! Shape tests for the paper's headline results: who wins, by roughly what
+//! factor, and where the crossovers fall (see DESIGN.md Section 4).
+
+use sirius_accel::model::{kernel_profiles, paper};
+use sirius_accel::platform::PlatformKind;
+use sirius_accel::service::{perf_per_watt_vs_cmp, service_speedup, ServiceKind};
+use sirius_dcsim::design::{
+    homogeneous_design, mean_query_latency_reduction, query_level_metrics, Objective,
+};
+use sirius_dcsim::gap;
+use sirius_dcsim::tco::TcoParams;
+
+#[test]
+fn table5_modeled_within_25_percent_of_paper() {
+    for profile in kernel_profiles() {
+        for (col, kind) in PlatformKind::ALL.iter().enumerate() {
+            let modeled = profile.modeled_speedup(*kind);
+            let published = paper::table5(profile.name, col).expect("kernel row");
+            let ratio = modeled / published;
+            assert!(
+                (0.75..=1.3).contains(&ratio),
+                "{} on {kind}: {modeled:.1} vs paper {published:.1}",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fpga_wins_every_kernel_except_fd() {
+    for profile in kernel_profiles() {
+        let fpga = profile.modeled_speedup(PlatformKind::Fpga);
+        let gpu = profile.modeled_speedup(PlatformKind::Gpu);
+        if profile.name == "FD" {
+            assert!(gpu > fpga, "FD should prefer the GPU");
+        } else {
+            assert!(fpga > gpu, "{} should prefer the FPGA", profile.name);
+        }
+    }
+}
+
+#[test]
+fn headline_latency_reductions() {
+    // Paper: "GPU- and FPGA-accelerated servers improve the query latency on
+    // average by 10x and 16x."
+    let gpu = mean_query_latency_reduction(PlatformKind::Gpu);
+    let fpga = mean_query_latency_reduction(PlatformKind::Fpga);
+    assert!((7.0..=14.0).contains(&gpu), "GPU mean {gpu:.1}");
+    assert!((11.0..=21.0).contains(&fpga), "FPGA mean {fpga:.1}");
+    assert!(fpga > gpu);
+}
+
+#[test]
+fn headline_tco_reductions() {
+    // Paper: "GPU- and FPGA-accelerated servers can reduce the TCO of
+    // datacenters by 2.6x and 1.4x." Our TCO model reproduces the order of
+    // magnitude; see EXPERIMENTS.md for the documented divergence on the
+    // GPU/FPGA ordering.
+    let params = TcoParams::default();
+    for platform in [PlatformKind::Gpu, PlatformKind::Fpga] {
+        let metrics = query_level_metrics(platform, &params);
+        let mean_reduction: f64 = metrics
+            .iter()
+            .map(|m| 1.0 / m.tco_normalized)
+            .sum::<f64>()
+            / metrics.len() as f64;
+        assert!(
+            (1.2..=4.0).contains(&mean_reduction),
+            "{platform}: mean TCO reduction {mean_reduction:.2}"
+        );
+    }
+}
+
+#[test]
+fn scalability_gap_exceeds_two_orders_of_magnitude() {
+    // Paper Figure 7a: 15 s vs 91 ms -> 165x.
+    let g = gap::scalability_gap(15.0, 0.091);
+    assert!(g > 100.0, "gap {g:.0}");
+    // Acceleration pulls the gap down by the mean latency reduction.
+    let bridged = gap::bridged_gap(g, mean_query_latency_reduction(PlatformKind::Fpga));
+    assert!(bridged < g / 10.0, "bridged {bridged:.0}");
+}
+
+#[test]
+fn design_objective_winners_match_table8() {
+    let params = TcoParams::default();
+    let all = PlatformKind::ALL;
+    assert_eq!(
+        homogeneous_design(Objective::MinLatency, &all, &params),
+        Some(PlatformKind::Fpga)
+    );
+    assert_eq!(
+        homogeneous_design(Objective::MinTcoWithLatencyConstraint, &all, &params),
+        Some(PlatformKind::Gpu)
+    );
+    assert_eq!(
+        homogeneous_design(Objective::MaxEfficiencyWithLatencyConstraint, &all, &params),
+        Some(PlatformKind::Fpga)
+    );
+}
+
+#[test]
+fn fpga_energy_efficiency_dominates() {
+    // Paper Figure 15: FPGA perf/W exceeds everything, >12x over the CMP for
+    // most services.
+    let mut above_12 = 0;
+    for s in ServiceKind::ALL {
+        let fpga = perf_per_watt_vs_cmp(s, PlatformKind::Fpga);
+        for other in [PlatformKind::Gpu, PlatformKind::Phi, PlatformKind::Multicore] {
+            assert!(fpga > perf_per_watt_vs_cmp(s, other), "{s} vs {other}");
+        }
+        if fpga > 12.0 {
+            above_12 += 1;
+        }
+    }
+    assert!(above_12 >= 3, "only {above_12}/4 services above 12x");
+}
+
+#[test]
+fn gpu_vs_fpga_tradeoff_without_fpga() {
+    // Paper: "replacing FPGAs using GPUs leads to a 66% longer latency, but
+    // in return achieves a 47% TCO reduction" — i.e. the GPU trades latency
+    // for cost. Check the direction: FPGA faster on average, GPU cheaper
+    // per server.
+    let params = TcoParams::default();
+    let gpu_cost = sirius_dcsim::tco::monthly_tco(
+        &sirius_dcsim::ServerConfig::with_accelerator(PlatformKind::Gpu),
+        &params,
+    )
+    .total();
+    let fpga_cost = sirius_dcsim::tco::monthly_tco(
+        &sirius_dcsim::ServerConfig::with_accelerator(PlatformKind::Fpga),
+        &params,
+    )
+    .total();
+    assert!(gpu_cost < fpga_cost, "GPU server must be cheaper");
+    // Geometric mean across services (the GPU's outlier ASR-DNN win would
+    // dominate an arithmetic mean).
+    let mean = |p: PlatformKind| -> f64 {
+        ServiceKind::ALL
+            .iter()
+            .map(|&s| service_speedup(s, p))
+            .product::<f64>()
+            .powf(0.25)
+    };
+    assert!(mean(PlatformKind::Fpga) > mean(PlatformKind::Gpu));
+}

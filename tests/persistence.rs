@@ -1,0 +1,54 @@
+//! Cross-crate persistence integration: train the whole assistant, write it
+//! to disk, restore it in a fresh state, and re-run the full input set.
+
+use std::sync::OnceLock;
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusOutcome};
+use sirius::prepare_input_set;
+
+fn model_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| Sirius::build(SiriusConfig::default()).to_bytes())
+}
+
+#[test]
+fn restored_assistant_passes_the_input_set() {
+    let restored = Sirius::from_bytes(model_bytes()).expect("decode");
+    let prepared = prepare_input_set(&restored, 0xabcd);
+    let mut correct = 0usize;
+    for p in &prepared {
+        let response = restored.process(&p.input());
+        let ok = match &response.outcome {
+            SiriusOutcome::Action(a) => a.action == p.spec.expected,
+            SiriusOutcome::Answer(Some(ans)) => ans.eq_ignore_ascii_case(p.spec.expected),
+            SiriusOutcome::Answer(None) => false,
+        };
+        correct += usize::from(ok);
+    }
+    assert!(
+        correct >= 33,
+        "restored assistant: only {correct}/42 queries handled correctly"
+    );
+}
+
+#[test]
+fn model_file_round_trips_through_disk() {
+    let bytes = model_bytes();
+    let path = std::env::temp_dir().join("sirius_test_models.bin");
+    std::fs::write(&path, bytes).expect("write");
+    let read = std::fs::read(&path).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(&read, bytes);
+    let restored = Sirius::from_bytes(&read).expect("decode");
+    assert_eq!(restored.venues().len(), 10);
+}
+
+#[test]
+fn every_truncation_point_fails_cleanly() {
+    // Decoding must never panic on truncated inputs, only error.
+    let bytes = model_bytes();
+    for cut in [0, 1, 7, 64, bytes.len() / 2, bytes.len() - 1] {
+        let r = Sirius::from_bytes(&bytes[..cut]);
+        assert!(r.is_err(), "truncation at {cut} decoded successfully");
+    }
+}

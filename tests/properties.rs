@@ -1,0 +1,147 @@
+//! Property-based tests over the public APIs of the substrate crates.
+
+use proptest::prelude::*;
+
+use sirius_nlp::regex::Regex;
+use sirius_nlp::stemmer;
+use sirius_search::tokenize;
+use sirius_speech::features::{fft, hz_to_mel, mel_to_hz};
+use sirius_speech::lexicon::{normalize_text, number_to_words};
+use sirius_vision::ann::{linear_nearest, KdTree, SearchBudget};
+use sirius_vision::image::GrayImage;
+use sirius_vision::integral::IntegralImage;
+use sirius_dcsim::queue::Mm1;
+
+proptest! {
+    #[test]
+    fn stemmer_never_grows_words(word in "[a-z]{1,20}") {
+        let stemmed = stemmer::stem(&word);
+        prop_assert!(stemmed.len() <= word.len());
+        prop_assert!(!stemmed.is_empty() || word.is_empty());
+    }
+
+    #[test]
+    fn stemmer_groups_inflections(stem in "[bcdfgmpt][aeiou][ndrt]") {
+        // A CVC stem plus common verbal endings should collapse together.
+        let base = stemmer::stem(&stem);
+        for suffix in ["ed", "ing", "s"] {
+            let inflected = format!("{stem}{suffix}");
+            let stemmed = stemmer::stem(&inflected);
+            // The stemmed form must begin with (a prefix of) the base stem.
+            prop_assert!(
+                stemmed.starts_with(&base[..base.len().min(stemmed.len())]),
+                "{stem}+{suffix}: {stemmed} vs {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_literal_matches_containment(
+        hay in "[a-z ]{0,30}",
+        needle in "[a-z]{1,5}",
+    ) {
+        let re = Regex::new(&needle).expect("literal pattern");
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn regex_anchored_literal_is_equality(s in "[a-z]{0,10}", t in "[a-z]{0,10}") {
+        let re = Regex::new(&format!("^{s}$")).expect("anchored literal");
+        prop_assert_eq!(re.is_match(&t), s == t);
+    }
+
+    #[test]
+    fn regex_class_matches_char_membership(c in proptest::char::range('a', 'z')) {
+        let re = Regex::new("[aeiou]").expect("class");
+        prop_assert_eq!(re.is_match(&c.to_string()), "aeiou".contains(c));
+    }
+
+    #[test]
+    fn tokenizer_output_is_lowercase_alnum(s in ".{0,60}") {
+        for token in tokenize::tokenize(&s) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(char::is_alphanumeric));
+            prop_assert_eq!(token.to_lowercase(), token.clone());
+        }
+    }
+
+    #[test]
+    fn mel_scale_round_trips(hz in 50.0f32..8000.0) {
+        let back = mel_to_hz(hz_to_mel(hz));
+        prop_assert!((back - hz).abs() / hz < 1e-3);
+    }
+
+    #[test]
+    fn fft_preserves_energy(xs in prop::collection::vec(-1.0f32..1.0, 32)) {
+        // Parseval: sum |x|^2 = (1/N) sum |X|^2.
+        let time_energy: f32 = xs.iter().map(|x| x * x).sum();
+        let mut re = xs.clone();
+        let mut im = vec![0.0f32; xs.len()];
+        fft(&mut re, &mut im);
+        let freq_energy: f32 = re
+            .iter()
+            .zip(&im)
+            .map(|(r, i)| r * r + i * i)
+            .sum::<f32>()
+            / xs.len() as f32;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-3 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn number_to_words_is_pronounceable(n in 0u64..10_000, ordinal: bool) {
+        let words = number_to_words(n, ordinal);
+        prop_assert!(!words.is_empty());
+        for w in &words {
+            prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn normalize_text_is_idempotent(s in "[a-zA-Z0-9 ]{0,40}") {
+        let once = normalize_text(&s);
+        prop_assert_eq!(normalize_text(&once), once.clone());
+    }
+
+    #[test]
+    fn integral_image_box_sums_match_naive(
+        w in 1usize..12,
+        h in 1usize..12,
+        seed in 0u32..1000,
+    ) {
+        let data: Vec<f32> = (0..w * h)
+            .map(|i| ((i as u32).wrapping_mul(seed + 1) % 97) as f32 / 97.0)
+            .collect();
+        let img = GrayImage::from_data(w, h, data);
+        let ii = IntegralImage::new(&img);
+        let naive: f64 = (0..h)
+            .flat_map(|y| (0..w).map(move |x| (x, y)))
+            .map(|(x, y)| f64::from(img.get(x, y)))
+            .sum();
+        let fast = ii.box_sum(0, 0, w as isize, h as isize);
+        prop_assert!((naive - fast).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kdtree_exact_equals_linear_scan(
+        points in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 1..60),
+        query in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let tagged: Vec<(Vec<f32>, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        let tree = KdTree::build(tagged.clone());
+        let got = tree.nearest(&query, SearchBudget::Exact);
+        let expect = linear_nearest(&tagged, &query).expect("non-empty");
+        prop_assert!((got.distance_sq - expect.distance_sq).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mm1_latency_monotone_in_load(mu in 0.5f64..100.0, rho_lo in 0.05f64..0.45) {
+        let q = Mm1 { mu };
+        let rho_hi = rho_lo + 0.5;
+        prop_assert!(q.latency_at_load(rho_hi) > q.latency_at_load(rho_lo));
+        prop_assert!(q.latency_at_load(rho_lo) >= 1.0 / mu);
+    }
+}
