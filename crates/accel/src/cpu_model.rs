@@ -67,8 +67,8 @@ pub fn analyze(mix: &OpMix) -> Bottleneck {
     let base_cpi = 1.0 / mix.ilp.min(ISSUE_WIDTH);
     let frontend_cpi = (1.0 / mix.frontend_limit - 1.0 / ISSUE_WIDTH).max(0.0);
     let spec_cpi = mix.branch_ratio * mix.mispredict_rate * MISPREDICT_PENALTY;
-    let backend_cpi = mix.mem_ratio
-        * (mix.l1_miss_rate * L2_PENALTY + mix.llc_miss_rate * MEMORY_PENALTY);
+    let backend_cpi =
+        mix.mem_ratio * (mix.l1_miss_rate * L2_PENALTY + mix.llc_miss_rate * MEMORY_PENALTY);
     let total_cpi = base_cpi + frontend_cpi + spec_cpi + backend_cpi;
     let ipc = 1.0 / total_cpi;
     // Slot accounting: retiring uses ipc/WIDTH of the slots; stalls split
@@ -204,9 +204,8 @@ mod tests {
         // Paper Figure 10: "A few of the service components including DNN
         // and Regex execute relatively efficiently on Xeon cores."
         let mixes = kernel_mixes();
-        let ipc = |name: &str| {
-            analyze(&mixes.iter().find(|(n, _)| *n == name).expect("kernel").1).ipc
-        };
+        let ipc =
+            |name: &str| analyze(&mixes.iter().find(|(n, _)| *n == name).expect("kernel").1).ipc;
         let dnn = ipc("DNN");
         let regex = ipc("Regex");
         for name in ["GMM", "Stemmer", "CRF", "FE"] {
@@ -222,14 +221,23 @@ mod tests {
         for (name, mix) in kernel_mixes() {
             let b = analyze(&mix);
             let s = b.stall_free_speedup(&mix);
-            assert!((1.0..=4.0).contains(&s), "{name}: stall-free speedup {s:.2}");
+            assert!(
+                (1.0..=4.0).contains(&s),
+                "{name}: stall-free speedup {s:.2}"
+            );
         }
     }
 
     #[test]
     fn stemmer_is_speculation_heavy() {
         let mixes = kernel_mixes();
-        let stem = analyze(&mixes.iter().find(|(n, _)| *n == "Stemmer").expect("kernel").1);
+        let stem = analyze(
+            &mixes
+                .iter()
+                .find(|(n, _)| *n == "Stemmer")
+                .expect("kernel")
+                .1,
+        );
         let dnn = analyze(&mixes.iter().find(|(n, _)| *n == "DNN").expect("kernel").1);
         assert!(stem.bad_speculation > dnn.bad_speculation * 3.0);
     }

@@ -256,8 +256,7 @@ mod tests {
         for name in ["GMM", "Regex", "FE"] {
             let p = profile(name).expect("kernel");
             assert!(
-                p.modeled_speedup(PlatformKind::Phi)
-                    < p.modeled_speedup(PlatformKind::Multicore),
+                p.modeled_speedup(PlatformKind::Phi) < p.modeled_speedup(PlatformKind::Multicore),
                 "{name}"
             );
         }
@@ -266,7 +265,10 @@ mod tests {
     #[test]
     fn profiles_cover_the_suite() {
         let names: Vec<&str> = kernel_profiles().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]);
+        assert_eq!(
+            names,
+            vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]
+        );
         assert!(profile("GMM").is_some());
         assert!(profile("nope").is_none());
     }

@@ -27,13 +27,34 @@ pub struct KernelArithmetic {
 /// with little arithmetic (low intensity); FE is stencil-like.
 pub fn kernel_arithmetic() -> Vec<KernelArithmetic> {
     vec![
-        KernelArithmetic { name: "GMM", intensity_flops_per_byte: 1.5 },
-        KernelArithmetic { name: "DNN", intensity_flops_per_byte: 2.0 },
-        KernelArithmetic { name: "Stemmer", intensity_flops_per_byte: 0.1 },
-        KernelArithmetic { name: "Regex", intensity_flops_per_byte: 0.15 },
-        KernelArithmetic { name: "CRF", intensity_flops_per_byte: 0.5 },
-        KernelArithmetic { name: "FE", intensity_flops_per_byte: 0.8 },
-        KernelArithmetic { name: "FD", intensity_flops_per_byte: 1.2 },
+        KernelArithmetic {
+            name: "GMM",
+            intensity_flops_per_byte: 1.5,
+        },
+        KernelArithmetic {
+            name: "DNN",
+            intensity_flops_per_byte: 2.0,
+        },
+        KernelArithmetic {
+            name: "Stemmer",
+            intensity_flops_per_byte: 0.1,
+        },
+        KernelArithmetic {
+            name: "Regex",
+            intensity_flops_per_byte: 0.15,
+        },
+        KernelArithmetic {
+            name: "CRF",
+            intensity_flops_per_byte: 0.5,
+        },
+        KernelArithmetic {
+            name: "FE",
+            intensity_flops_per_byte: 0.8,
+        },
+        KernelArithmetic {
+            name: "FD",
+            intensity_flops_per_byte: 1.2,
+        },
     ]
 }
 

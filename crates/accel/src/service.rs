@@ -65,27 +65,57 @@ pub struct Component {
 pub fn components(service: ServiceKind) -> Vec<Component> {
     match service {
         ServiceKind::AsrGmm => vec![
-            Component { name: "GMM", share: 0.85 },
-            Component { name: "HMM", share: 0.15 },
+            Component {
+                name: "GMM",
+                share: 0.85,
+            },
+            Component {
+                name: "HMM",
+                share: 0.15,
+            },
         ],
         ServiceKind::AsrDnn => vec![
-            Component { name: "DNN", share: 0.85 },
-            Component { name: "HMM", share: 0.15 },
+            Component {
+                name: "DNN",
+                share: 0.85,
+            },
+            Component {
+                name: "HMM",
+                share: 0.15,
+            },
         ],
         // The three NLP kernels are 85% of QA cycles (Figure 9); the paper
         // focuses on the NLP components comprising 88% of QA, leaving a
         // small non-NLP residue.
         ServiceKind::Qa => vec![
-            Component { name: "Stemmer", share: 0.378 },
-            Component { name: "Regex", share: 0.334 },
-            Component { name: "CRF", share: 0.238 },
-            Component { name: "other", share: 0.05 },
+            Component {
+                name: "Stemmer",
+                share: 0.378,
+            },
+            Component {
+                name: "Regex",
+                share: 0.334,
+            },
+            Component {
+                name: "CRF",
+                share: 0.238,
+            },
+            Component {
+                name: "other",
+                share: 0.05,
+            },
         ],
         // IMM is dominated by FE + FD (Figure 9); the ANN lookup residue is
         // negligible, matching the paper's Figure 16 throughput numbers.
         ServiceKind::Imm => vec![
-            Component { name: "FE", share: 0.61 },
-            Component { name: "FD", share: 0.39 },
+            Component {
+                name: "FE",
+                share: 0.61,
+            },
+            Component {
+                name: "FD",
+                share: 0.39,
+            },
         ],
     }
 }
@@ -118,8 +148,7 @@ pub fn service_speedup(service: ServiceKind, kind: PlatformKind) -> f64 {
     // framework — HMM search included (Table 5 footnote: "* This includes
     // DNN and HMM combined") — so the whole-service speedup is the kernel
     // number itself on those platforms.
-    if service == ServiceKind::AsrDnn
-        && matches!(kind, PlatformKind::Multicore | PlatformKind::Gpu)
+    if service == ServiceKind::AsrDnn && matches!(kind, PlatformKind::Multicore | PlatformKind::Gpu)
     {
         return profile("DNN")
             .expect("DNN profile exists")
@@ -192,7 +221,10 @@ mod tests {
             let qa = service_speedup(ServiceKind::Qa, kind);
             let asr = service_speedup(ServiceKind::AsrGmm, kind);
             let imm = service_speedup(ServiceKind::Imm, kind);
-            assert!(qa < asr && qa < imm, "{kind}: qa {qa:.1} asr {asr:.1} imm {imm:.1}");
+            assert!(
+                qa < asr && qa < imm,
+                "{kind}: qa {qa:.1} asr {asr:.1} imm {imm:.1}"
+            );
         }
     }
 

@@ -103,7 +103,9 @@ fn bench_stemmer_scheduling(c: &mut Criterion) {
     let kernel = StemmerKernel::generate(0.2, 11);
     let mut group = c.benchmark_group("ablation_stemmer_sched");
     group.sample_size(10);
-    group.bench_function("chunked_x4", |b| b.iter(|| black_box(kernel.run_parallel(4))));
+    group.bench_function("chunked_x4", |b| {
+        b.iter(|| black_box(kernel.run_parallel(4)))
+    });
     group.bench_function("interleaved_x4", |b| {
         b.iter(|| black_box(kernel.run_interleaved(4)))
     });

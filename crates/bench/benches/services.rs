@@ -31,15 +31,29 @@ fn bench_services(c: &mut Criterion) {
     let mut group = c.benchmark_group("services");
     group.sample_size(10);
     group.bench_function("asr_gmm", |b| {
-        b.iter(|| black_box(sirius.asr().recognize(&vc.utterance.samples, AcousticModelKind::Gmm)))
+        b.iter(|| {
+            black_box(
+                sirius
+                    .asr()
+                    .recognize(&vc.utterance.samples, AcousticModelKind::Gmm),
+            )
+        })
     });
     group.bench_function("asr_dnn", |b| {
-        b.iter(|| black_box(sirius.asr().recognize(&vc.utterance.samples, AcousticModelKind::Dnn)))
+        b.iter(|| {
+            black_box(
+                sirius
+                    .asr()
+                    .recognize(&vc.utterance.samples, AcousticModelKind::Dnn),
+            )
+        })
     });
     group.bench_function("qa", |b| {
         b.iter(|| black_box(sirius.qa().answer("What is the capital of Italy?")))
     });
-    group.bench_function("imm", |b| b.iter(|| black_box(sirius.imm().match_image(image))));
+    group.bench_function("imm", |b| {
+        b.iter(|| black_box(sirius.imm().match_image(image)))
+    });
     group.finish();
 }
 

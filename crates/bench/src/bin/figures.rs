@@ -38,7 +38,10 @@ fn main() {
             }
             id => match Experiment::parse(id) {
                 Some(e) => ids.push(e),
-                None => die(&format!("unknown experiment {id:?}; known: {}", all_ids().join(" "))),
+                None => die(&format!(
+                    "unknown experiment {id:?}; known: {}",
+                    all_ids().join(" ")
+                )),
             },
         }
     }
@@ -48,7 +51,9 @@ fn main() {
 
     let needs_ctx = ids.iter().any(|e| e.needs_measurement());
     let ctx = if needs_ctx {
-        eprintln!("building Sirius (training ASR/QA/IMM models) and running the 42-query input set...");
+        eprintln!(
+            "building Sirius (training ASR/QA/IMM models) and running the 42-query input set..."
+        );
         Some(MeasuredContext::build())
     } else {
         None

@@ -196,7 +196,11 @@ pub fn table2() -> Table {
     let mut t = Table::new("Table 2: Voice Query input set");
     t.header(["Q#", "Query", "expected answer"]);
     for (i, (text, answer)) in sirius::taxonomy::VOICE_QUERIES.iter().enumerate() {
-        t.row([format!("q{}", i + 1), format!("\"{text}?\""), (*answer).to_owned()]);
+        t.row([
+            format!("q{}", i + 1),
+            format!("\"{text}?\""),
+            (*answer).to_owned(),
+        ]);
     }
     t
 }

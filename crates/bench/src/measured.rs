@@ -114,9 +114,18 @@ pub fn table1(ctx: &MeasuredContext) -> Table {
 pub fn fig7a(ctx: &MeasuredContext) -> Table {
     let mut t = Table::new("Fig 7a: Scalability gap (measured on this machine)");
     t.header(["Workload", "mean query latency"]);
-    t.row(["Web Search (BM25 engine)".to_owned(), duration(ctx.websearch_mean)]);
-    t.row(["Sirius (42-query input set)".to_owned(), duration(ctx.sirius_mean())]);
-    t.row(["scalability gap".to_owned(), format!("{:.0}x", ctx.measured_gap())]);
+    t.row([
+        "Web Search (BM25 engine)".to_owned(),
+        duration(ctx.websearch_mean),
+    ]);
+    t.row([
+        "Sirius (42-query input set)".to_owned(),
+        duration(ctx.sirius_mean()),
+    ]);
+    t.row([
+        "scalability gap".to_owned(),
+        format!("{:.0}x", ctx.measured_gap()),
+    ]);
     t.note("paper: 91 ms vs ~15 s -> 165x; absolute times differ, the orders-of-magnitude gap is the claim");
     t
 }
@@ -170,7 +179,15 @@ pub fn fig8a(ctx: &MeasuredContext) -> Table {
 /// Figure 8b: QA component breakdown per voice query.
 pub fn fig8b(ctx: &MeasuredContext) -> Table {
     let mut t = Table::new("Fig 8b: OpenEphyra breakdown per voice query");
-    t.header(["Query", "stemmer", "regex", "CRF", "search", "filter/extract", "total"]);
+    t.header([
+        "Query",
+        "stemmer",
+        "regex",
+        "CRF",
+        "search",
+        "filter/extract",
+        "total",
+    ]);
     for (i, p) in ctx
         .prepared
         .iter()
@@ -201,7 +218,11 @@ pub fn fig8c(ctx: &MeasuredContext) -> Table {
     let mut t = Table::new("Fig 8c: QA latency vs document-filter hits");
     t.header(["query#", "filter hits", "QA latency"]);
     for (i, s) in ctx.profiler.filter_hit_samples().iter().enumerate() {
-        t.row([format!("{}", i + 1), s.hits.to_string(), duration(s.latency)]);
+        t.row([
+            format!("{}", i + 1),
+            s.hits.to_string(),
+            duration(s.latency),
+        ]);
     }
     t.note(format!(
         "Pearson correlation(hits, latency) = {:.2} (paper: strongly correlated)",
@@ -220,7 +241,11 @@ pub fn fig9(ctx: &MeasuredContext) -> Table {
         ("IMM", ctx.profiler.imm_breakdown()),
     ] {
         for (component, share) in breakdown {
-            t.row([service.to_owned(), component.to_owned(), format!("{:.0}%", share * 100.0)]);
+            t.row([
+                service.to_owned(),
+                component.to_owned(),
+                format!("{:.0}%", share * 100.0),
+            ]);
         }
     }
     t.note("paper: scoring dominates ASR; stemmer+regex+CRF ~85% of QA; FE/FD dominate IMM");
@@ -251,8 +276,14 @@ pub fn fig20_measured(ctx: &MeasuredContext) -> Table {
     for class in QueryClass::ALL {
         t.row([
             class.to_string(),
-            format!("{:.1}x", query_latency_reduction(class, PlatformKind::Gpu, &baselines)),
-            format!("{:.1}x", query_latency_reduction(class, PlatformKind::Fpga, &baselines)),
+            format!(
+                "{:.1}x",
+                query_latency_reduction(class, PlatformKind::Gpu, &baselines)
+            ),
+            format!(
+                "{:.1}x",
+                query_latency_reduction(class, PlatformKind::Fpga, &baselines)
+            ),
         ]);
     }
     t.note(format!(
@@ -271,7 +302,16 @@ pub fn suite_cmp(scale: f64, threads: usize) -> (Table, Vec<Measurement>) {
     let mut t = Table::new(format!(
         "Table 4 + Table 5 CMP column: Sirius Suite at scale {scale}, {threads} threads (measured)"
     ));
-    t.header(["Kernel", "Service", "items", "baseline", "parallel", "speedup", "paper CMP", "checksum"]);
+    t.header([
+        "Kernel",
+        "Service",
+        "items",
+        "baseline",
+        "parallel",
+        "speedup",
+        "paper CMP",
+        "checksum",
+    ]);
     let mut measurements = Vec::new();
     for kernel in &suite {
         let m = measure(kernel.as_ref(), threads, 2);
@@ -284,7 +324,11 @@ pub fn suite_cmp(scale: f64, threads: usize) -> (Table, Vec<Measurement>) {
             duration(m.parallel_time),
             format!("{:.1}x", m.speedup()),
             format!("{published:.1}x"),
-            if m.checksum_match { "ok".to_owned() } else { "MISMATCH".to_owned() },
+            if m.checksum_match {
+                "ok".to_owned()
+            } else {
+                "MISMATCH".to_owned()
+            },
         ]);
         measurements.push(m);
     }

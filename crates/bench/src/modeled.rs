@@ -20,20 +20,34 @@ use crate::format::{speedup, Table};
 pub fn roofline() -> Table {
     use sirius_accel::roofline;
     let mut t = Table::new("Extension: Roofline analysis (attainable GFLOP/s)");
-    t.header(["Kernel", "intensity (FLOP/B)", "CMP", "GPU", "Phi", "FPGA", "bound"]);
+    t.header([
+        "Kernel",
+        "intensity (FLOP/B)",
+        "CMP",
+        "GPU",
+        "Phi",
+        "FPGA",
+        "bound",
+    ]);
     for k in roofline::kernel_arithmetic() {
         let cells: Vec<String> = PlatformKind::ALL
             .iter()
             .map(|&p| format!("{:.0}", roofline::attainable(p, &k).attainable_gflops))
             .collect();
         let bound = roofline::attainable(PlatformKind::Gpu, &k).bound;
-        let mut row = vec![k.name.to_owned(), format!("{:.2}", k.intensity_flops_per_byte)];
+        let mut row = vec![
+            k.name.to_owned(),
+            format!("{:.2}", k.intensity_flops_per_byte),
+        ];
         row.extend(cells);
         row.push(format!("{bound:?} (GPU)"));
         t.row(row);
     }
     for p in PlatformKind::ALL {
-        t.note(format!("{p} ridge point: {:.1} FLOP/byte", roofline::ridge_point(p)));
+        t.note(format!(
+            "{p} ridge point: {:.1} FLOP/byte",
+            roofline::ridge_point(p)
+        ));
     }
     t.note("all Sirius kernels sit left of the CPU/GPU ridge -> data layout (coalescing) governs achieved speedup");
     t
@@ -53,8 +67,14 @@ pub fn table3() -> Table {
         t.row(cells);
     };
     row("Model", cell(&|s| s.model.to_owned()));
-    row("Frequency", cell(&|s| format!("{:.2} GHz", s.frequency_ghz)));
-    row("# Cores", cell(&|s| s.cores.map_or("N/A".into(), |c| c.to_string())));
+    row(
+        "Frequency",
+        cell(&|s| format!("{:.2} GHz", s.frequency_ghz)),
+    );
+    row(
+        "# Cores",
+        cell(&|s| s.cores.map_or("N/A".into(), |c| c.to_string())),
+    );
     row(
         "# HW Threads",
         cell(&|s| s.hw_threads.map_or("N/A".into(), |c| c.to_string())),
@@ -70,7 +90,11 @@ pub fn table6() -> Table {
     let mut t = Table::new("Table 6: Platform Power and Cost");
     t.header(["Platform", "Power TDP (W)", "Cost ($)"]);
     for s in all_specs() {
-        t.row([s.model.to_owned(), format!("{}", s.tdp_watts), format!("{:.0}", s.cost_usd)]);
+        t.row([
+            s.model.to_owned(),
+            format!("{}", s.tdp_watts),
+            format!("{:.0}", s.cost_usd),
+        ]);
     }
     t
 }
@@ -78,7 +102,17 @@ pub fn table6() -> Table {
 /// Table 5 / Figure 13: kernel speedups across platforms, modeled vs paper.
 pub fn table5() -> Table {
     let mut t = Table::new("Table 5 / Fig 13: Sirius Suite speedups (modeled vs paper)");
-    t.header(["Kernel", "CMP", "GPU", "Phi", "FPGA", "paper CMP", "paper GPU", "paper Phi", "paper FPGA"]);
+    t.header([
+        "Kernel",
+        "CMP",
+        "GPU",
+        "Phi",
+        "FPGA",
+        "paper CMP",
+        "paper GPU",
+        "paper Phi",
+        "paper FPGA",
+    ]);
     for p in kernel_profiles() {
         let modeled: Vec<String> = PlatformKind::ALL
             .iter()
@@ -99,7 +133,15 @@ pub fn table5() -> Table {
 /// Figure 10: IPC and bottleneck breakdown per kernel.
 pub fn fig10() -> Table {
     let mut t = Table::new("Fig 10: IPC and pipeline-slot breakdown (modeled top-down)");
-    t.header(["Kernel", "IPC", "retiring", "frontend", "bad spec", "backend", "stall-free speedup"]);
+    t.header([
+        "Kernel",
+        "IPC",
+        "retiring",
+        "frontend",
+        "bad spec",
+        "backend",
+        "stall-free speedup",
+    ]);
     for (name, mix) in cpu_model::kernel_mixes() {
         let b = cpu_model::analyze(&mix);
         t.row([
@@ -112,7 +154,9 @@ pub fn fig10() -> Table {
             speedup(b.stall_free_speedup(&mix)),
         ]);
     }
-    t.note("paper: even with all stalls removed, speedup is bound by ~3x -> acceleration is needed");
+    t.note(
+        "paper: even with all stalls removed, speedup is bound by ~3x -> acceleration is needed",
+    );
     t
 }
 
@@ -174,7 +218,13 @@ pub fn fig16() -> Table {
 /// Figure 17: throughput improvement at various M/M/1 load levels.
 pub fn fig17() -> Table {
     let mut t = Table::new("Fig 17: Throughput improvement at various loads (M/M/1)");
-    t.header(["Service/Platform", "rho=0.9", "rho=0.7", "rho=0.5", "rho=0.3"]);
+    t.header([
+        "Service/Platform",
+        "rho=0.9",
+        "rho=0.7",
+        "rho=0.5",
+        "rho=0.3",
+    ]);
     for s in ServiceKind::ALL {
         for k in [PlatformKind::Gpu, PlatformKind::Fpga] {
             let su = service_speedup(s, k) / design::BASELINE_CORES;
@@ -197,15 +247,45 @@ pub fn table7() -> Table {
     let p = TcoParams::default();
     let mut t = Table::new("Table 7: TCO Model Parameters");
     t.header(["Parameter", "Value"]);
-    t.row(["DC Depreciation Time".to_owned(), format!("{} years", p.dc_depreciation_years)]);
-    t.row(["Server Depreciation Time".to_owned(), format!("{} years", p.server_depreciation_years)]);
-    t.row(["Average Server Utilization".to_owned(), format!("{:.0}%", p.avg_utilization * 100.0)]);
-    t.row(["Electricity Cost".to_owned(), format!("${}/kWh", p.electricity_per_kwh)]);
-    t.row(["Datacenter Price".to_owned(), format!("${}/W", p.dc_price_per_watt)]);
-    t.row(["Datacenter Opex".to_owned(), format!("${}/W/month", p.dc_opex_per_watt_month)]);
-    t.row(["Server Opex".to_owned(), format!("{:.0}% of Capex / year", p.server_opex_fraction_per_year * 100.0)]);
-    t.row(["Server Price (baseline)".to_owned(), format!("${}", p.server_price)]);
-    t.row(["Server Power (baseline)".to_owned(), format!("{} W", p.server_power)]);
+    t.row([
+        "DC Depreciation Time".to_owned(),
+        format!("{} years", p.dc_depreciation_years),
+    ]);
+    t.row([
+        "Server Depreciation Time".to_owned(),
+        format!("{} years", p.server_depreciation_years),
+    ]);
+    t.row([
+        "Average Server Utilization".to_owned(),
+        format!("{:.0}%", p.avg_utilization * 100.0),
+    ]);
+    t.row([
+        "Electricity Cost".to_owned(),
+        format!("${}/kWh", p.electricity_per_kwh),
+    ]);
+    t.row([
+        "Datacenter Price".to_owned(),
+        format!("${}/W", p.dc_price_per_watt),
+    ]);
+    t.row([
+        "Datacenter Opex".to_owned(),
+        format!("${}/W/month", p.dc_opex_per_watt_month),
+    ]);
+    t.row([
+        "Server Opex".to_owned(),
+        format!(
+            "{:.0}% of Capex / year",
+            p.server_opex_fraction_per_year * 100.0
+        ),
+    ]);
+    t.row([
+        "Server Price (baseline)".to_owned(),
+        format!("${}", p.server_price),
+    ]);
+    t.row([
+        "Server Power (baseline)".to_owned(),
+        format!("{} W", p.server_power),
+    ]);
     t.row(["PUE".to_owned(), format!("{}", p.pue)]);
     let base = monthly_tco(&ServerConfig::baseline(), &p);
     t.note(format!("baseline server monthly TCO: ${:.0}", base.total()));
@@ -234,7 +314,12 @@ pub fn fig18() -> Table {
 pub fn fig19() -> Table {
     let params = TcoParams::default();
     let mut t = Table::new("Fig 19: Latency vs TCO trade-off");
-    t.header(["Service", "Platform", "latency improvement", "TCO improvement"]);
+    t.header([
+        "Service",
+        "Platform",
+        "latency improvement",
+        "TCO improvement",
+    ]);
     for p in design::design_space(&params) {
         if p.platform == PlatformKind::Multicore {
             continue;
@@ -254,7 +339,11 @@ pub fn fig19() -> Table {
 pub fn table8() -> Table {
     let params = TcoParams::default();
     let all = PlatformKind::ALL.to_vec();
-    let no_fpga = vec![PlatformKind::Multicore, PlatformKind::Gpu, PlatformKind::Phi];
+    let no_fpga = vec![
+        PlatformKind::Multicore,
+        PlatformKind::Gpu,
+        PlatformKind::Phi,
+    ];
     let no_fpga_gpu = vec![PlatformKind::Multicore, PlatformKind::Phi];
     let mut t = Table::new("Table 8: Homogeneous DC design");
     t.header(["Objective", "With FPGA", "Without FPGA", "Without FPGA+GPU"]);
@@ -264,8 +353,7 @@ pub fn table8() -> Table {
         Objective::MaxEfficiencyWithLatencyConstraint,
     ] {
         let pick = |c: &[PlatformKind]| {
-            homogeneous_design(obj, c, &params)
-                .map_or("-".to_owned(), |p| p.to_string())
+            homogeneous_design(obj, c, &params).map_or("-".to_owned(), |p| p.to_string())
         };
         t.row([
             obj.to_string(),
@@ -311,7 +399,13 @@ pub fn table9() -> Table {
 pub fn fig20() -> Table {
     let params = TcoParams::default();
     let mut t = Table::new("Fig 20: Query-level DC results (GPU and FPGA DCs)");
-    t.header(["Query", "GPU latency red.", "GPU TCO red.", "FPGA latency red.", "FPGA TCO red."]);
+    t.header([
+        "Query",
+        "GPU latency red.",
+        "GPU TCO red.",
+        "FPGA latency red.",
+        "FPGA TCO red.",
+    ]);
     let gpu = query_level_metrics(PlatformKind::Gpu, &params);
     let fpga = query_level_metrics(PlatformKind::Fpga, &params);
     for (g, f) in gpu.iter().zip(&fpga) {
@@ -347,11 +441,17 @@ pub fn fig21(measured_gap: Option<f64>) -> Table {
     t.row(["General-purpose (baseline)".to_owned(), format!("{g:.0}x")]);
     t.row([
         "GPU-accelerated".to_owned(),
-        format!("{:.1}x", gap::bridged_gap(g, mean_query_latency_reduction(PlatformKind::Gpu))),
+        format!(
+            "{:.1}x",
+            gap::bridged_gap(g, mean_query_latency_reduction(PlatformKind::Gpu))
+        ),
     ]);
     t.row([
         "FPGA-accelerated".to_owned(),
-        format!("{:.1}x", gap::bridged_gap(g, mean_query_latency_reduction(PlatformKind::Fpga))),
+        format!(
+            "{:.1}x",
+            gap::bridged_gap(g, mean_query_latency_reduction(PlatformKind::Fpga))
+        ),
     ]);
     t.note("paper: 165x baseline; ~16x GPU; ~10x FPGA");
     t

@@ -302,12 +302,34 @@ impl<'a> Decoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic SplitMix64 generator so the property loops below are
+    /// reproducible without an external fuzzing framework.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
 
     #[test]
     fn scalar_round_trips() {
         let mut e = Encoder::new();
-        e.u8(9).bool(true).u32(123_456).u64(u64::MAX).f32(-1.5).f64(std::f64::consts::PI);
+        e.u8(9)
+            .bool(true)
+            .u32(123_456)
+            .u64(u64::MAX)
+            .f32(-1.5)
+            .f64(std::f64::consts::PI);
         let bytes = e.into_bytes();
         let mut d = Decoder::new(&bytes);
         assert_eq!(d.u8().unwrap(), 9);
@@ -376,37 +398,66 @@ mod tests {
         assert!(d.finish().is_err());
     }
 
-    proptest! {
-        #[test]
-        fn strings_round_trip(s in ".{0,80}") {
+    #[test]
+    fn strings_round_trip() {
+        let mut rng = Mix(0x5eed_0001);
+        for case in 0..256 {
+            let len = rng.below(81) as usize;
+            let s: String = (0..len)
+                .map(|_| char::from_u32((rng.below(0xd7ff) as u32).max(1)).unwrap_or('?'))
+                .collect();
             let mut e = Encoder::new();
             e.str(&s);
             let bytes = e.into_bytes();
             let mut d = Decoder::new(&bytes);
-            prop_assert_eq!(d.str().unwrap(), s);
-            prop_assert!(d.finish().is_ok());
+            assert_eq!(d.str().unwrap(), s, "case {case}");
+            assert!(d.finish().is_ok(), "case {case}");
         }
+    }
 
-        #[test]
-        fn f32_vectors_round_trip(xs in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+    #[test]
+    fn f32_vectors_round_trip() {
+        let mut rng = Mix(0x5eed_0002);
+        for case in 0..256 {
+            let len = rng.below(200) as usize;
+            let xs: Vec<f32> = (0..len)
+                .map(|_| (rng.next() as f64 / u64::MAX as f64 * 2e6 - 1e6) as f32)
+                .collect();
             let mut e = Encoder::new();
             e.f32_slice(&xs);
             let bytes = e.into_bytes();
             let mut d = Decoder::new(&bytes);
-            prop_assert_eq!(d.f32_vec().unwrap(), xs);
+            assert_eq!(d.f32_vec().unwrap(), xs, "case {case}");
         }
+    }
 
-        #[test]
-        fn string_lists_round_trip(xs in prop::collection::vec("[a-z]{0,12}", 0..30)) {
+    #[test]
+    fn string_lists_round_trip() {
+        let mut rng = Mix(0x5eed_0003);
+        for case in 0..256 {
+            let n = rng.below(30) as usize;
+            let xs: Vec<String> = (0..n)
+                .map(|_| {
+                    let len = rng.below(13) as usize;
+                    (0..len)
+                        .map(|_| (b'a' + rng.below(26) as u8) as char)
+                        .collect()
+                })
+                .collect();
             let mut e = Encoder::new();
             e.str_slice(&xs);
             let bytes = e.into_bytes();
             let mut d = Decoder::new(&bytes);
-            prop_assert_eq!(d.str_vec().unwrap(), xs);
+            assert_eq!(d.str_vec().unwrap(), xs, "case {case}");
         }
+    }
 
-        #[test]
-        fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+    #[test]
+    fn random_bytes_never_panic() {
+        let mut rng = Mix(0x5eed_0004);
+        for _ in 0..512 {
+            let len = rng.below(120) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
             let mut d = Decoder::new(&bytes);
             let _ = d.str();
             let _ = d.f32_vec();

@@ -45,10 +45,16 @@ fn main() {
                     Some(idx) => {
                         view_seed += 1;
                         let scene = sirius.venue_scene(idx);
-                        (line[..a].trim().to_owned(), Some(vsynth::random_view(&scene, view_seed)))
+                        (
+                            line[..a].trim().to_owned(),
+                            Some(vsynth::random_view(&scene, view_seed)),
+                        )
                     }
                     None => {
-                        eprintln!("(unknown venue {venue:?}; known: {})", sirius.venues().join(", "));
+                        eprintln!(
+                            "(unknown venue {venue:?}; known: {})",
+                            sirius.venues().join(", ")
+                        );
                         (line[..a].trim().to_owned(), None)
                     }
                 }

@@ -119,7 +119,9 @@ mod tests {
         let qc = QueryClassifier::new();
         for (text, expected_action) in VOICE_COMMANDS {
             assert_eq!(qc.classify(text), QueryClass::Action, "{text}");
-            let action = qc.action(text).unwrap_or_else(|| panic!("no action: {text}"));
+            let action = qc
+                .action(text)
+                .unwrap_or_else(|| panic!("no action: {text}"));
             assert_eq!(action.action, expected_action, "{text}");
         }
     }
@@ -140,7 +142,10 @@ mod tests {
     fn punctuation_and_case_are_ignored() {
         let qc = QueryClassifier::new();
         assert_eq!(qc.classify("SET MY ALARM FOR 8AM!!!"), QueryClass::Action);
-        assert_eq!(qc.classify("What... is the capital of Italy?"), QueryClass::Question);
+        assert_eq!(
+            qc.classify("What... is the capital of Italy?"),
+            QueryClass::Question
+        );
     }
 
     #[test]

@@ -12,11 +12,14 @@ use std::time::{Duration, Instant};
 use sirius_nlp::crf::{Crf, TrainConfig};
 use sirius_nlp::pos;
 use sirius_nlp::qa::{QaBreakdown, QaConfig, QaEngine};
+use sirius_par::ExecPolicy;
 use sirius_search::corpus::{CorpusConfig, FactCorpus, FactKind};
 use sirius_search::SearchEngine;
 use sirius_speech::asr::{AcousticModelKind, AsrSystem, AsrTiming, AsrTrainConfig};
+use sirius_vision::ann::SearchBudget;
 use sirius_vision::db::{ImageDatabase, ImmTiming, MatchConfig};
 use sirius_vision::image::GrayImage;
+use sirius_vision::surf::SurfConfig;
 use sirius_vision::synth as vsynth;
 
 use crate::classifier::{DeviceAction, QueryClass, QueryClassifier};
@@ -39,6 +42,12 @@ pub struct SiriusConfig {
     pub image_size: (usize, usize),
     /// Tagged sentences used to train the CRF tagger.
     pub crf_train_sentences: usize,
+    /// Multicore execution policy applied to the hot service kernels
+    /// (acoustic scoring, SURF extraction/matching, QA document filters and
+    /// CRF tagging). Output is bit-identical to the serial path at every
+    /// thread count and strategy; this is a runtime knob and is not
+    /// serialized by [`Sirius::to_bytes`].
+    pub exec: ExecPolicy,
 }
 
 impl Default for SiriusConfig {
@@ -51,6 +60,7 @@ impl Default for SiriusConfig {
             imm: MatchConfig::default(),
             image_size: (160, 160),
             crf_train_sentences: 200,
+            exec: ExecPolicy::serial(),
         }
     }
 }
@@ -127,7 +137,8 @@ impl Sirius {
     pub fn build(config: SiriusConfig) -> Self {
         // ASR: train on the full taxonomy vocabulary.
         let texts: Vec<&str> = taxonomy::input_set().iter().map(|q| q.text).collect();
-        let asr = AsrSystem::train(&texts, config.seed, config.asr);
+        let mut asr = AsrSystem::train(&texts, config.seed, config.asr);
+        asr.set_exec_policy(config.exec);
 
         // QA: fact corpus + search engine + CRF tagger.
         let corpus = FactCorpus::generate(config.seed ^ 0xfac7, config.corpus);
@@ -137,7 +148,8 @@ impl Sirius {
             &pos::generate(config.seed ^ 0x905, config.crf_train_sentences),
             TrainConfig::default(),
         );
-        let qa = QaEngine::new(search, crf, config.qa);
+        let mut qa = QaEngine::new(search, crf, config.qa);
+        qa.set_exec_policy(config.exec);
 
         // IMM: one scene per venue in the knowledge base.
         let venues: Vec<String> = corpus
@@ -150,7 +162,10 @@ impl Sirius {
         let scenes: Vec<GrayImage> = (0..venues.len())
             .map(|i| vsynth::generate_scene(Self::venue_scene_seed(config.seed, i), w, h))
             .collect();
-        let imm = ImageDatabase::build(scenes.iter(), config.imm);
+        // Enrollment-side SURF extraction honours the same policy as queries.
+        let mut imm_config = config.imm;
+        imm_config.surf.exec = config.exec;
+        let imm = ImageDatabase::build(scenes.iter(), imm_config);
 
         Self {
             asr,
@@ -163,7 +178,8 @@ impl Sirius {
     }
 
     fn venue_scene_seed(seed: u64, venue_index: usize) -> u64 {
-        seed.wrapping_mul(0x1234_5679).wrapping_add(venue_index as u64 * 101 + 3)
+        seed.wrapping_mul(0x1234_5679)
+            .wrapping_add(venue_index as u64 * 101 + 3)
     }
 
     /// The trained speech recognizer.
@@ -200,15 +216,36 @@ impl Sirius {
         vsynth::generate_scene(Self::venue_scene_seed(self.config.seed, venue_index), w, h)
     }
 
-    /// Serializes the fully trained assistant: ASR models, QA corpus + CRF,
-    /// the image database and the venue table. Restoring with
-    /// [`Sirius::from_bytes`] skips all training.
+    /// Applies a multicore execution policy to every service (acoustic
+    /// scoring, SURF + ANN voting, QA filters + CRF). Responses are
+    /// bit-identical to the serial path at every thread count and strategy.
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.config.exec = policy;
+        self.asr.set_exec_policy(policy);
+        self.qa.set_exec_policy(policy);
+        self.imm.set_exec_policy(policy);
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &SiriusConfig {
+        &self.config
+    }
+
+    /// Serializes the fully trained assistant: the complete build
+    /// configuration, ASR models, QA corpus + CRF, the image database and
+    /// the venue table. Restoring with [`Sirius::from_bytes`] skips all
+    /// training. The execution policy is a runtime knob and is not saved.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut e = sirius_codec::Encoder::new();
-        e.tag("sirius_v1");
+        e.tag("sirius_v2");
         e.u64(self.config.seed);
         e.u32(self.config.image_size.0 as u32);
         e.u32(self.config.image_size.1 as u32);
+        encode_corpus_config(&mut e, &self.config.corpus);
+        encode_asr_config(&mut e, &self.config.asr);
+        e.u32(self.config.qa.top_k as u32);
+        encode_match_config(&mut e, &self.config.imm);
+        e.u32(self.config.crf_train_sentences as u32);
         e.str_slice(&self.venues);
         e.bytes(&self.asr.to_bytes());
         e.bytes(&self.qa.to_bytes());
@@ -216,17 +253,27 @@ impl Sirius {
         e.into_bytes()
     }
 
-    /// Restores an assistant saved with [`Sirius::to_bytes`].
+    /// Restores an assistant saved with [`Sirius::to_bytes`], including the
+    /// build configuration (so a rebuild from the restored config regenerates
+    /// the same corpus, venues and scenes). The execution policy resets to
+    /// serial; re-apply it with [`Sirius::set_exec_policy`].
     ///
     /// # Errors
     ///
     /// Fails on malformed, truncated or inconsistent bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, sirius_codec::DecodeError> {
         let mut d = sirius_codec::Decoder::new(bytes);
-        d.tag("sirius_v1")?;
+        d.tag("sirius_v2")?;
         let seed = d.u64()?;
         let w = d.u32()? as usize;
         let h = d.u32()? as usize;
+        let corpus = decode_corpus_config(&mut d)?;
+        let asr_config = decode_asr_config(&mut d)?;
+        let qa_config = QaConfig {
+            top_k: d.u32()? as usize,
+        };
+        let imm_config = decode_match_config(&mut d)?;
+        let crf_train_sentences = d.u32()? as usize;
         let venues = d.str_vec()?;
         let asr = AsrSystem::from_bytes(&d.bytes_vec()?)?;
         let qa = QaEngine::from_bytes(&d.bytes_vec()?)?;
@@ -240,8 +287,13 @@ impl Sirius {
         }
         let config = SiriusConfig {
             seed,
+            corpus,
+            asr: asr_config,
+            qa: qa_config,
+            imm: imm_config,
             image_size: (w.max(1), h.max(1)),
-            ..SiriusConfig::default()
+            crf_train_sentences,
+            exec: ExecPolicy::serial(),
         };
         Ok(Self {
             asr,
@@ -272,13 +324,10 @@ impl Sirius {
         let classify = t.elapsed();
 
         if class == QueryClass::Action {
-            let action = self
-                .classifier
-                .action(&recognized)
-                .unwrap_or(DeviceAction {
-                    action: "unknown".to_owned(),
-                    command: recognized.clone(),
-                });
+            let action = self.classifier.action(&recognized).unwrap_or(DeviceAction {
+                action: "unknown".to_owned(),
+                command: recognized.clone(),
+            });
             return SiriusResponse {
                 recognized,
                 outcome: SiriusOutcome::Action(action),
@@ -323,6 +372,82 @@ impl Sirius {
             },
         }
     }
+}
+
+fn encode_corpus_config(e: &mut sirius_codec::Encoder, c: &CorpusConfig) {
+    e.u32(c.docs_per_fact as u32);
+    e.u32(c.filler_docs as u32);
+    e.u32(c.filler_sentences_per_doc as u32);
+    e.f64(c.distractor_fact_prob);
+}
+
+fn decode_corpus_config(
+    d: &mut sirius_codec::Decoder<'_>,
+) -> Result<CorpusConfig, sirius_codec::DecodeError> {
+    Ok(CorpusConfig {
+        docs_per_fact: d.u32()? as usize,
+        filler_docs: d.u32()? as usize,
+        filler_sentences_per_doc: d.u32()? as usize,
+        distractor_fact_prob: d.f64()?,
+    })
+}
+
+fn encode_asr_config(e: &mut sirius_codec::Encoder, c: &AsrTrainConfig) {
+    e.u32(c.reps as u32);
+    e.u32(c.gmm_components as u32);
+    e.u32(c.em_iters as u32);
+    e.u32(c.dnn_hidden as u32);
+    e.u32(c.dnn_epochs as u32);
+    e.u32(c.dnn_frame_cap as u32);
+    e.u32(c.dnn_context as u32);
+}
+
+fn decode_asr_config(
+    d: &mut sirius_codec::Decoder<'_>,
+) -> Result<AsrTrainConfig, sirius_codec::DecodeError> {
+    Ok(AsrTrainConfig {
+        reps: d.u32()? as usize,
+        gmm_components: d.u32()? as usize,
+        em_iters: d.u32()? as usize,
+        dnn_hidden: d.u32()? as usize,
+        dnn_epochs: d.u32()? as usize,
+        dnn_frame_cap: d.u32()? as usize,
+        dnn_context: d.u32()? as usize,
+    })
+}
+
+fn encode_match_config(e: &mut sirius_codec::Encoder, c: &MatchConfig) {
+    e.u32(c.surf.octaves as u32);
+    e.f32(c.surf.threshold);
+    e.u32(c.surf.init_step as u32);
+    e.bool(c.surf.upright);
+    e.f32(c.ratio);
+    match c.budget {
+        SearchBudget::Exact => e.u32(0),
+        SearchBudget::MaxChecks(n) => e.u32(n as u32),
+    };
+}
+
+fn decode_match_config(
+    d: &mut sirius_codec::Decoder<'_>,
+) -> Result<MatchConfig, sirius_codec::DecodeError> {
+    let surf = SurfConfig {
+        octaves: d.u32()? as usize,
+        threshold: d.f32()?,
+        init_step: d.u32()? as usize,
+        upright: d.bool()?,
+        ..SurfConfig::default()
+    };
+    let ratio = d.f32()?;
+    let budget = match d.u32()? {
+        0 => SearchBudget::Exact,
+        n => SearchBudget::MaxChecks(n as usize),
+    };
+    Ok(MatchConfig {
+        surf,
+        ratio,
+        budget,
+    })
 }
 
 /// Replaces deictic phrases ("this restaurant", "this place", ...) with the

@@ -63,8 +63,7 @@ impl Profiler {
             .push(response.timing.total);
 
         let asr = &response.timing.asr;
-        *self.asr_components.entry("feature extraction").or_default() +=
-            asr.feature_extraction;
+        *self.asr_components.entry("feature extraction").or_default() += asr.feature_extraction;
         *self.asr_components.entry("scoring").or_default() += asr.scoring;
         *self.asr_components.entry("HMM search").or_default() += asr.search;
         self.asr_latencies.push(asr.total);

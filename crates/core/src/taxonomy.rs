@@ -87,22 +87,44 @@ pub const VOICE_QUERIES: [(&str, &str); 16] = [
     ("What is the capital of Brazil", "Brasilia"),
     ("Who is the author of Hamlet", "William Shakespeare"),
     ("Who is the author of The Odyssey", "Homer"),
-    ("Who was elected 44th president of the United States", "Barack Obama"),
-    ("Who was the first president of the United States", "George Washington"),
+    (
+        "Who was elected 44th president of the United States",
+        "Barack Obama",
+    ),
+    (
+        "Who was the first president of the United States",
+        "George Washington",
+    ),
     ("Where is Mount Fuji", "Japan"),
     ("Where is the Grand Canyon", "Arizona"),
 ];
 
 /// The 10 voice-image queries: a "this place" question plus a venue image.
 pub const VOICE_IMAGE_QUERIES: [(&str, &str, &str); 10] = [
-    ("When does this restaurant close", "Luigi Trattoria", "10 pm"),
-    ("When does this restaurant close", "Sakura Sushi House", "11 pm"),
+    (
+        "When does this restaurant close",
+        "Luigi Trattoria",
+        "10 pm",
+    ),
+    (
+        "When does this restaurant close",
+        "Sakura Sushi House",
+        "11 pm",
+    ),
     ("When does this place close", "Blue Bottle Cafe", "6 pm"),
-    ("When does this place close", "Golden Gate Diner", "midnight"),
+    (
+        "When does this place close",
+        "Golden Gate Diner",
+        "midnight",
+    ),
     ("When does this place close", "Crown Books", "9 pm"),
     ("When does this restaurant close", "Harbor Grill", "10 pm"),
     ("When does this place close", "Maple Leaf Bakery", "5 pm"),
-    ("When does this restaurant close", "Casa Verde Cantina", "11 pm"),
+    (
+        "When does this restaurant close",
+        "Casa Verde Cantina",
+        "11 pm",
+    ),
     ("When does this place close", "Union Square Market", "8 pm"),
     ("When does this place close", "Riverside Tea House", "7 pm"),
 ];
@@ -193,9 +215,9 @@ mod kb_consistency_tests {
         let kb = knowledge_base();
         for (text, expected) in VOICE_QUERIES {
             let lower = text.to_lowercase();
-            let found = kb.iter().any(|f| {
-                f.answer == expected && lower.contains(&f.subject.to_lowercase())
-            });
+            let found = kb
+                .iter()
+                .any(|f| f.answer == expected && lower.contains(&f.subject.to_lowercase()));
             assert!(found, "no supporting fact for {text:?} -> {expected:?}");
         }
     }
@@ -209,8 +231,7 @@ mod kb_consistency_tests {
             .filter(|f| f.kind == FactKind::ClosingTime)
             .map(|f| f.subject)
             .collect();
-        let taxonomy_venues: Vec<&str> =
-            VOICE_IMAGE_QUERIES.iter().map(|(_, v, _)| *v).collect();
+        let taxonomy_venues: Vec<&str> = VOICE_IMAGE_QUERIES.iter().map(|(_, v, _)| *v).collect();
         assert_eq!(kb_venues, taxonomy_venues);
     }
 }

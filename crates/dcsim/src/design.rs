@@ -47,7 +47,11 @@ pub fn throughput_improvement(service: ServiceKind, platform: PlatformKind) -> f
 }
 
 /// Evaluates one (platform, service) design point.
-pub fn design_point(service: ServiceKind, platform: PlatformKind, params: &TcoParams) -> DesignPoint {
+pub fn design_point(
+    service: ServiceKind,
+    platform: PlatformKind,
+    params: &TcoParams,
+) -> DesignPoint {
     let tput = throughput_improvement(service, platform);
     let config = match platform {
         PlatformKind::Multicore => ServerConfig::baseline(),
@@ -120,7 +124,9 @@ pub fn homogeneous_design(
         .copied()
         .filter(|&p| match objective {
             Objective::MinLatency => true,
-            _ => ServiceKind::ALL.iter().all(|&s| meets_latency_constraint(s, p)),
+            _ => ServiceKind::ALL
+                .iter()
+                .all(|&s| meets_latency_constraint(s, p)),
         })
         .collect();
     feasible.into_iter().max_by(|&a, &b| {
@@ -332,7 +338,11 @@ mod tests {
 
     #[test]
     fn min_latency_without_fpga_is_gpu() {
-        let no_fpga = [PlatformKind::Multicore, PlatformKind::Gpu, PlatformKind::Phi];
+        let no_fpga = [
+            PlatformKind::Multicore,
+            PlatformKind::Gpu,
+            PlatformKind::Phi,
+        ];
         assert_eq!(
             homogeneous_design(Objective::MinLatency, &no_fpga, &params()),
             Some(PlatformKind::Gpu)
@@ -398,7 +408,10 @@ mod tests {
         let gpu = mean_query_latency_reduction(PlatformKind::Gpu);
         let fpga = mean_query_latency_reduction(PlatformKind::Fpga);
         assert!((7.0..=14.0).contains(&gpu), "GPU mean reduction {gpu:.1}");
-        assert!((10.0..=22.0).contains(&fpga), "FPGA mean reduction {fpga:.1}");
+        assert!(
+            (10.0..=22.0).contains(&fpga),
+            "FPGA mean reduction {fpga:.1}"
+        );
         assert!(fpga > gpu, "FPGA must beat GPU on latency");
     }
 

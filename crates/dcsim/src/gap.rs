@@ -15,7 +15,10 @@
 ///
 /// Panics if `websearch_latency <= 0`.
 pub fn machines_ratio(sirius_latency: f64, websearch_latency: f64, query_ratio: f64) -> f64 {
-    assert!(websearch_latency > 0.0, "web-search latency must be positive");
+    assert!(
+        websearch_latency > 0.0,
+        "web-search latency must be positive"
+    );
     (sirius_latency / websearch_latency) * query_ratio
 }
 
@@ -32,7 +35,10 @@ pub fn scalability_gap(sirius_latency: f64, websearch_latency: f64) -> f64 {
 ///
 /// Panics if `latency_reduction <= 0`.
 pub fn bridged_gap(gap: f64, latency_reduction: f64) -> f64 {
-    assert!(latency_reduction > 0.0, "latency reduction must be positive");
+    assert!(
+        latency_reduction > 0.0,
+        "latency reduction must be positive"
+    );
     gap / latency_reduction
 }
 

@@ -9,11 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod gap;
 pub mod partition;
 pub mod power;
-pub mod sim;
-pub mod gap;
 pub mod queue;
+pub mod sim;
 pub mod tco;
 
 pub use design::{

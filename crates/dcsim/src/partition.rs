@@ -70,7 +70,10 @@ pub fn size_partition(
     utilization: f64,
     params: &TcoParams,
 ) -> Partition {
-    assert!(utilization > 0.0 && utilization <= 1.0, "utilization in (0,1]");
+    assert!(
+        utilization > 0.0 && utilization <= 1.0,
+        "utilization in (0,1]"
+    );
     // One server's throughput: 4 cores at query parallelism, scaled by the
     // platform's service speedup over a single core.
     let per_core_qps = 1.0 / demand.service_secs;

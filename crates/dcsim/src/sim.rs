@@ -181,8 +181,16 @@ mod tests {
         let sim = simulate_queue(5.0, service, 60_000, 42);
         let analytic = Mm1 { mu: 10.0 }.latency(5.0);
         let err = (sim.mean_latency - analytic).abs() / analytic;
-        assert!(err < 0.07, "sim {:.3} vs analytic {analytic:.3}", sim.mean_latency);
-        assert!((sim.utilization - 0.5).abs() < 0.05, "rho {}", sim.utilization);
+        assert!(
+            err < 0.07,
+            "sim {:.3} vs analytic {analytic:.3}",
+            sim.mean_latency
+        );
+        assert!(
+            (sim.utilization - 0.5).abs() < 0.05,
+            "rho {}",
+            sim.utilization
+        );
     }
 
     #[test]
@@ -221,12 +229,7 @@ mod tests {
         let mean = bimodal.mean();
         let lam = 0.05 / mean; // very low load isolates the service tail
         let heavy = simulate_queue(lam, bimodal, 20_000, 5);
-        let light = simulate_queue(
-            lam,
-            ServiceDistribution::Exponential { mean },
-            20_000,
-            5,
-        );
+        let light = simulate_queue(lam, ServiceDistribution::Exponential { mean }, 20_000, 5);
         assert!(heavy.p95_latency > light.p95_latency * 1.5);
     }
 
@@ -246,7 +249,12 @@ mod tests {
         let cluster = simulate_cluster(1, 5.0, service, 20_000, 3);
         // Different RNG streams, so compare statistically.
         let err = (single.mean_latency - cluster.mean_latency).abs() / single.mean_latency;
-        assert!(err < 0.1, "single {} vs cluster {}", single.mean_latency, cluster.mean_latency);
+        assert!(
+            err < 0.1,
+            "single {} vs cluster {}",
+            single.mean_latency,
+            cluster.mean_latency
+        );
     }
 
     #[test]
@@ -299,12 +307,13 @@ mod tests {
         let improvement = throughput_improvement_at_load(s, rho);
         let accelerated = simulate_queue(
             lambda * improvement,
-            ServiceDistribution::Exponential { mean: 1.0 / (s * mu) },
+            ServiceDistribution::Exponential {
+                mean: 1.0 / (s * mu),
+            },
             80_000,
             22,
         );
-        let err = (accelerated.mean_latency - baseline.mean_latency).abs()
-            / baseline.mean_latency;
+        let err = (accelerated.mean_latency - baseline.mean_latency).abs() / baseline.mean_latency;
         assert!(
             err < 0.1,
             "baseline {:.4}s vs accelerated {:.4}s at {improvement:.2}x load",

@@ -121,7 +121,10 @@ pub fn monthly_tco(config: &ServerConfig, params: &TcoParams) -> TcoBreakdown {
         server_opex: price * params.server_opex_fraction_per_year / 12.0,
         dc_capex: watts * params.dc_price_per_watt / (params.dc_depreciation_years * 12.0),
         dc_opex: watts * params.dc_opex_per_watt_month,
-        energy: watts * params.avg_utilization * params.pue * hours_per_month
+        energy: watts
+            * params.avg_utilization
+            * params.pue
+            * hours_per_month
             * params.electricity_per_kwh
             / 1000.0,
     }
@@ -190,10 +193,8 @@ mod tests {
     fn gpu_asr_dnn_tco_reduction_exceeds_8x() {
         // Paper 5.2.2: "GPU achieves over 8x TCO reduction for ASR(DNN)".
         let params = TcoParams::default();
-        let speedup = sirius_accel::service_speedup(
-            sirius_accel::ServiceKind::AsrDnn,
-            PlatformKind::Gpu,
-        );
+        let speedup =
+            sirius_accel::service_speedup(sirius_accel::ServiceKind::AsrDnn, PlatformKind::Gpu);
         let tput = speedup / 4.0; // vs all-4-core query-parallel baseline
         let tco = normalized_dc_tco(
             &ServerConfig::with_accelerator(PlatformKind::Gpu),
@@ -207,10 +208,8 @@ mod tests {
     fn fpga_imm_tco_reduction_exceeds_4x() {
         // Paper 5.2.2: "FPGA achieves over 4x TCO reduction for IMM".
         let params = TcoParams::default();
-        let speedup = sirius_accel::service_speedup(
-            sirius_accel::ServiceKind::Imm,
-            PlatformKind::Fpga,
-        );
+        let speedup =
+            sirius_accel::service_speedup(sirius_accel::ServiceKind::Imm, PlatformKind::Fpga);
         let tput = speedup / 4.0;
         let tco = normalized_dc_tco(
             &ServerConfig::with_accelerator(PlatformKind::Fpga),

@@ -29,11 +29,7 @@ type PositionFeatures = Vec<u32>;
 pub fn token_features(tokens: &[String], t: usize) -> Vec<String> {
     let w = &tokens[t];
     let lower = w.to_lowercase();
-    let mut feats = vec![
-        format!("w={w}"),
-        format!("lw={lower}"),
-        "bias".to_owned(),
-    ];
+    let mut feats = vec![format!("w={w}"), format!("lw={lower}"), "bias".to_owned()];
     let chars: Vec<char> = lower.chars().collect();
     for n in 1..=3usize {
         if chars.len() >= n {
@@ -283,8 +279,9 @@ impl Crf {
         for t in (0..n - 1).rev() {
             for y in 0..num_labels {
                 for next in 0..num_labels {
-                    scratch[next] =
-                        self.transition[y * num_labels + next] + pot[t + 1][next] + beta[t + 1][next];
+                    scratch[next] = self.transition[y * num_labels + next]
+                        + pot[t + 1][next]
+                        + beta[t + 1][next];
                 }
                 beta[t][y] = log_sum_exp(&scratch);
             }
@@ -405,9 +402,7 @@ impl Crf {
     /// # Errors
     ///
     /// Fails on malformed or inconsistent bytes.
-    pub fn read_from(
-        d: &mut sirius_codec::Decoder<'_>,
-    ) -> Result<Self, sirius_codec::DecodeError> {
+    pub fn read_from(d: &mut sirius_codec::Decoder<'_>) -> Result<Self, sirius_codec::DecodeError> {
         d.tag("crf_v1")?;
         let labels = d.str_vec()?;
         let n = d.u32()? as usize;
@@ -495,7 +490,11 @@ mod tests {
     fn training_fits_toy_grammar() {
         let (labels, data) = toy_data();
         let crf = Crf::train(labels, &data, TrainConfig::default());
-        assert!(crf.accuracy(&data) > 0.99, "accuracy {}", crf.accuracy(&data));
+        assert!(
+            crf.accuracy(&data) > 0.99,
+            "accuracy {}",
+            crf.accuracy(&data)
+        );
         let tags = crf.tag(&["a".into(), "bird".into(), "runs".into()]);
         assert_eq!(tags, vec!["DET", "NOUN", "VERB"]);
     }

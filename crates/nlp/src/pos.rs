@@ -32,18 +32,47 @@ const ADJS: &[&str] = &[
     "quick", "old", "famous", "red", "small", "great", "current", "ancient", "local", "new",
 ];
 const NOUNS: &[&str] = &[
-    "dog", "city", "capital", "president", "author", "book", "restaurant", "river", "mountain",
-    "museum", "election", "country", "student", "teacher", "library",
+    "dog",
+    "city",
+    "capital",
+    "president",
+    "author",
+    "book",
+    "restaurant",
+    "river",
+    "mountain",
+    "museum",
+    "election",
+    "country",
+    "student",
+    "teacher",
+    "library",
 ];
 /// Capitalized proper nouns, tagged NOUN; teaches the CRF that the
 /// capitalized word shape is noun-like (used when tagging retrieved
 /// documents in the QA pipeline).
 const PROPER_NOUNS: &[&str] = &[
-    "Rome", "Paris", "London", "Tokyo", "Nevada", "Obama", "Shakespeare", "Homer", "Fuji",
+    "Rome",
+    "Paris",
+    "London",
+    "Tokyo",
+    "Nevada",
+    "Obama",
+    "Shakespeare",
+    "Homer",
+    "Fuji",
     "Arizona",
 ];
 const VERBS: &[&str] = &[
-    "runs", "closes", "opens", "wrote", "visited", "elected", "reads", "describes", "holds",
+    "runs",
+    "closes",
+    "opens",
+    "wrote",
+    "visited",
+    "elected",
+    "reads",
+    "describes",
+    "holds",
     "announced",
 ];
 const PREPS: &[&str] = &["in", "of", "on", "near", "with", "at"];

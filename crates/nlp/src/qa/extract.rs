@@ -181,7 +181,11 @@ mod tests {
 
     #[test]
     fn skips_stop_word_capitals() {
-        let spans = extract_spans("The committee met Rome officials", AnswerType::Location, &shapes());
+        let spans = extract_spans(
+            "The committee met Rome officials",
+            AnswerType::Location,
+            &shapes(),
+        );
         assert!(spans.contains(&"Rome".to_owned()));
         assert!(!spans.iter().any(|s| s.contains("The")));
     }
@@ -212,7 +216,14 @@ mod tests {
         index.finalize();
         let question = QuestionAnalysis {
             text: "What is the capital of Italy?".into(),
-            tokens: vec!["what".into(), "is".into(), "the".into(), "capital".into(), "of".into(), "italy".into()],
+            tokens: vec![
+                "what".into(),
+                "is".into(),
+                "the".into(),
+                "capital".into(),
+                "of".into(),
+                "italy".into(),
+            ],
             keywords: vec!["capital".into(), "italy".into()],
             stems: vec!["capit".into(), "itali".into()],
             pos_tags: vec![],

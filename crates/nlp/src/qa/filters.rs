@@ -96,10 +96,7 @@ impl DocumentFilter for AnswerTypeFilter {
     fn apply(&self, doc: &str, question: &QuestionAnalysis) -> FilterOutcome {
         let mut hits = 0usize;
         for raw in doc.split_whitespace() {
-            let word: String = raw
-                .chars()
-                .filter(|c| c.is_alphanumeric())
-                .collect();
+            let word: String = raw.chars().filter(|c| c.is_alphanumeric()).collect();
             if word.is_empty() {
                 continue;
             }
@@ -142,7 +139,10 @@ impl DocumentFilter for ProximityFilter {
                 best = best.max(coverage * (1.0 + density));
             }
         }
-        FilterOutcome { score: best * 4.0, hits }
+        FilterOutcome {
+            score: best * 4.0,
+            hits,
+        }
     }
 }
 
@@ -170,7 +170,11 @@ mod tests {
     use crate::qa::question::QuestionAnalyzer;
 
     fn question(q: &str) -> QuestionAnalysis {
-        let crf = Crf::train(pos::tag_set(), &pos::generate(3, 150), TrainConfig::default());
+        let crf = Crf::train(
+            pos::tag_set(),
+            &pos::generate(3, 150),
+            TrainConfig::default(),
+        );
         QuestionAnalyzer::new(crf).analyze(q)
     }
 

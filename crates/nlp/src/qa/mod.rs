@@ -95,6 +95,9 @@ pub struct QaEngine {
     analyzer: QuestionAnalyzer,
     filters: Vec<Box<dyn DocumentFilter + Send + Sync>>,
     config: QaConfig,
+    /// Runtime-only execution policy: document filters and the stage-3b CRF
+    /// tagging fan out over retrieved documents, bit-identically to serial.
+    exec: sirius_par::ExecPolicy,
 }
 
 impl QaEngine {
@@ -105,12 +108,20 @@ impl QaEngine {
             analyzer: QuestionAnalyzer::new(crf),
             filters: standard_filters(),
             config,
+            exec: sirius_par::ExecPolicy::serial(),
         }
     }
 
     /// The underlying search engine.
     pub fn search_engine(&self) -> &SearchEngine {
         &self.search
+    }
+
+    /// Applies a multicore execution policy to the per-document kernels
+    /// (filters + CRF tagging). Results are bit-identical to the serial
+    /// path at every thread count and strategy.
+    pub fn set_exec_policy(&mut self, policy: sirius_par::ExecPolicy) {
+        self.exec = policy;
     }
 
     /// Serializes the engine: the search corpus and the trained CRF tagger
@@ -169,8 +180,12 @@ impl QaEngine {
         let mut doc_scores = vec![0.0f64; docs.len()];
         for filter in &self.filters {
             let t = Instant::now();
-            for (i, doc) in docs.iter().enumerate() {
-                let out = filter.apply(doc, &analysis);
+            // Documents are filtered independently; scores and hit counts
+            // are folded in document order below.
+            let outs = self
+                .exec
+                .map_collect(docs.len(), |i| filter.apply(docs[i], &analysis));
+            for (i, out) in outs.into_iter().enumerate() {
                 doc_scores[i] += out.score;
                 breakdown.filter_hits += out.hits;
             }
@@ -190,9 +205,11 @@ impl QaEngine {
         let t = Instant::now();
         let noun_id = self.analyzer.crf().label_id("NOUN");
         let num_id = self.analyzer.crf().label_id("NUM");
-        for (i, doc) in docs.iter().enumerate() {
+        // Each document is tagged independently; the per-document counts
+        // are folded in document order below.
+        let answer_bearing_counts = self.exec.map_collect(docs.len(), |i| {
             let mut answer_bearing = 0usize;
-            for sentence in filters::split_sentences(doc) {
+            for sentence in filters::split_sentences(docs[i]) {
                 // Only tag passages that mention a query keyword, as
                 // OpenEphyra's passage filters gate its taggers.
                 let lower = sentence.to_lowercase();
@@ -201,10 +218,7 @@ impl QaEngine {
                 }
                 let tokens: Vec<String> = sentence
                     .split_whitespace()
-                    .map(|w| {
-                        w.trim_matches(|c: char| !c.is_alphanumeric())
-                            .to_owned()
-                    })
+                    .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_owned())
                     .filter(|w| !w.is_empty())
                     .collect();
                 if tokens.is_empty() {
@@ -216,6 +230,9 @@ impl QaEngine {
                     .filter(|&&tag| Some(tag) == noun_id || Some(tag) == num_id)
                     .count();
             }
+            answer_bearing
+        });
+        for (i, answer_bearing) in answer_bearing_counts.into_iter().enumerate() {
             // Documents rich in nouns/numbers are likelier to bear answers.
             doc_scores[i] += 0.05 * answer_bearing as f64;
             breakdown.filter_hits += answer_bearing;
@@ -252,7 +269,11 @@ mod tests {
     fn engine() -> (QaEngine, FactCorpus) {
         let corpus = FactCorpus::generate(21, CorpusConfig::default());
         let search = SearchEngine::build(corpus.documents().iter().map(|d| d.text.as_str()));
-        let crf = Crf::train(pos::tag_set(), &pos::generate(4, 200), TrainConfig::default());
+        let crf = Crf::train(
+            pos::tag_set(),
+            &pos::generate(4, 200),
+            TrainConfig::default(),
+        );
         (QaEngine::new(search, crf, QaConfig::default()), corpus)
     }
 
@@ -338,6 +359,38 @@ mod tests {
     }
 
     #[test]
+    fn answers_are_policy_invariant() {
+        use sirius_par::{ExecPolicy, Strategy};
+        let (mut qa, _) = engine();
+        let questions = [
+            "What is the capital of Italy?",
+            "Who is the author of Harry Potter?",
+            "Where is Las Vegas?",
+        ];
+        let base: Vec<QaResult> = questions.iter().map(|q| qa.answer(q)).collect();
+        for threads in [1, 2, 3, 8] {
+            for strategy in Strategy::ALL {
+                qa.set_exec_policy(ExecPolicy::new(threads, strategy));
+                for (q, expect) in questions.iter().zip(&base) {
+                    let got = qa.answer(q);
+                    // Timing fields differ run to run; everything the answer
+                    // depends on must be bit-identical.
+                    assert_eq!(
+                        got.answer, expect.answer,
+                        "{q} threads {threads} {strategy}"
+                    );
+                    assert_eq!(got.candidates, expect.candidates, "{q} threads {threads}");
+                    assert_eq!(got.supporting, expect.supporting, "{q} threads {threads}");
+                    assert_eq!(
+                        got.breakdown.filter_hits, expect.breakdown.filter_hits,
+                        "{q} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn filter_hits_vary_across_queries() {
         let (qa, _) = engine();
         let hits: Vec<usize> = [
@@ -348,6 +401,9 @@ mod tests {
         .iter()
         .map(|q| qa.answer(q).breakdown.filter_hits)
         .collect();
-        assert!(hits.iter().any(|&h| h != hits[0]), "hits all equal: {hits:?}");
+        assert!(
+            hits.iter().any(|&h| h != hits[0]),
+            "hits all equal: {hits:?}"
+        );
     }
 }

@@ -205,7 +205,10 @@ mod tests {
     #[test]
     fn special_characters_are_stripped() {
         let a = analyzer().analyze("What is the capital-of (Italy)???");
-        assert!(a.tokens.iter().all(|t| t.chars().all(char::is_alphanumeric)));
+        assert!(a
+            .tokens
+            .iter()
+            .all(|t| t.chars().all(char::is_alphanumeric)));
         assert!(a.regex_ops > 0);
     }
 }

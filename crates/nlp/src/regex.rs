@@ -25,7 +25,11 @@ pub struct ParseRegexError {
 
 impl fmt::Display for ParseRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid regex at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid regex at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -71,10 +75,17 @@ impl ClassItem {
 enum Ast {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Concat(Vec<Ast>),
     Alt(Vec<Ast>),
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
     AnchorStart,
     AnchorEnd,
     Empty,
@@ -458,9 +469,7 @@ fn match_node(
         Ast::Alt(branches) => branches
             .iter()
             .any(|b| match_node(b, chars, pos, at_start, k)),
-        Ast::Repeat { node, min, max } => {
-            match_repeat(node, *min, *max, chars, pos, at_start, k)
-        }
+        Ast::Repeat { node, min, max } => match_repeat(node, *min, *max, chars, pos, at_start, k),
     }
 }
 

@@ -177,7 +177,9 @@ impl Stemmer {
                 .or_else(|| self.ends("ing").filter(|&j| self.vowel_in_stem(j)));
             if let Some(j) = j {
                 self.set_to(j, "");
-                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some()
+                if self.ends("at").is_some()
+                    || self.ends("bl").is_some()
+                    || self.ends("iz").is_some()
                 {
                     self.b.push(b'e');
                     self.k += 1;
@@ -293,7 +295,10 @@ impl Stemmer {
                 self.b.truncate(self.k);
             }
         }
-        if self.k >= 1 && self.b[self.k - 1] == b'l' && self.double_cons(self.k - 1) && self.measure(self.k) > 1
+        if self.k >= 1
+            && self.b[self.k - 1] == b'l'
+            && self.double_cons(self.k - 1)
+            && self.measure(self.k) > 1
         {
             self.k -= 1;
             self.b.truncate(self.k);

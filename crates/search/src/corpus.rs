@@ -339,7 +339,10 @@ mod tests {
     #[test]
     fn answers_are_retrievable() {
         let corpus = FactCorpus::generate(3, CorpusConfig::default());
-        assert_eq!(corpus.answer_for(FactKind::CapitalOf, "italy"), Some("Rome"));
+        assert_eq!(
+            corpus.answer_for(FactKind::CapitalOf, "italy"),
+            Some("Rome")
+        );
         assert_eq!(
             corpus.answer_for(FactKind::AuthorOf, "Harry Potter"),
             Some("Joanne Rowling")

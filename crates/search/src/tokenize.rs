@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn tokenize_numbers_and_mixed() {
-        assert_eq!(tokenize("44th president (2008)"), vec!["44th", "president", "2008"]);
+        assert_eq!(
+            tokenize("44th president (2008)"),
+            vec!["44th", "president", "2008"]
+        );
     }
 
     #[test]

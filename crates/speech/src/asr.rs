@@ -236,6 +236,15 @@ impl AsrSystem {
         &self.decoder
     }
 
+    /// Applies a multicore execution policy to both acoustic scorers.
+    ///
+    /// Scoring parallelizes over frames; output is bit-identical to the
+    /// serial path at every thread count and strategy.
+    pub fn set_exec_policy(&mut self, policy: sirius_par::ExecPolicy) {
+        self.gmm.set_policy(policy);
+        self.dnn.set_policy(policy);
+    }
+
     /// Serializes every trained model to a self-contained byte buffer
     /// (lexicon, language model, GMM and DNN acoustic models). The decoder
     /// graph and MFCC front-end are reconstructed on load.
@@ -299,7 +308,11 @@ impl AsrSystem {
 
         let num_frames = frames.len();
         let (text, tokens_expanded, confidence) = match decoded {
-            Some(r) => (r.words.join(" "), r.tokens_expanded, r.confidence(num_frames)),
+            Some(r) => (
+                r.words.join(" "),
+                r.tokens_expanded,
+                r.confidence(num_frames),
+            ),
             None => (String::new(), 0, 0.0),
         };
         AsrOutput {
@@ -337,8 +350,7 @@ fn build_context_examples(
 ) -> Vec<(Vec<f32>, usize)> {
     (0..feats.len())
         .filter_map(|t| {
-            frame_state(utt, t)
-                .map(|s| (DnnScorer::context_window(feats, t, context), s))
+            frame_state(utt, t).map(|s| (DnnScorer::context_window(feats, t, context), s))
         })
         .collect()
 }
@@ -443,14 +455,17 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod confidence_tests {
     use super::*;
 
     #[test]
     fn confidence_is_in_unit_range_and_deterministic() {
-        let asr = AsrSystem::train(&["go home now", "stop the music"], 3, AsrTrainConfig::default());
+        let asr = AsrSystem::train(
+            &["go home now", "stop the music"],
+            3,
+            AsrTrainConfig::default(),
+        );
         let utt = Synthesizer::new(808, SynthConfig::default()).say("go home now");
         let a = asr.recognize(&utt.samples, AcousticModelKind::Gmm);
         let b = asr.recognize(&utt.samples, AcousticModelKind::Gmm);

@@ -382,7 +382,11 @@ mod tests {
             },
             &mut rng,
         );
-        assert!(net.accuracy(&data) > 0.99, "accuracy {}", net.accuracy(&data));
+        assert!(
+            net.accuracy(&data) > 0.99,
+            "accuracy {}",
+            net.accuracy(&data)
+        );
     }
 
     #[test]
@@ -392,9 +396,7 @@ mod tests {
             .map(|i| {
                 let c = i % 3;
                 let center = c as f32 * 2.0 - 2.0;
-                let x: Vec<f32> = (0..6)
-                    .map(|_| center + rng.gen_range(-0.5..0.5))
-                    .collect();
+                let x: Vec<f32> = (0..6).map(|_| center + rng.gen_range(-0.5..0.5)).collect();
                 (x, c)
             })
             .collect();

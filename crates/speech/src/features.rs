@@ -117,9 +117,7 @@ impl MelFilterbank {
         let centers: Vec<f32> = (0..NUM_MEL + 2)
             .map(|i| mel_to_hz(lo + (hi - lo) * i as f32 / (NUM_MEL + 1) as f32))
             .collect();
-        let bin = |hz: f32| -> usize {
-            ((hz / nyquist) * (FFT_SIZE / 2) as f32).round() as usize
-        };
+        let bin = |hz: f32| -> usize { ((hz / nyquist) * (FFT_SIZE / 2) as f32).round() as usize };
         let mut filters = Vec::with_capacity(NUM_MEL);
         for m in 0..NUM_MEL {
             let (b0, b1, b2) = (bin(centers[m]), bin(centers[m + 1]), bin(centers[m + 2]));
@@ -372,11 +370,7 @@ mod tests {
         };
         let a = fe.extract(&tone(300.0));
         let b = fe.extract(&tone(2500.0));
-        let dist: f32 = a[5]
-            .iter()
-            .zip(&b[5])
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let dist: f32 = a[5].iter().zip(&b[5]).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!(dist > 1.0, "features too similar: {dist}");
     }
 

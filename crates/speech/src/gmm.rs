@@ -108,7 +108,12 @@ impl Gmm {
     /// # Panics
     ///
     /// Panics if `data` is empty or `num_components` is 0 or > 64.
-    pub fn fit(data: &[Vec<f32>], num_components: usize, em_iters: usize, rng: &mut impl Rng) -> Self {
+    pub fn fit(
+        data: &[Vec<f32>],
+        num_components: usize,
+        em_iters: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(!data.is_empty(), "cannot fit a GMM to no data");
         assert!(
             (1..=64).contains(&num_components),
@@ -310,7 +315,10 @@ mod tests {
         let g = single_gaussian();
         // log N(0; 0, I) in 2D = -log(2π) ≈ -1.8379.
         let l = g.log_likelihood(&[0.0, 0.0]);
-        assert!((l - (-(2.0 * std::f32::consts::PI).ln())).abs() < 1e-4, "{l}");
+        assert!(
+            (l - (-(2.0 * std::f32::consts::PI).ln())).abs() < 1e-4,
+            "{l}"
+        );
         // One unit away: subtract 0.5.
         let l1 = g.log_likelihood(&[1.0, 0.0]);
         assert!((l - l1 - 0.5).abs() < 1e-4);
@@ -328,12 +336,7 @@ mod tests {
     fn mixture_weights_normalize() {
         // Two identical components with asymmetric raw weights must equal a
         // single component (weights are normalized internally).
-        let two = Gmm::from_params(
-            1,
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![3.0, 1.0],
-        );
+        let two = Gmm::from_params(1, vec![0.0, 0.0], vec![1.0, 1.0], vec![3.0, 1.0]);
         let one = Gmm::from_params(1, vec![0.0], vec![1.0], vec![1.0]);
         assert!((two.log_likelihood(&[0.5]) - one.log_likelihood(&[0.5])).abs() < 1e-5);
     }
@@ -397,41 +400,40 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::Gmm;
-    use proptest::prelude::*;
     use rand::{Rng as _, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
-    proptest! {
-        /// The mixture log-likelihood is bounded above by the best
-        /// component density (weights <= 1) plus log(M), and below by the
-        /// best component plus its log-weight.
-        #[test]
-        fn log_likelihood_respects_mixture_bounds(
-            x in prop::collection::vec(-5.0f32..5.0, 4),
-            seed in 0u64..500,
-        ) {
+    /// The mixture log-likelihood stays finite and decreases for far-away
+    /// queries, across many fitted models and query points.
+    #[test]
+    fn log_likelihood_respects_mixture_bounds() {
+        for seed in 0u64..24 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
             let data: Vec<Vec<f32>> = (0..40)
                 .map(|_| (0..4).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
                 .collect();
             let g = Gmm::fit(&data, 3, 1, &mut rng);
             let l = g.log_likelihood(&x);
-            prop_assert!(l.is_finite());
+            assert!(l.is_finite(), "seed {seed}");
             // Shifting the query far away must not increase likelihood.
             let far: Vec<f32> = x.iter().map(|v| v + 100.0).collect();
-            prop_assert!(g.log_likelihood(&far) < l);
+            assert!(g.log_likelihood(&far) < l, "seed {seed}");
         }
+    }
 
-        /// Likelihood is invariant to the order of data during k-means
-        /// init only up to RNG; but scoring itself must be deterministic.
-        #[test]
-        fn scoring_is_deterministic(x in prop::collection::vec(-5.0f32..5.0, 4)) {
-            let mut rng = ChaCha8Rng::seed_from_u64(9);
-            let data: Vec<Vec<f32>> = (0..30)
-                .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
-                .collect();
-            let g = Gmm::fit(&data, 2, 1, &mut rng);
-            prop_assert_eq!(g.log_likelihood(&x), g.log_likelihood(&x));
+    /// Likelihood is invariant to the order of data during k-means
+    /// init only up to RNG; but scoring itself must be deterministic.
+    #[test]
+    fn scoring_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let data: Vec<Vec<f32>> = (0..30)
+            .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let g = Gmm::fit(&data, 2, 1, &mut rng);
+        for _ in 0..32 {
+            let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+            assert_eq!(g.log_likelihood(&x), g.log_likelihood(&x));
         }
     }
 }

@@ -95,7 +95,10 @@ impl Lexicon {
             return i;
         }
         let pron = pronounce(&w);
-        assert!(!pron.is_empty(), "word {word:?} has no pronounceable letters");
+        assert!(
+            !pron.is_empty(),
+            "word {word:?} has no pronounceable letters"
+        );
         self.words.push(w);
         self.prons.push(pron);
         self.words.len() - 1
@@ -157,9 +160,7 @@ impl Lexicon {
     /// # Errors
     ///
     /// Fails on malformed bytes or unpronounceable words.
-    pub fn decode(
-        d: &mut sirius_codec::Decoder<'_>,
-    ) -> Result<Self, sirius_codec::DecodeError> {
+    pub fn decode(d: &mut sirius_codec::Decoder<'_>) -> Result<Self, sirius_codec::DecodeError> {
         d.tag("lexicon")?;
         let words = d.str_vec()?;
         let mut lex = Self::new();
@@ -231,17 +232,51 @@ fn expand_numeric(token: &str) -> Vec<String> {
 }
 
 const ONES: [&str; 20] = [
-    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
-    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+    "zero",
+    "one",
+    "two",
+    "three",
+    "four",
+    "five",
+    "six",
+    "seven",
+    "eight",
+    "nine",
+    "ten",
+    "eleven",
+    "twelve",
+    "thirteen",
+    "fourteen",
+    "fifteen",
+    "sixteen",
+    "seventeen",
+    "eighteen",
     "nineteen",
 ];
 const TENS: [&str; 10] = [
     "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
 ];
 const ONES_ORD: [&str; 20] = [
-    "zeroth", "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth",
-    "ninth", "tenth", "eleventh", "twelfth", "thirteenth", "fourteenth", "fifteenth",
-    "sixteenth", "seventeenth", "eighteenth", "nineteenth",
+    "zeroth",
+    "first",
+    "second",
+    "third",
+    "fourth",
+    "fifth",
+    "sixth",
+    "seventh",
+    "eighth",
+    "ninth",
+    "tenth",
+    "eleventh",
+    "twelfth",
+    "thirteenth",
+    "fourteenth",
+    "fifteenth",
+    "sixteenth",
+    "seventeenth",
+    "eighteenth",
+    "nineteenth",
 ];
 
 /// Converts `n` to English words (cardinal or ordinal), supporting 0..=9999.
@@ -348,12 +383,18 @@ mod tests {
 
     #[test]
     fn normalize_expands_numbers() {
-        assert_eq!(normalize_text("Set my alarm for 8am."), "set my alarm for eight am");
+        assert_eq!(
+            normalize_text("Set my alarm for 8am."),
+            "set my alarm for eight am"
+        );
         assert_eq!(
             normalize_text("Who was elected 44th president?"),
             "who was elected forty fourth president"
         );
-        assert_eq!(normalize_text("in 1990"), "in one thousand nine hundred ninety");
+        assert_eq!(
+            normalize_text("in 1990"),
+            "in one thousand nine hundred ninety"
+        );
         assert_eq!(normalize_text("the 2nd door"), "the second door");
         assert_eq!(normalize_text("20th century"), "twentieth century");
         assert_eq!(normalize_text("100th day"), "one hundredth day");

@@ -101,9 +101,7 @@ impl BigramLm {
     /// # Errors
     ///
     /// Fails on malformed or inconsistent bytes.
-    pub fn decode(
-        d: &mut sirius_codec::Decoder<'_>,
-    ) -> Result<Self, sirius_codec::DecodeError> {
+    pub fn decode(d: &mut sirius_codec::Decoder<'_>) -> Result<Self, sirius_codec::DecodeError> {
         d.tag("bigram_lm")?;
         let vocab = d.u32()? as usize;
         let k = d.f64()?;
@@ -360,8 +358,7 @@ mod trigram_tests {
         let ten = ids(&lex, "ten")[0];
         let eight = ids(&lex, "eight")[0];
         let margin_tri = lm.log_cond(timer, for_, ten) - lm.log_cond(timer, for_, eight);
-        let margin_bi =
-            lm.bigram().log_bigram(for_, ten) - lm.bigram().log_bigram(for_, eight);
+        let margin_bi = lm.bigram().log_bigram(for_, ten) - lm.bigram().log_bigram(for_, eight);
         assert!(margin_tri > margin_bi, "tri {margin_tri} vs bi {margin_bi}");
         assert!(margin_tri > 0.0);
     }

@@ -295,7 +295,9 @@ mod tests {
             .decoder()
             .decode_scores(&emis, asr.lm(), asr.lexicon())
             .expect("decode");
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
         assert!(!nbest.is_empty());
         assert_eq!(nbest[0].words, one_best.words);
         assert!((nbest[0].score - one_best.score).abs() < 1e-3);
@@ -305,7 +307,9 @@ mod tests {
     fn nbest_returns_distinct_ranked_hypotheses() {
         let asr = system();
         let emis = emissions(&asr, "go on now", 101);
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 4);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 4);
         assert!(nbest.len() >= 2, "only {} hypotheses", nbest.len());
         for pair in nbest.windows(2) {
             assert!(pair[0].score >= pair[1].score);
@@ -320,12 +324,21 @@ mod tests {
     fn rescoring_with_zero_weight_ranks_by_acoustics() {
         let asr = system();
         let emis = emissions(&asr, "no go on", 102);
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 4);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 4);
         let cfg = crate::hmm::DecoderConfig::default();
         let rescored = rescore(&nbest, &cfg, asr.lm(), asr.lm(), asr.lexicon(), 0.0);
         assert_eq!(rescored.len(), nbest.len());
         // With the original weight restored, the original ranking returns.
-        let restored = rescore(&nbest, &cfg, asr.lm(), asr.lm(), asr.lexicon(), cfg.lm_weight);
+        let restored = rescore(
+            &nbest,
+            &cfg,
+            asr.lm(),
+            asr.lm(),
+            asr.lexicon(),
+            cfg.lm_weight,
+        );
         assert_eq!(restored[0].words, nbest[0].words);
     }
 
@@ -339,7 +352,9 @@ mod tests {
             AsrTrainConfig::default(),
         );
         let emis = emissions(&asr, "go on now", 103);
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
         let cfg = crate::hmm::DecoderConfig::default();
         let heavy = rescore(&nbest, &cfg, asr.lm(), asr.lm(), asr.lexicon(), 12.0);
         assert_eq!(heavy[0].words, vec!["go", "on", "now"]);
@@ -354,7 +369,9 @@ mod tests {
         let asr = AsrSystem::train(&corpus, 19, AsrTrainConfig::default());
         let trigram = TrigramLm::train(corpus.iter().copied(), asr.lexicon());
         let emis = emissions(&asr, "go on now", 301);
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 5);
         let cfg = crate::hmm::DecoderConfig::default();
         let rescored = rescore(&nbest, &cfg, asr.lm(), &trigram, asr.lexicon(), 6.0);
         assert_eq!(rescored[0].words, vec!["go", "on", "now"]);
@@ -382,7 +399,9 @@ mod tests {
         assert_eq!(out.text, "on and on");
         let frames = asr.frontend().extract(&utt.samples);
         let emis = asr.gmm_scorer().score_utterance(&frames);
-        let nbest = asr.decoder().decode_nbest(&emis, asr.lm(), asr.lexicon(), 3);
+        let nbest = asr
+            .decoder()
+            .decode_nbest(&emis, asr.lm(), asr.lexicon(), 3);
         assert_eq!(nbest[0].words.join(" "), "on and on");
     }
 }

@@ -156,8 +156,8 @@ impl Synthesizer {
             // Attack/decay envelope avoids clicks at phone boundaries.
             let pos = i as f32 / dur as f32;
             let env = (pos * 8.0).min(1.0) * ((1.0 - pos) * 8.0).min(1.0);
-            let v = 0.6 * (2.0 * PI * w1 * t + phase1).sin()
-                + 0.4 * (2.0 * PI * w2 * t + phase2).sin();
+            let v =
+                0.6 * (2.0 * PI * w1 * t + phase1).sin() + 0.4 * (2.0 * PI * w2 * t + phase2).sin();
             let noise = self.rng.gen_range(-1.0f32..1.0) * self.config.noise;
             samples.push(env * v * 0.5 + noise);
         }

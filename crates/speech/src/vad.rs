@@ -210,7 +210,10 @@ mod tests {
         assert!(detect_segments(&silence, &VadConfig::default()).is_empty());
         assert_eq!(speech_fraction(&silence, &VadConfig::default()), 0.0);
         // Trim returns input unchanged.
-        assert_eq!(trim_silence(&silence, &VadConfig::default()).len(), silence.len());
+        assert_eq!(
+            trim_silence(&silence, &VadConfig::default()).len(),
+            silence.len()
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl DnnKernel {
         let net = Dnn::new(&[INPUT_DIM, HIDDEN, HIDDEN, OUTPUTS], &mut rng);
         let n = ((512.0 * scale).ceil() as usize).max(1);
         let frames = (0..n)
-            .map(|_| (0..INPUT_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .map(|_| {
+                (0..INPUT_DIM)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            })
             .collect();
         Self { net, frames }
     }

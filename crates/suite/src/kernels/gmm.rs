@@ -52,8 +52,9 @@ impl GmmKernel {
             let vars: Vec<f32> = (0..COMPONENTS * DIM)
                 .map(|_| rng.gen_range(0.2f32..2.0))
                 .collect();
-            let weights: Vec<f32> =
-                (0..COMPONENTS).map(|_| rng.gen_range(0.1f32..1.0)).collect();
+            let weights: Vec<f32> = (0..COMPONENTS)
+                .map(|_| rng.gen_range(0.1f32..1.0))
+                .collect();
             // AoS (component-major) raw parameters.
             let aos: Vec<(f32, f32)> = means
                 .iter()
@@ -70,8 +71,7 @@ impl GmmKernel {
             let wsum: f32 = weights.iter().sum();
             let offs: Vec<f32> = (0..COMPONENTS)
                 .map(|k| {
-                    let log_det: f32 =
-                        vars[k * DIM..(k + 1) * DIM].iter().map(|v| v.ln()).sum();
+                    let log_det: f32 = vars[k * DIM..(k + 1) * DIM].iter().map(|v| v.ln()).sum();
                     (weights[k] / wsum).ln()
                         - 0.5 * (DIM as f32 * (2.0 * std::f32::consts::PI).ln() + log_det)
                 })

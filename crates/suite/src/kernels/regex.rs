@@ -25,9 +25,36 @@ pub struct RegexKernel {
 pub const NUM_PATTERNS: usize = 100;
 
 const WORDS: &[&str] = &[
-    "the", "president", "capital", "restaurant", "closes", "at", "10", "pm", "who", "what",
-    "elected", "44th", "city", "famous", "alarm", "set", "for", "8am", "where", "italy",
-    "harry", "potter", "author", "of", "is", "in", "opened", "1990", "2015", "this",
+    "the",
+    "president",
+    "capital",
+    "restaurant",
+    "closes",
+    "at",
+    "10",
+    "pm",
+    "who",
+    "what",
+    "elected",
+    "44th",
+    "city",
+    "famous",
+    "alarm",
+    "set",
+    "for",
+    "8am",
+    "where",
+    "italy",
+    "harry",
+    "potter",
+    "author",
+    "of",
+    "is",
+    "in",
+    "opened",
+    "1990",
+    "2015",
+    "this",
 ];
 
 fn pattern_battery(rng: &mut impl Rng) -> Vec<Regex> {

@@ -36,9 +36,9 @@ impl StemmerKernel {
     fn stem_checksum(&self, i: usize) -> u64 {
         let stemmed = stemmer::stem(&self.words[i]);
         // Order-independent checksum over bytes and length.
-        stemmed
-            .bytes()
-            .fold(stemmed.len() as u64, |acc, b| acc.wrapping_add(u64::from(b).wrapping_mul(131)))
+        stemmed.bytes().fold(stemmed.len() as u64, |acc, b| {
+            acc.wrapping_add(u64::from(b).wrapping_mul(131))
+        })
     }
 
     /// The interleaved-assignment variant (the paper's Phi tuning).

@@ -160,7 +160,10 @@ mod tests {
     fn suite_has_seven_kernels_with_table4_names() {
         let suite = standard_suite(0.02, 1);
         let names: Vec<&str> = suite.iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]);
+        assert_eq!(
+            names,
+            vec!["GMM", "DNN", "Stemmer", "Regex", "CRF", "FE", "FD"]
+        );
     }
 
     #[test]
@@ -212,7 +215,10 @@ mod tests {
         assert_eq!(by_name("FE").baseline_origin(), "SURF");
         assert_eq!(by_name("FD").baseline_origin(), "SURF");
         assert_eq!(by_name("Stemmer").granularity(), "for each individual word");
-        assert_eq!(by_name("Regex").granularity(), "for each regex-sentence pair");
+        assert_eq!(
+            by_name("Regex").granularity(),
+            "for each regex-sentence pair"
+        );
         assert_eq!(by_name("FE").granularity(), "for each image tile");
         assert_eq!(by_name("FD").granularity(), "for each keypoint");
     }

@@ -1,184 +1,11 @@
 //! Data-parallel execution strategies for the Sirius Suite kernels.
 //!
-//! The paper's common porting methodology "exploit\[s\] the large amount of
-//! data-level parallelism available throughout the processing of a single
-//! IPA query" (Section 4.3): each pthread owns a range of the data and
-//! synchronizes only at the end. [`chunked_map`] reproduces exactly that.
-//! [`interleaved_map`] reproduces the Phi tuning the paper describes for the
-//! stemmer ("switching from allocating a range of data per thread to
-//! interlaced array accesses"), and [`dynamic_map`] is a work-queue variant
-//! used by the tile-based feature-extraction port.
+//! The strategies moved to the bottom-layer [`sirius_par`] crate so the
+//! live services (`sirius-speech`, `sirius-vision`, `sirius-nlp`) can use
+//! them without a dependency cycle through this crate; this module
+//! re-exports everything under the original `sirius_suite::parallel` path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-/// Applies `f` to every index in `0..n`, splitting the range into one
-/// contiguous chunk per thread (the paper's pthread strategy). Results are
-/// combined with `u64::wrapping_add`, which is order-independent.
-pub fn chunked_map<F>(n: usize, threads: usize, f: F) -> u64
-where
-    F: Fn(usize) -> u64 + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n == 0 {
-        return (0..n).fold(0u64, |acc, i| acc.wrapping_add(f(i)));
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let f = &f;
-                scope.spawn(move || {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    (lo..hi).fold(0u64, |acc, i| acc.wrapping_add(f(i)))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .fold(0u64, u64::wrapping_add)
-    })
-}
-
-/// Like [`chunked_map`] but with an interleaved (strided) index assignment:
-/// thread `t` processes indices `t, t + threads, t + 2*threads, ...`.
-pub fn interleaved_map<F>(n: usize, threads: usize, f: F) -> u64
-where
-    F: Fn(usize) -> u64 + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n == 0 {
-        return (0..n).fold(0u64, |acc, i| acc.wrapping_add(f(i)));
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let f = &f;
-                scope.spawn(move || {
-                    (t..n)
-                        .step_by(threads)
-                        .fold(0u64, |acc, i| acc.wrapping_add(f(i)))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .fold(0u64, u64::wrapping_add)
-    })
-}
-
-/// Work-queue scheduling: threads repeatedly claim the next unprocessed
-/// index. Balances irregular per-item cost (e.g. image tiles with different
-/// keypoint densities).
-pub fn dynamic_map<F>(n: usize, threads: usize, f: F) -> u64
-where
-    F: Fn(usize) -> u64 + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n == 0 {
-        return (0..n).fold(0u64, |acc, i| acc.wrapping_add(f(i)));
-    }
-    let next = AtomicUsize::new(0);
-    let total = Mutex::new(0u64);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let f = &f;
-            let next = &next;
-            let total = &total;
-            scope.spawn(move || {
-                let mut local = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local = local.wrapping_add(f(i));
-                }
-                let mut guard = total.lock();
-                *guard = guard.wrapping_add(local);
-            });
-        }
-    });
-    total.into_inner()
-}
-
-/// Collects per-index results into a vector, in index order, using chunked
-/// parallelism. For kernels whose output (not just a checksum) is needed.
-pub fn chunked_collect<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n == 0 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let slots: Vec<&mut [Option<T>]> = out.chunks_mut(chunk).collect();
-    std::thread::scope(|scope| {
-        for (t, slot) in slots.into_iter().enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let lo = t * chunk;
-                for (j, cell) in slot.iter_mut().enumerate() {
-                    *cell = Some(f(lo + j));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|x| x.expect("all slots filled"))
-        .collect()
-}
-
-/// Crossbeam-channel pipeline: a producer feeds indices to `threads`
-/// consumers. Demonstrates the producer/consumer layout some accelerator
-/// hosts use; results are checksum-combined like the other strategies.
-pub fn channel_map<F>(n: usize, threads: usize, f: F) -> u64
-where
-    F: Fn(usize) -> u64 + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n == 0 {
-        return (0..n).fold(0u64, |acc, i| acc.wrapping_add(f(i)));
-    }
-    let (tx, rx) = crossbeam::channel::bounded::<usize>(threads * 4);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let rx = rx.clone();
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local = 0u64;
-                    while let Ok(i) = rx.recv() {
-                        local = local.wrapping_add(f(i));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for i in 0..n {
-            tx.send(i).expect("consumers alive");
-        }
-        drop(tx);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .fold(0u64, u64::wrapping_add)
-    })
-}
-
-/// Order-independent checksum of a float, for validating parallel ports
-/// against the sequential baseline.
-#[inline]
-pub fn checksum_f32(x: f32) -> u64 {
-    u64::from(x.to_bits())
-}
+pub use sirius_par::*;
 
 #[cfg(test)]
 mod tests {
@@ -189,47 +16,26 @@ mod tests {
     }
 
     #[test]
-    fn all_strategies_agree_with_sequential() {
-        let expect: u64 = (0..1000).map(work).fold(0u64, u64::wrapping_add);
+    fn reexported_strategies_agree_with_sequential() {
+        let expect: u64 = (0..500).map(work).fold(0u64, u64::wrapping_add);
         for threads in [1, 2, 3, 8] {
-            assert_eq!(chunked_map(1000, threads, work), expect, "chunked {threads}");
+            assert_eq!(chunked_map(500, threads, work), expect, "chunked {threads}");
             assert_eq!(
-                interleaved_map(1000, threads, work),
+                interleaved_map(500, threads, work),
                 expect,
                 "interleaved {threads}"
             );
-            assert_eq!(dynamic_map(1000, threads, work), expect, "dynamic {threads}");
-            assert_eq!(channel_map(1000, threads, work), expect, "channel {threads}");
+            assert_eq!(dynamic_map(500, threads, work), expect, "dynamic {threads}");
+            assert_eq!(channel_map(500, threads, work), expect, "channel {threads}");
         }
     }
 
     #[test]
-    fn empty_range() {
-        assert_eq!(chunked_map(0, 4, work), 0);
-        assert_eq!(interleaved_map(0, 4, work), 0);
-        assert_eq!(dynamic_map(0, 4, work), 0);
-        assert_eq!(channel_map(0, 4, work), 0);
-        assert!(chunked_collect(0, 4, |i| i).is_empty());
-    }
-
-    #[test]
-    fn more_threads_than_items() {
+    fn reexported_policy_is_available() {
+        let policy = ExecPolicy::new(4, Strategy::Dynamic);
         assert_eq!(
-            chunked_map(3, 64, work),
-            (0..3).map(work).fold(0u64, u64::wrapping_add)
+            policy.map_collect(10, |i| i * i),
+            (0..10).map(|i| i * i).collect::<Vec<_>>()
         );
-    }
-
-    #[test]
-    fn collect_preserves_order() {
-        let v = chunked_collect(100, 7, |i| i * 2);
-        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn checksum_is_order_independent() {
-        let a = checksum_f32(1.5).wrapping_add(checksum_f32(-2.25));
-        let b = checksum_f32(-2.25).wrapping_add(checksum_f32(1.5));
-        assert_eq!(a, b);
     }
 }

@@ -24,9 +24,24 @@ const SUFFIXES: &[&str] = &[
     "iti", "ous", "ive", "ize", "ion", "al", "y", "ies", "eed",
 ];
 const REAL_WORDS: &[&str] = &[
-    "caresses", "ponies", "relational", "conditional", "vietnamization", "predication",
-    "operator", "feudalism", "decisiveness", "hopefulness", "formalize", "electricity",
-    "adjustable", "defensible", "replacement", "adoption", "triplicate", "dependent",
+    "caresses",
+    "ponies",
+    "relational",
+    "conditional",
+    "vietnamization",
+    "predication",
+    "operator",
+    "feudalism",
+    "decisiveness",
+    "hopefulness",
+    "formalize",
+    "electricity",
+    "adjustable",
+    "defensible",
+    "replacement",
+    "adoption",
+    "triplicate",
+    "dependent",
 ];
 
 /// Generates `n` pseudo-English words, deterministically per seed.

@@ -154,7 +154,9 @@ impl KdTree {
     /// Iterates over the indexed `(vector, payload)` points, in insertion
     /// order (used for persistence; the tree is rebuilt on load).
     pub fn iter_points(&self) -> impl Iterator<Item = (&[f32], u32)> {
-        self.entries.iter().map(|e| (e.vector.as_slice(), e.payload))
+        self.entries
+            .iter()
+            .map(|e| (e.vector.as_slice(), e.payload))
     }
 
     /// Finds the two nearest neighbours of `query` (for the ratio test).
@@ -320,7 +322,10 @@ mod tests {
         }
         // Recall improves with budget; a generous budget is near-exact.
         assert!(hits_large >= hits_small, "{hits_large} < {hits_small}");
-        assert!(hits_large >= 70, "only {hits_large}/100 exact at 512 checks");
+        assert!(
+            hits_large >= 70,
+            "only {hits_large}/100 exact at 512 checks"
+        );
         assert!(hits_small >= 15, "only {hits_small}/100 exact at 64 checks");
     }
 

@@ -223,6 +223,8 @@ impl ImageDatabase {
                 threshold: d.f32()?,
                 init_step: d.u32()? as usize,
                 upright: d.bool()?,
+                // Execution policy is a runtime knob, not part of the index.
+                ..SurfConfig::default()
             },
             ratio,
             budget,
@@ -278,6 +280,13 @@ impl ImageDatabase {
         self.descriptor_count
     }
 
+    /// Applies a multicore execution policy to query-side SURF extraction,
+    /// description and ANN voting. Results are bit-identical to the serial
+    /// path at every thread count and strategy.
+    pub fn set_exec_policy(&mut self, policy: sirius_par::ExecPolicy) {
+        self.config.surf.exec = policy;
+    }
+
     /// Matches a query image, reporting votes and per-stage timing.
     pub fn match_image(&self, query: &GrayImage) -> MatchResult {
         self.match_internal(query, false)
@@ -307,23 +316,32 @@ impl ImageDatabase {
         let mut correspondences: Vec<Vec<Correspondence>> =
             vec![Vec::new(); self.num_images as usize];
         if let Some(tree) = &self.tree {
-            for (kp, d) in kps.iter().zip(&descs) {
-                let (best, second) = tree.nearest2(&d.0, self.config.budget);
-                let best_image = self.desc_image[best.payload as usize];
-                let passes = match second {
-                    Some(s) if self.desc_image[s.payload as usize] != best_image => {
-                        best.distance_sq < self.config.ratio * self.config.ratio * s.distance_sq
-                    }
-                    // Second neighbour from the same image (or absent) means
-                    // the match is unambiguous between images.
-                    _ => true,
-                };
-                if passes {
-                    counts[best_image as usize] += 1;
-                    if verify {
-                        correspondences[best_image as usize]
-                            .push(((kp.x, kp.y), self.desc_pos[best.payload as usize]));
-                    }
+            // Each keypoint votes independently; the serial accumulation
+            // below keeps vote and correspondence order deterministic.
+            let matches: Vec<Option<(u32, Correspondence)>> =
+                self.config.surf.exec.map_collect(kps.len(), |i| {
+                    let (kp, d) = (&kps[i], &descs[i]);
+                    let (best, second) = tree.nearest2(&d.0, self.config.budget);
+                    let best_image = self.desc_image[best.payload as usize];
+                    let passes = match second {
+                        Some(s) if self.desc_image[s.payload as usize] != best_image => {
+                            best.distance_sq < self.config.ratio * self.config.ratio * s.distance_sq
+                        }
+                        // Second neighbour from the same image (or absent) means
+                        // the match is unambiguous between images.
+                        _ => true,
+                    };
+                    passes.then(|| {
+                        (
+                            best_image,
+                            ((kp.x, kp.y), self.desc_pos[best.payload as usize]),
+                        )
+                    })
+                });
+            for (best_image, corr) in matches.into_iter().flatten() {
+                counts[best_image as usize] += 1;
+                if verify {
+                    correspondences[best_image as usize].push(corr);
                 }
             }
         }
@@ -571,7 +589,11 @@ mod verified_match_tests {
                 assert!(v.inliers >= 4);
                 // The recovered transform's scale must be plausible for a
                 // random_view (0.85..1.2).
-                assert!((0.5..=2.0).contains(&v.transform.scale), "{}", v.transform.scale);
+                assert!(
+                    (0.5..=2.0).contains(&v.transform.scale),
+                    "{}",
+                    v.transform.scale
+                );
             }
         }
         assert!(verified_hits >= 4, "only {verified_hits}/5 matched");

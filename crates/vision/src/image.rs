@@ -124,8 +124,16 @@ impl GrayImage {
             for tx in 0..nx.max(1) {
                 let x0 = tx * tile_w;
                 let y0 = ty * tile_h;
-                let w = if tx + 1 == nx.max(1) { self.width - x0 } else { tile_w };
-                let h = if ty + 1 == ny.max(1) { self.height - y0 } else { tile_h };
+                let w = if tx + 1 == nx.max(1) {
+                    self.width - x0
+                } else {
+                    tile_w
+                };
+                let h = if ty + 1 == ny.max(1) {
+                    self.height - y0
+                } else {
+                    tile_h
+                };
                 out.push((x0, y0, self.crop_clamped(x0 as isize, y0 as isize, w, h)));
             }
         }

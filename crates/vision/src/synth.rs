@@ -111,7 +111,11 @@ pub fn render_view(scene: &GrayImage, config: &ViewConfig, seed: u64) -> GrayIma
             let sx = (dx * cos_t + dy * sin_t) * inv_scale + cx;
             let sy = (-dx * sin_t + dy * cos_t) * inv_scale + cy;
             let noise = rng.gen_range(-1.0f32..1.0) * config.noise;
-            out.set(x, y, (scene.sample_bilinear(sx, sy) + noise).clamp(0.0, 1.0));
+            out.set(
+                x,
+                y,
+                (scene.sample_bilinear(sx, sy) + noise).clamp(0.0, 1.0),
+            );
         }
     }
     out

@@ -8,8 +8,8 @@
 //! [`crate::db::ImageDatabase::match_image_verified`] uses to re-rank
 //! candidate images.
 
-use rand_chacha::rand_core::SeedableRng;
 use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// A correspondence: a point in the query image and its putative match in
@@ -106,10 +106,7 @@ impl Default for RansacConfig {
 ///
 /// Returns `None` when fewer than 2 correspondences exist or no sample
 /// yields at least 2 inliers beyond the minimal pair.
-pub fn ransac_similarity(
-    pairs: &[Correspondence],
-    config: &RansacConfig,
-) -> Option<Verification> {
+pub fn ransac_similarity(pairs: &[Correspondence], config: &RansacConfig) -> Option<Verification> {
     if pairs.len() < 2 {
         return None;
     }
@@ -196,12 +193,19 @@ mod tests {
         for k in 0..(n * 2 / 5) {
             pairs[k * 2 % n].1 = (999.0 + k as f32 * 31.0, -777.0 - k as f32 * 17.0);
         }
-        let clean = pairs.iter().filter(|(s, d)| {
-            let p = truth.apply(*s);
-            (p.0 - d.0).abs() < 1.0 && (p.1 - d.1).abs() < 1.0
-        }).count();
+        let clean = pairs
+            .iter()
+            .filter(|(s, d)| {
+                let p = truth.apply(*s);
+                (p.0 - d.0).abs() < 1.0 && (p.1 - d.1).abs() < 1.0
+            })
+            .count();
         let v = ransac_similarity(&pairs, &RansacConfig::default()).expect("consensus");
-        assert!(v.inliers >= clean.saturating_sub(1), "{} < {clean}", v.inliers);
+        assert!(
+            v.inliers >= clean.saturating_sub(1),
+            "{} < {clean}",
+            v.inliers
+        );
         assert!((v.transform.scale - truth.scale).abs() < 0.05);
     }
 
@@ -230,14 +234,14 @@ mod tests {
     #[test]
     fn too_few_pairs_returns_none() {
         assert!(ransac_similarity(&[], &RansacConfig::default()).is_none());
-        assert!(
-            ransac_similarity(&[((0.0, 0.0), (1.0, 1.0))], &RansacConfig::default()).is_none()
-        );
+        assert!(ransac_similarity(&[((0.0, 0.0), (1.0, 1.0))], &RansacConfig::default()).is_none());
     }
 
     #[test]
     fn degenerate_sample_is_skipped() {
-        assert!(Similarity::from_two_pairs((1.0, 1.0), (2.0, 2.0), (1.0, 1.0), (3.0, 3.0)).is_none());
+        assert!(
+            Similarity::from_two_pairs((1.0, 1.0), (2.0, 2.0), (1.0, 1.0), (3.0, 3.0)).is_none()
+        );
     }
 
     #[test]

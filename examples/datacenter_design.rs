@@ -9,8 +9,7 @@
 use sirius_accel::platform::PlatformKind;
 use sirius_accel::service::{service_speedup, ServiceKind};
 use sirius_dcsim::design::{
-    design_point, heterogeneous_design, homogeneous_design, mean_query_latency_reduction,
-    Objective,
+    design_point, heterogeneous_design, homogeneous_design, mean_query_latency_reduction, Objective,
 };
 use sirius_dcsim::gap;
 use sirius_dcsim::tco::TcoParams;
@@ -46,7 +45,10 @@ fn main() {
         Objective::MaxEfficiencyWithLatencyConstraint,
     ] {
         let pick = homogeneous_design(obj, &PlatformKind::ALL, &params);
-        println!("  {obj:<35} -> {}", pick.map_or("-".into(), |p| p.to_string()));
+        println!(
+            "  {obj:<35} -> {}",
+            pick.map_or("-".into(), |p| p.to_string())
+        );
     }
 
     println!("\nheterogeneous (partitioned) DC, min-latency (paper Table 9):");

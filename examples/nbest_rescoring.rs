@@ -35,7 +35,12 @@ fn main() {
 
     println!("first pass (acoustic + bigram LM):");
     for h in &nbest {
-        println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+        println!(
+            "  #{}  {:>10.1}  {:?}",
+            h.rank + 1,
+            h.score,
+            h.words.join(" ")
+        );
     }
 
     let config = DecoderConfig::default();
@@ -43,15 +48,32 @@ fn main() {
         let rescored = nbest::rescore(&nbest, &config, asr.lm(), asr.lm(), asr.lexicon(), weight);
         println!("\nrescored with bigram LM, weight {weight}:");
         for h in rescored.iter().take(3) {
-            println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+            println!(
+                "  #{}  {:>10.1}  {:?}",
+                h.rank + 1,
+                h.score,
+                h.words.join(" ")
+            );
         }
     }
 
     // Second pass with a stronger (trigram) model.
     let trigram = TrigramLm::train(corpus.iter().copied(), asr.lexicon());
-    let rescored = nbest::rescore(&nbest, &config, asr.lm(), &trigram, asr.lexicon(), config.lm_weight);
+    let rescored = nbest::rescore(
+        &nbest,
+        &config,
+        asr.lm(),
+        &trigram,
+        asr.lexicon(),
+        config.lm_weight,
+    );
     println!("\nrescored with trigram LM, weight {}:", config.lm_weight);
     for h in rescored.iter().take(3) {
-        println!("  #{}  {:>10.1}  {:?}", h.rank + 1, h.score, h.words.join(" "));
+        println!(
+            "  #{}  {:>10.1}  {:?}",
+            h.rank + 1,
+            h.score,
+            h.words.join(" ")
+        );
     }
 }

@@ -9,9 +9,9 @@
 use std::time::Instant;
 
 use sirius::pipeline::{Sirius, SiriusConfig, SiriusOutcome};
+use sirius::prepare_input_set;
 use sirius::profile::Profiler;
 use sirius::taxonomy::QueryKind;
-use sirius::prepare_input_set;
 
 fn main() {
     println!("training Sirius...");

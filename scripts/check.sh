@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full repo gate: formatting, lints, release build, tests.
+# Everything runs offline against the vendored shim crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -59,11 +59,8 @@ fn headline_tco_reductions() {
     let params = TcoParams::default();
     for platform in [PlatformKind::Gpu, PlatformKind::Fpga] {
         let metrics = query_level_metrics(platform, &params);
-        let mean_reduction: f64 = metrics
-            .iter()
-            .map(|m| 1.0 / m.tco_normalized)
-            .sum::<f64>()
-            / metrics.len() as f64;
+        let mean_reduction: f64 =
+            metrics.iter().map(|m| 1.0 / m.tco_normalized).sum::<f64>() / metrics.len() as f64;
         assert!(
             (1.2..=4.0).contains(&mean_reduction),
             "{platform}: mean TCO reduction {mean_reduction:.2}"
@@ -106,7 +103,11 @@ fn fpga_energy_efficiency_dominates() {
     let mut above_12 = 0;
     for s in ServiceKind::ALL {
         let fpga = perf_per_watt_vs_cmp(s, PlatformKind::Fpga);
-        for other in [PlatformKind::Gpu, PlatformKind::Phi, PlatformKind::Multicore] {
+        for other in [
+            PlatformKind::Gpu,
+            PlatformKind::Phi,
+            PlatformKind::Multicore,
+        ] {
             assert!(fpga > perf_per_watt_vs_cmp(s, other), "{s} vs {other}");
         }
         if fpga > 12.0 {

@@ -44,6 +44,28 @@ fn model_file_round_trips_through_disk() {
 }
 
 #[test]
+fn restored_config_matches_original() {
+    // A restored assistant must carry the configuration it was built with —
+    // from_bytes used to silently reset corpus/asr/qa/imm to defaults, which
+    // broke any rebuild-from-restored-config workflow.
+    let config = SiriusConfig {
+        crf_train_sentences: 150,
+        qa: sirius_nlp::qa::QaConfig { top_k: 9 },
+        ..SiriusConfig::default()
+    };
+    let sirius = Sirius::build(config.clone());
+    let restored = Sirius::from_bytes(&sirius.to_bytes()).expect("decode");
+    let rc = restored.config();
+    assert_eq!(rc.seed, config.seed);
+    assert_eq!(rc.corpus, config.corpus);
+    assert_eq!(rc.asr, config.asr);
+    assert_eq!(rc.qa, config.qa);
+    assert_eq!(rc.imm, config.imm);
+    assert_eq!(rc.image_size, config.image_size);
+    assert_eq!(rc.crf_train_sentences, config.crf_train_sentences);
+}
+
+#[test]
 fn every_truncation_point_fails_cleanly() {
     // Decoding must never panic on truncated inputs, only error.
     let bytes = model_bytes();

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's accelerator and datacenter-model crates annotate their
+//! spec types with `#[derive(Serialize, Deserialize)]` but persist nothing
+//! through serde (all persistence goes through `sirius-codec`). This shim
+//! re-exports the no-op derives so those sources compile unchanged in the
+//! offline build container.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
