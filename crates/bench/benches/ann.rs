@@ -1,0 +1,74 @@
+//! ANN `nearest2` bench: exact best-bin-first vs bounded check budgets.
+//!
+//! Exercises the shared squared-distance helper and the maintained
+//! second-best bound (`worst`) that prunes subtree descents — the ann.rs
+//! satellite of the lazy-scoring PR. Complements `ablation_ann` in
+//! `ablations.rs` with a larger, clustered point set where bound-driven
+//! pruning matters more than on uniform data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sirius_vision::ann::{KdTree, SearchBudget};
+
+const DIM: usize = 64;
+const CLUSTERS: usize = 32;
+const PER_CLUSTER: usize = 250;
+
+type AnnContext = (KdTree, Vec<Vec<f32>>);
+
+/// Clustered descriptors: SURF keypoints from real images bunch around
+/// repeated texture, so a Gaussian-mixture point set is the representative
+/// workload for the second-best bound.
+fn ann_context() -> &'static AnnContext {
+    static CTX: OnceLock<AnnContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let centers: Vec<Vec<f32>> = (0..CLUSTERS)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut points = Vec::with_capacity(CLUSTERS * PER_CLUSTER);
+        for c in &centers {
+            for _ in 0..PER_CLUSTER {
+                let p: Vec<f32> = c.iter().map(|&x| x + rng.gen_range(-0.1..0.1)).collect();
+                points.push((p, points.len() as u32));
+            }
+        }
+        let queries: Vec<Vec<f32>> = (0..128)
+            .map(|_| {
+                let c = &centers[rng.gen_range(0..CLUSTERS)];
+                c.iter().map(|&x| x + rng.gen_range(-0.15..0.15)).collect()
+            })
+            .collect();
+        (KdTree::build(points), queries)
+    })
+}
+
+fn bench_nearest2(c: &mut Criterion) {
+    let (tree, queries) = ann_context();
+    let mut group = c.benchmark_group("ann_nearest2");
+    group.sample_size(10);
+    for (name, budget) in [
+        ("checks_64", SearchBudget::MaxChecks(64)),
+        ("checks_256", SearchBudget::MaxChecks(256)),
+        ("checks_1024", SearchBudget::MaxChecks(1024)),
+        ("exact", SearchBudget::Exact),
+    ] {
+        group.bench_function(BenchmarkId::new("clustered", name), |b| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(tree.nearest2(q, budget));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearest2);
+criterion_main!(benches);

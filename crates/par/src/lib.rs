@@ -118,6 +118,19 @@ impl ExecPolicy {
     {
         map_collect(n, *self, f)
     }
+
+    /// Applies `f` to every element of `items` under this policy, collecting
+    /// results in item order. The sparse-work counterpart of
+    /// [`ExecPolicy::map_collect`]: lazy scorers fan out over the *active*
+    /// work items (beam-surviving states) rather than a dense index range.
+    pub fn map_slice_collect<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        map_collect(items.len(), *self, |i| f(&items[i]))
+    }
 }
 
 /// Applies `f` to `0..n` under `policy`, collecting results in index order.
@@ -504,6 +517,25 @@ mod tests {
         assert!(!p.is_serial(2));
         assert_eq!(ExecPolicy::default(), ExecPolicy::serial());
         assert_eq!(format!("{}", Strategy::Interleaved), "interleaved");
+    }
+
+    #[test]
+    fn map_slice_collect_matches_serial_map() {
+        let items: Vec<u64> = (0..97).map(work).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(3)).collect();
+        for strategy in Strategy::ALL {
+            for threads in [1, 2, 8] {
+                let policy = ExecPolicy::new(threads, strategy);
+                assert_eq!(
+                    policy.map_slice_collect(&items, |x| x.wrapping_mul(3)),
+                    serial,
+                    "{strategy} x{threads}"
+                );
+            }
+        }
+        assert!(ExecPolicy::serial()
+            .map_slice_collect::<u64, u64, _>(&[], |x| *x)
+            .is_empty());
     }
 
     #[test]

@@ -40,16 +40,27 @@ impl Layer {
 
     /// Dense matrix-vector product — the DNN kernel's inner loop.
     pub fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
-        debug_assert_eq!(x.len(), self.inputs);
         out.clear();
-        out.reserve(self.outputs);
-        for o in 0..self.outputs {
+        out.resize(self.outputs, 0.0);
+        self.forward_into(x, out);
+    }
+
+    /// Like [`Layer::forward`] but writes into a caller-provided slice, so
+    /// the hot path allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on shape mismatches.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.inputs);
+        debug_assert_eq!(out.len(), self.outputs);
+        for (o, slot) in out.iter_mut().enumerate() {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
             let mut acc = self.biases[o];
             for (w, v) in row.iter().zip(x) {
                 acc += w * v;
             }
-            out.push(acc);
+            *slot = acc;
         }
     }
 }
@@ -263,6 +274,100 @@ impl Dnn {
     }
 }
 
+/// Pre-transposed weight matrices for [`Dnn::forward_batch_into`].
+///
+/// The GEMM kernel wants weights in `inputs x outputs` layout so the inner
+/// axpy update walks contiguous memory; building that layout once per
+/// network (instead of per frame) keeps it off the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnPlan {
+    /// Per-layer transposed weights, row-major `inputs x outputs`.
+    wt: Vec<Vec<f32>>,
+}
+
+/// Reusable intermediate-activation buffers for [`Dnn::forward_batch_into`].
+///
+/// Holding these outside the call lets a scorer run thousands of forward
+/// passes without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct DnnScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl Dnn {
+    /// Builds the transposed-weight plan consumed by
+    /// [`Dnn::forward_batch_into`]. Invalidated by further training.
+    pub fn plan(&self) -> DnnPlan {
+        DnnPlan {
+            wt: self
+                .layers
+                .iter()
+                .map(|l| sirius_kernels::transpose(&l.weights, l.outputs, l.inputs))
+                .collect(),
+        }
+    }
+
+    /// Batched forward pass over `rows` stacked input vectors (row-major
+    /// `rows x input_dim`), writing `rows x output_dim` softmax posteriors
+    /// into `out`. One GEMM per layer instead of `rows` matrix-vector
+    /// products; every row is **bit-identical** to [`Dnn::forward`] on the
+    /// corresponding input (see [`sirius_kernels::gemm_xwt_bias`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not hold `rows` input vectors or if `plan` was
+    /// built for a different architecture.
+    pub fn forward_batch_into(
+        &self,
+        x: &[f32],
+        rows: usize,
+        plan: &DnnPlan,
+        scratch: &mut DnnScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let nl = self.layers.len();
+        assert_eq!(x.len(), rows * self.input_dim(), "input matrix shape");
+        assert_eq!(plan.wt.len(), nl, "plan/network layer count mismatch");
+        out.clear();
+        out.resize(rows * self.output_dim(), 0.0);
+        let DnnScratch { a, b } = scratch;
+        for (i, (layer, wt)) in self.layers.iter().zip(&plan.wt).enumerate() {
+            let src: &[f32] = if i == 0 { x } else { a };
+            if i + 1 == nl {
+                sirius_kernels::gemm_xwt_bias(
+                    src,
+                    rows,
+                    layer.inputs,
+                    wt,
+                    layer.outputs,
+                    &layer.biases,
+                    out,
+                );
+            } else {
+                b.clear();
+                b.resize(rows * layer.outputs, 0.0);
+                sirius_kernels::gemm_xwt_bias(
+                    src,
+                    rows,
+                    layer.inputs,
+                    wt,
+                    layer.outputs,
+                    &layer.biases,
+                    b,
+                );
+                for v in b.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+                std::mem::swap(a, b);
+            }
+        }
+        for row in out.chunks_mut(self.output_dim().max(1)) {
+            softmax_in_place(row);
+        }
+    }
+}
+
 impl Dnn {
     /// Serializes the network (see [`sirius_codec`]).
     pub fn encode(&self, e: &mut Encoder) {
@@ -435,5 +540,54 @@ mod tests {
     fn too_few_sizes_panics() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let _ = Dnn::new(&[4], &mut rng);
+    }
+
+    /// The GEMM-batched forward pass is the lazy scorer's workhorse; it must
+    /// reproduce the per-frame scalar path bit for bit.
+    #[test]
+    fn batched_forward_is_bit_identical_to_scalar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let net = Dnn::new(&[9, 17, 12, 5], &mut rng);
+        let plan = net.plan();
+        let mut scratch = DnnScratch::default();
+        for rows in [1usize, 2, 7, 33] {
+            let x: Vec<f32> = (0..rows * 9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut batch = Vec::new();
+            net.forward_batch_into(&x, rows, &plan, &mut scratch, &mut batch);
+            assert_eq!(batch.len(), rows * 5);
+            for r in 0..rows {
+                let single = net.forward(&x[r * 9..(r + 1) * 9]);
+                for (a, b) in batch[r * 5..(r + 1) * 5].iter().zip(&single) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} differs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_forward_into_matches_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let layer = Layer::new(6, 4, &mut rng);
+        let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut a = Vec::new();
+        layer.forward(&x, &mut a);
+        let mut b = [0.0f32; 4];
+        layer.forward_into(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input matrix shape")]
+    fn batched_forward_rejects_bad_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let net = Dnn::new(&[4, 3], &mut rng);
+        let plan = net.plan();
+        net.forward_batch_into(
+            &[0.0; 7],
+            2,
+            &plan,
+            &mut DnnScratch::default(),
+            &mut Vec::new(),
+        );
     }
 }

@@ -236,6 +236,29 @@ impl Gmm {
         })
     }
 
+    /// Builds the dimension-major scoring view of this mixture (see
+    /// [`GmmSoa`]).
+    pub fn soa(&self) -> GmmSoa {
+        let m = self.num_components();
+        let dim = self.dim;
+        let mut means_t = vec![0.0f32; m * dim];
+        let mut precs_t = vec![0.0f32; m * dim];
+        for k in 0..m {
+            for d in 0..dim {
+                means_t[d * m + k] = self.means[k * dim + d];
+                precs_t[d * m + k] = self.precs[k * dim + d];
+            }
+        }
+        let offsets = (0..m).map(|k| self.weights[k] + self.factors[k]).collect();
+        GmmSoa {
+            dim,
+            m,
+            means_t,
+            precs_t,
+            offsets,
+        }
+    }
+
     /// One EM iteration over `data`, returning the updated model.
     fn em_step(&self, data: &[Vec<f32>]) -> Self {
         let m = self.num_components();
@@ -297,6 +320,87 @@ impl Gmm {
         let total: f64 = resp_sum.iter().sum();
         let new_weights: Vec<f32> = resp_sum.iter().map(|&r| (r / total) as f32).collect();
         Self::from_params(dim, new_means, new_vars, new_weights)
+    }
+}
+
+/// Dimension-major (SoA) scoring view of a [`Gmm`].
+///
+/// The paper's GPU port transposes the GMM parameters so that "coalesced
+/// global memory accesses" walk all components together (Section 4.4.1);
+/// on a CPU the same transposition turns the inner loop into `m`
+/// independent accumulators that vectorize. Each component's squared
+/// distance still accumulates over the dimensions in ascending order, and
+/// the log-sum-exp runs over components in the same order as
+/// [`Gmm::log_likelihood`], so the result is **bit-identical** to the AoS
+/// triple loop — the lazy decoder's equivalence gate is exact.
+#[derive(Debug, Clone)]
+pub struct GmmSoa {
+    dim: usize,
+    m: usize,
+    /// Transposed means, `means_t[d * m + k]`.
+    means_t: Vec<f32>,
+    /// Transposed precisions, same layout.
+    precs_t: Vec<f32>,
+    /// Per-component `log weight + log normalizer`.
+    offsets: Vec<f32>,
+}
+
+impl GmmSoa {
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Log-likelihood of one feature vector; bit-identical to
+    /// [`Gmm::log_likelihood`] on the source mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x.len() != self.dim()`.
+    pub fn log_likelihood(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.dim);
+        let m = self.m;
+        let mut dists = [0.0f32; 64];
+        let dists = &mut dists[..m];
+        for (d, &xd) in x.iter().enumerate() {
+            let means = &self.means_t[d * m..(d + 1) * m];
+            let precs = &self.precs_t[d * m..(d + 1) * m];
+            for ((acc, &mean), &prec) in dists.iter_mut().zip(means).zip(precs) {
+                let diff = xd - mean;
+                *acc += diff * diff * prec;
+            }
+        }
+        let mut best = f32::NEG_INFINITY;
+        for (k, acc) in dists.iter_mut().enumerate() {
+            let l = self.offsets[k] - *acc;
+            *acc = l;
+            if l > best {
+                best = l;
+            }
+        }
+        if best == f32::NEG_INFINITY {
+            return f32::NEG_INFINITY;
+        }
+        let mut acc = 0.0f32;
+        for l in dists.iter() {
+            acc += (l - best).exp();
+        }
+        best + acc.ln()
+    }
+
+    /// Scores this state against many frames, writing `out[t]` for each
+    /// frame `t`. The interchanged loop order (state outer, frames inner)
+    /// keeps the mixture parameters hot in cache while streaming frames;
+    /// every value is bit-identical to the per-frame [`Gmm`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != frames.len()`.
+    pub fn log_likelihood_batch(&self, frames: &[Vec<f32>], out: &mut [f32]) {
+        assert_eq!(out.len(), frames.len(), "output length mismatch");
+        for (slot, frame) in out.iter_mut().zip(frames) {
+            *slot = self.log_likelihood(frame);
+        }
     }
 }
 
@@ -394,6 +498,56 @@ mod tests {
         let g = single_gaussian();
         assert_eq!(g.dim(), 2);
         assert_eq!(g.num_components(), 1);
+    }
+}
+
+#[cfg(test)]
+mod soa_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The dimension-major view must reproduce the AoS triple loop exactly
+    /// (same bits), across component counts and dimensions.
+    #[test]
+    fn soa_scoring_is_bit_identical() {
+        for seed in 0u64..12 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let m = 1 + (seed as usize % 8);
+            let dim = 2 + (seed as usize % 25);
+            let data: Vec<Vec<f32>> = (0..m * 16)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+                .collect();
+            let g = Gmm::fit(&data, m, 1, &mut rng);
+            let soa = g.soa();
+            for _ in 0..32 {
+                let x: Vec<f32> = (0..dim).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+                assert_eq!(
+                    g.log_likelihood(&x).to_bits(),
+                    soa.log_likelihood(&x).to_bits(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_frame() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let data: Vec<Vec<f32>> = (0..64)
+            .map(|_| (0..6).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let g = Gmm::fit(&data, 4, 2, &mut rng);
+        let soa = g.soa();
+        let frames: Vec<Vec<f32>> = (0..23)
+            .map(|_| (0..6).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+            .collect();
+        let mut out = vec![0.0f32; frames.len()];
+        soa.log_likelihood_batch(&frames, &mut out);
+        for (t, frame) in frames.iter().enumerate() {
+            assert_eq!(out[t].to_bits(), g.log_likelihood(frame).to_bits());
+        }
+        assert_eq!(soa.dim(), 6);
     }
 }
 

@@ -10,11 +10,12 @@
 //! transitions carry bigram language-model scores, with optional inter-word
 //! silence.
 
-use crate::dnn::Dnn;
-use crate::gmm::Gmm;
+use crate::dnn::{Dnn, DnnPlan, DnnScratch};
+use crate::gmm::{Gmm, GmmSoa};
 use crate::lexicon::{Lexicon, NUM_STATES, SIL, STATES_PER_PHONE};
 use crate::lm::BigramLm;
 use sirius_par::ExecPolicy;
+use std::time::{Duration, Instant};
 
 /// Scores acoustic frames against all tied HMM states.
 pub trait AcousticScorer {
@@ -26,11 +27,294 @@ pub trait AcousticScorer {
     fn name(&self) -> &'static str;
 }
 
+/// On-demand acoustic scores for one utterance, consumed frame by frame by
+/// [`Decoder::decode_lazy`].
+///
+/// The decoder announces each frame with [`FrameScores::begin_frame`], then
+/// reads emission scores with [`FrameScores::get`]. Providers that benefit
+/// from knowing the beam-surviving state set ahead of the reads (the lazy
+/// GMM path) set [`FrameScores::WANTS_ACTIVE_SET`] so the decoder runs a
+/// cheap collection pass and calls [`FrameScores::prepare`] first.
+///
+/// Every implementation in this crate returns **bit-identical** values to
+/// the corresponding [`AcousticScorer::score_utterance`] row, so lazy and
+/// eager decodes agree exactly (same words, same total log-score bits).
+pub trait FrameScores {
+    /// Whether the decoder should collect the emission states reachable from
+    /// beam-surviving tokens and pass them to [`FrameScores::prepare`].
+    const WANTS_ACTIVE_SET: bool;
+
+    /// Number of frames in the utterance.
+    fn num_frames(&self) -> usize;
+
+    /// Announces that subsequent [`FrameScores::get`] calls refer to frame
+    /// `t`. Frames are visited in non-decreasing order.
+    fn begin_frame(&mut self, t: usize);
+
+    /// Hints the set of tied emission states the decoder may read this
+    /// frame (deduplicated). Implementations may batch-compute them here.
+    fn prepare(&mut self, _needed: &[u16]) {}
+
+    /// Emission score of tied state `s` for the current frame.
+    fn get(&mut self, s: usize) -> f32;
+}
+
+/// [`FrameScores`] view over a fully pre-computed score matrix — the exact
+/// (eager) reference mode.
+#[derive(Debug)]
+pub struct EagerScores<'a> {
+    emis: &'a [Vec<f32>],
+    t: usize,
+}
+
+impl<'a> EagerScores<'a> {
+    /// Wraps pre-computed emission rows `emis[t][tied_state]`.
+    pub fn new(emis: &'a [Vec<f32>]) -> Self {
+        Self { emis, t: 0 }
+    }
+}
+
+impl FrameScores for EagerScores<'_> {
+    const WANTS_ACTIVE_SET: bool = false;
+
+    fn num_frames(&self) -> usize {
+        self.emis.len()
+    }
+
+    fn begin_frame(&mut self, t: usize) {
+        self.t = t;
+    }
+
+    fn get(&mut self, s: usize) -> f32 {
+        self.emis[self.t][s]
+    }
+}
+
+/// Counters exposed by the lazy score providers, for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LazyScoreStats {
+    /// `(frame, state)` score reads issued by the decoder.
+    pub requested: usize,
+    /// `(frame, state)` cells actually evaluated (each at most once).
+    pub computed: usize,
+    /// Total cells in the dense score matrix (`frames x states`), the
+    /// eager scorer's work; `computed / total_cells` is the lazy win.
+    pub total_cells: usize,
+}
+
+/// Lazily evaluated GMM emission scores with a per-frame memo table.
+///
+/// The cache is a flat `NUM_STATES`-wide value array validated by an epoch
+/// stamp — advancing to the next frame is a single counter increment, no
+/// clearing and no allocation. States the beam never reaches are never
+/// scored.
+#[derive(Debug)]
+pub struct LazyGmmScores<'a> {
+    soa: &'a [GmmSoa],
+    frames: &'a [Vec<f32>],
+    policy: ExecPolicy,
+    values: Vec<f32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    t: usize,
+    missing: Vec<u16>,
+    stats: LazyScoreStats,
+    compute_time: Duration,
+}
+
+/// Below this many cache misses a parallel prepare costs more in thread
+/// startup than it saves; the fan-out only kicks in above it.
+const LAZY_PAR_MIN: usize = 48;
+
+impl<'a> LazyGmmScores<'a> {
+    fn new(soa: &'a [GmmSoa], frames: &'a [Vec<f32>], policy: ExecPolicy) -> Self {
+        Self {
+            soa,
+            frames,
+            policy,
+            values: vec![0.0; NUM_STATES],
+            stamp: vec![0; NUM_STATES],
+            epoch: 0,
+            t: 0,
+            missing: Vec::with_capacity(NUM_STATES),
+            stats: LazyScoreStats {
+                total_cells: frames.len() * NUM_STATES,
+                ..LazyScoreStats::default()
+            },
+            compute_time: Duration::ZERO,
+        }
+    }
+
+    /// Evaluation counters for this utterance.
+    pub fn stats(&self) -> LazyScoreStats {
+        self.stats
+    }
+
+    /// Wall time spent evaluating GMMs (the "scoring" share of the decode).
+    pub fn compute_time(&self) -> Duration {
+        self.compute_time
+    }
+}
+
+impl FrameScores for LazyGmmScores<'_> {
+    const WANTS_ACTIVE_SET: bool = true;
+
+    fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn begin_frame(&mut self, t: usize) {
+        self.t = t;
+        // A fresh epoch invalidates the whole value array in O(1).
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    fn prepare(&mut self, needed: &[u16]) {
+        let start = Instant::now();
+        self.missing.clear();
+        for &s in needed {
+            if self.stamp[s as usize] != self.epoch {
+                self.missing.push(s);
+            }
+        }
+        let frame = &self.frames[self.t];
+        if self.missing.len() >= LAZY_PAR_MIN && !self.policy.is_serial(self.missing.len()) {
+            let soa = self.soa;
+            let vals = self
+                .policy
+                .map_slice_collect(&self.missing, |&s| soa[s as usize].log_likelihood(frame));
+            for (&s, v) in self.missing.iter().zip(vals) {
+                self.values[s as usize] = v;
+                self.stamp[s as usize] = self.epoch;
+            }
+        } else {
+            for &s in &self.missing {
+                self.values[s as usize] = self.soa[s as usize].log_likelihood(frame);
+                self.stamp[s as usize] = self.epoch;
+            }
+        }
+        self.stats.computed += self.missing.len();
+        self.compute_time += start.elapsed();
+    }
+
+    fn get(&mut self, s: usize) -> f32 {
+        self.stats.requested += 1;
+        if self.stamp[s] != self.epoch {
+            // Miss outside prepare (should not happen with a correct active
+            // set, but stays correct if it does).
+            let start = Instant::now();
+            self.values[s] = self.soa[s].log_likelihood(&self.frames[self.t]);
+            self.stamp[s] = self.epoch;
+            self.stats.computed += 1;
+            self.compute_time += start.elapsed();
+        }
+        self.values[s]
+    }
+}
+
+/// Frames scored per GEMM batch by [`LazyDnnScores`]. The network reads a
+/// whole context window anyway, so the DNN's laziness is in *batching*:
+/// frames are scored in blocks of this size, one GEMM per layer per block,
+/// instead of one matrix-vector product per frame per layer.
+const DNN_BLOCK: usize = 16;
+
+/// Reusable buffers for one block-batched DNN forward: the stacked context
+/// windows, the layer ping-pong scratch, and the posterior output.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    x: Vec<f32>,
+    scratch: DnnScratch,
+    post: Vec<f32>,
+}
+
+/// Block-batched DNN emission scores for [`Decoder::decode_lazy`].
+///
+/// Unlike the GMM, a DNN forward pass produces *all* state posteriors at
+/// once, so skipping individual states saves nothing. Instead this provider
+/// turns the per-frame matrix-vector products into per-block GEMMs
+/// (bit-identical per row — see [`Dnn::forward_batch_into`]), reusing one
+/// scratch allocation for the whole utterance.
+#[derive(Debug)]
+pub struct LazyDnnScores<'a> {
+    scorer: &'a DnnScorer,
+    frames: &'a [Vec<f32>],
+    block: Vec<f32>,
+    block_start: usize,
+    block_len: usize,
+    t: usize,
+    buf: BlockScratch,
+    stats: LazyScoreStats,
+    compute_time: Duration,
+}
+
+impl<'a> LazyDnnScores<'a> {
+    fn new(scorer: &'a DnnScorer, frames: &'a [Vec<f32>]) -> Self {
+        Self {
+            scorer,
+            frames,
+            block: Vec::new(),
+            block_start: 0,
+            block_len: 0,
+            t: 0,
+            buf: BlockScratch::default(),
+            stats: LazyScoreStats {
+                total_cells: frames.len() * NUM_STATES,
+                ..LazyScoreStats::default()
+            },
+            compute_time: Duration::ZERO,
+        }
+    }
+
+    /// Evaluation counters for this utterance.
+    pub fn stats(&self) -> LazyScoreStats {
+        self.stats
+    }
+
+    /// Wall time spent in the network forward passes.
+    pub fn compute_time(&self) -> Duration {
+        self.compute_time
+    }
+}
+
+impl FrameScores for LazyDnnScores<'_> {
+    const WANTS_ACTIVE_SET: bool = false;
+
+    fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn begin_frame(&mut self, t: usize) {
+        self.t = t;
+        let in_block = self.block_len > 0
+            && (self.block_start..self.block_start + self.block_len).contains(&t);
+        if !in_block {
+            let start = Instant::now();
+            let len = (self.frames.len() - t).min(DNN_BLOCK);
+            self.block.clear();
+            self.block.resize(len * NUM_STATES, 0.0);
+            self.scorer
+                .score_block(self.frames, t, len, &mut self.buf, &mut self.block);
+            self.block_start = t;
+            self.block_len = len;
+            self.stats.computed += len * NUM_STATES;
+            self.compute_time += start.elapsed();
+        }
+    }
+
+    fn get(&mut self, s: usize) -> f32 {
+        self.stats.requested += 1;
+        self.block[(self.t - self.block_start) * NUM_STATES + s]
+    }
+}
+
 /// GMM emission scorer: one diagonal GMM per tied state (the Sphinx path).
 #[derive(Debug, Clone)]
 pub struct GmmScorer {
     gmms: Vec<Gmm>,
-    /// Runtime-only execution policy; frames are independent, so scoring
+    /// Dimension-major mirrors of `gmms`, built once; scoring reads these
+    /// (bit-identical to the AoS loop, see [`GmmSoa`]).
+    soa: Vec<GmmSoa>,
+    /// Runtime-only execution policy; states are independent, so scoring
     /// parallelizes over them with bit-identical output at any width.
     policy: ExecPolicy,
 }
@@ -43,8 +327,10 @@ impl GmmScorer {
     /// Panics unless exactly [`NUM_STATES`] models are provided.
     pub fn new(gmms: Vec<Gmm>) -> Self {
         assert_eq!(gmms.len(), NUM_STATES, "need one GMM per tied state");
+        let soa = gmms.iter().map(Gmm::soa).collect();
         Self {
             gmms,
+            soa,
             policy: ExecPolicy::serial(),
         }
     }
@@ -62,6 +348,13 @@ impl GmmScorer {
     /// The current execution policy.
     pub fn policy(&self) -> ExecPolicy {
         self.policy
+    }
+
+    /// A lazily evaluating [`FrameScores`] provider over `frames` for
+    /// [`Decoder::decode_lazy`]. Only beam-reachable `(frame, state)` cells
+    /// are ever scored, each at most once.
+    pub fn lazy_scores<'a>(&'a self, frames: &'a [Vec<f32>]) -> LazyGmmScores<'a> {
+        LazyGmmScores::new(&self.soa, frames, self.policy)
     }
 }
 
@@ -92,21 +385,26 @@ impl GmmScorer {
         let gmms = (0..n)
             .map(|_| Gmm::decode(d))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
-            gmms,
-            policy: ExecPolicy::serial(),
-        })
+        Ok(Self::new(gmms))
     }
 }
 
 impl AcousticScorer for GmmScorer {
     fn score_utterance(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        self.policy.map_collect(frames.len(), |t| {
-            self.gmms
-                .iter()
-                .map(|g| g.log_likelihood(&frames[t]))
-                .collect()
-        })
+        // State-major evaluation: stream one state's (small) parameter block
+        // over all frames, so parameters stay in registers/L1 while the
+        // frame data streams. Values are bit-identical to the frame-major
+        // AoS loop; only the traversal order changes, plus a transpose of
+        // independent results.
+        let n = frames.len();
+        let cols: Vec<Vec<f32>> = self.policy.map_slice_collect(&self.soa, |g| {
+            let mut col = vec![0.0f32; n];
+            g.log_likelihood_batch(frames, &mut col);
+            col
+        });
+        (0..n)
+            .map(|t| cols.iter().map(|c| c[t]).collect())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -119,13 +417,16 @@ impl AcousticScorer for GmmScorer {
 #[derive(Debug, Clone)]
 pub struct DnnScorer {
     dnn: Dnn,
+    /// Transposed-weight plan for the GEMM-batched forward pass; rebuilt
+    /// whenever the network is (de)serialized or constructed.
+    plan: DnnPlan,
     log_priors: Vec<f32>,
     /// Number of context frames on each side fed to the network.
     context: usize,
     /// Acoustic scale applied to the pseudo log-likelihoods.
     scale: f32,
-    /// Runtime-only execution policy; the forward pass is independent per
-    /// frame, so scoring parallelizes over frames bit-identically.
+    /// Runtime-only execution policy; frame blocks are independent, so
+    /// scoring parallelizes over them bit-identically.
     policy: ExecPolicy,
 }
 
@@ -141,8 +442,10 @@ impl DnnScorer {
         assert_eq!(priors.len(), NUM_STATES, "prior vector width");
         let total: f32 = priors.iter().sum();
         let log_priors = priors.iter().map(|p| (p / total).max(1e-8).ln()).collect();
+        let plan = dnn.plan();
         Self {
             dnn,
+            plan,
             log_priors,
             context,
             scale: 1.2,
@@ -168,13 +471,67 @@ impl DnnScorer {
     /// Builds the stacked context window for frame `t`.
     pub fn context_window(frames: &[Vec<f32>], t: usize, context: usize) -> Vec<f32> {
         let dim = frames[0].len();
-        let mut x = Vec::with_capacity(dim * (2 * context + 1));
-        let n = frames.len() as isize;
-        for off in -(context as isize)..=(context as isize) {
-            let idx = (t as isize + off).clamp(0, n - 1) as usize;
-            x.extend_from_slice(&frames[idx]);
-        }
+        let mut x = vec![0.0f32; dim * (2 * context + 1)];
+        Self::context_window_into(frames, t, context, &mut x);
         x
+    }
+
+    /// Writes the stacked context window for frame `t` into `out`
+    /// (allocation-free variant of [`DnnScorer::context_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim * (2 * context + 1)` or `frames` is empty.
+    pub fn context_window_into(frames: &[Vec<f32>], t: usize, context: usize, out: &mut [f32]) {
+        let dim = frames[0].len();
+        assert_eq!(out.len(), dim * (2 * context + 1), "window width");
+        let n = frames.len() as isize;
+        for (i, off) in (-(context as isize)..=(context as isize)).enumerate() {
+            let idx = (t as isize + off).clamp(0, n - 1) as usize;
+            out[i * dim..(i + 1) * dim].copy_from_slice(&frames[idx]);
+        }
+    }
+
+    /// Scores frames `start..start + len` into `out` (row-major
+    /// `len x NUM_STATES`) with one GEMM per layer over the whole block.
+    /// Bit-identical to the per-frame path in
+    /// [`AcousticScorer::score_utterance`].
+    fn score_block(
+        &self,
+        frames: &[Vec<f32>],
+        start: usize,
+        len: usize,
+        buf: &mut BlockScratch,
+        out: &mut [f32],
+    ) {
+        let BlockScratch { x, scratch, post } = buf;
+        let dim = frames[0].len();
+        let width = dim * (2 * self.context + 1);
+        x.clear();
+        x.resize(len * width, 0.0);
+        for r in 0..len {
+            Self::context_window_into(
+                frames,
+                start + r,
+                self.context,
+                &mut x[r * width..(r + 1) * width],
+            );
+        }
+        self.dnn
+            .forward_batch_into(x, len, &self.plan, scratch, post);
+        for r in 0..len {
+            let probs = &post[r * NUM_STATES..(r + 1) * NUM_STATES];
+            let row = &mut out[r * NUM_STATES..(r + 1) * NUM_STATES];
+            for ((slot, p), pr) in row.iter_mut().zip(probs).zip(&self.log_priors) {
+                *slot = self.scale * (p.max(1e-12).ln() - pr);
+            }
+        }
+    }
+
+    /// A block-batched [`FrameScores`] provider over `frames` for
+    /// [`Decoder::decode_lazy`].
+    pub fn lazy_scores<'a>(&'a self, frames: &'a [Vec<f32>]) -> LazyDnnScores<'a> {
+        LazyDnnScores::new(self, frames)
     }
 }
 
@@ -205,8 +562,10 @@ impl DnnScorer {
                 offset: 0,
             });
         }
+        let plan = dnn.plan();
         Ok(Self {
             dnn,
+            plan,
             log_priors,
             context,
             scale,
@@ -217,14 +576,21 @@ impl DnnScorer {
 
 impl AcousticScorer for DnnScorer {
     fn score_utterance(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        self.policy.map_collect(frames.len(), |t| {
-            let x = Self::context_window(frames, t, self.context);
-            let lp = self.dnn.log_posteriors(&x);
-            lp.iter()
-                .zip(&self.log_priors)
-                .map(|(p, pr)| self.scale * (p - pr))
-                .collect()
-        })
+        // Frame-blocked GEMM forward: one matrix multiply per layer per
+        // block instead of a matrix-vector product per frame per layer.
+        // Rows are bit-identical to the scalar path (see
+        // `Dnn::forward_batch_into`); the policy fans out over blocks.
+        let n = frames.len();
+        let nb = n.div_ceil(DNN_BLOCK);
+        let blocks: Vec<Vec<Vec<f32>>> = self.policy.map_collect(nb, |b| {
+            let start = b * DNN_BLOCK;
+            let len = (n - start).min(DNN_BLOCK);
+            let mut buf = BlockScratch::default();
+            let mut flat = vec![0.0f32; len * NUM_STATES];
+            self.score_block(frames, start, len, &mut buf, &mut flat);
+            flat.chunks(NUM_STATES).map(<[f32]>::to_vec).collect()
+        });
+        blocks.into_iter().flatten().collect()
     }
 
     fn name(&self) -> &'static str {
@@ -408,6 +774,10 @@ impl Decoder {
 
     /// Decodes pre-scored emissions `emis[t][tied_state]` into words.
     ///
+    /// This is the exact (eager) reference mode: the full score matrix is
+    /// computed up front. [`Decoder::decode_lazy`] produces bit-identical
+    /// results while only evaluating beam-reachable scores.
+    ///
     /// Returns `None` if no complete path survives the beam.
     pub fn decode_scores(
         &self,
@@ -415,7 +785,24 @@ impl Decoder {
         lm: &BigramLm,
         lexicon: &Lexicon,
     ) -> Option<DecodeResult> {
-        let t_max = emis.len();
+        self.decode_lazy(&mut EagerScores::new(emis), lm, lexicon)
+    }
+
+    /// Decodes with an on-demand score provider (see [`FrameScores`]).
+    ///
+    /// The Viterbi search pulls `(frame, state)` scores as it needs them;
+    /// with a lazy provider, states outside the beam are never scored.
+    /// For every provider in this crate the result is bit-identical to
+    /// [`Decoder::decode_scores`] over the eagerly computed matrix.
+    ///
+    /// Returns `None` if no complete path survives the beam.
+    pub fn decode_lazy<S: FrameScores>(
+        &self,
+        scores: &mut S,
+        lm: &BigramLm,
+        lexicon: &Lexicon,
+    ) -> Option<DecodeResult> {
+        let t_max = scores.num_frames();
         if t_max == 0 {
             return None;
         }
@@ -434,12 +821,42 @@ impl Decoder {
         let mut arena: Vec<(u32, u32)> = Vec::with_capacity(1024);
         let mut tokens_expanded = 0usize;
 
+        // Memoized scaled LM rows: lm_rows[p + 1][w] = lm_weight *
+        // log_bigram(p, w), row 0 for the start distribution. log_bigram
+        // does an f64 divide + ln per call, which the word-exit loop would
+        // otherwise repeat for every (source, target) pair every frame.
+        let mut lm_rows: Vec<Option<Box<[f32]>>> = vec![None; self.num_words + 1];
+        // Per-frame best word exit: highest (exit_score + scaled LM) per
+        // target word, so each improved target pushes one arena entry per
+        // frame instead of one per improving source.
+        let mut exit_best = vec![neg; self.num_words];
+        let mut exit_hist = vec![ROOT; self.num_words];
+        // Deduplicated emission states reachable this frame, for
+        // `FrameScores::prepare` (only collected when the provider asks).
+        let mut needed: Vec<u16> = Vec::with_capacity(NUM_STATES);
+        let mut needed_stamp = [0u32; NUM_STATES];
+        let mut needed_epoch = 0u32;
+
         // Initialization at t = 0: silence or any word start.
-        cur[self.sil_first] = emis[0][self.entries[self.sil_first].emission as usize];
+        scores.begin_frame(0);
+        if S::WANTS_ACTIVE_SET {
+            needed.push(self.entries[self.sil_first].emission);
+            needed_epoch += 1;
+            needed_stamp[self.entries[self.sil_first].emission as usize] = needed_epoch;
+            for w in 0..self.num_words {
+                let em = self.entries[self.word_first[w]].emission;
+                if needed_stamp[em as usize] != needed_epoch {
+                    needed_stamp[em as usize] = needed_epoch;
+                    needed.push(em);
+                }
+            }
+            scores.prepare(&needed);
+        }
+        cur[self.sil_first] = scores.get(self.entries[self.sil_first].emission as usize);
         for w in 0..self.num_words {
             let e = self.word_first[w];
             arena.push((w as u32, ROOT));
-            cur[e] = lmw * lm.log_start(w) + wip + emis[0][self.entries[e].emission as usize];
+            cur[e] = lmw * lm.log_start(w) + wip + scores.get(self.entries[e].emission as usize);
             cur_hist[e] = (arena.len() - 1) as u32;
         }
 
@@ -451,17 +868,45 @@ impl Decoder {
                 return None;
             }
             let threshold = best - self.config.beam;
-            let frame = &emis[t];
-            let relax = |target: usize,
-                         score: f32,
-                         hist: u32,
-                         nxt: &mut Vec<f32>,
-                         nxt_hist: &mut Vec<u32>| {
-                if score > nxt[target] {
-                    nxt[target] = score;
-                    nxt_hist[target] = hist;
+            scores.begin_frame(t);
+            if S::WANTS_ACTIVE_SET {
+                // Collection pass: emissions of every relax target reachable
+                // from a beam-surviving source, deduplicated by epoch stamp.
+                needed.clear();
+                needed_epoch = needed_epoch.wrapping_add(1);
+                let mut mark = |em: u16, needed: &mut Vec<u16>| {
+                    if needed_stamp[em as usize] != needed_epoch {
+                        needed_stamp[em as usize] = needed_epoch;
+                        needed.push(em);
+                    }
+                };
+                let mut any_exit = false;
+                let mut any_word_end = false;
+                for e in 0..n {
+                    if cur[e] < threshold {
+                        continue;
+                    }
+                    let st = self.entries[e];
+                    mark(st.emission, &mut needed);
+                    let is_word_end = st.word != u32::MAX && e == self.word_last[st.word as usize];
+                    if !is_word_end && e != self.sil_last {
+                        mark(self.entries[e + 1].emission, &mut needed);
+                    }
+                    any_word_end |= is_word_end;
+                    any_exit |= is_word_end || e >= self.sil_first;
                 }
-            };
+                if any_word_end {
+                    mark(self.entries[self.sil_first].emission, &mut needed);
+                }
+                if any_exit {
+                    for w in 0..self.num_words {
+                        mark(self.entries[self.word_first[w]].emission, &mut needed);
+                    }
+                }
+                scores.prepare(&needed);
+            }
+            let mut any_exit = false;
+            exit_best.fill(neg);
             for e in 0..n {
                 let s = cur[e];
                 if s < threshold {
@@ -471,25 +916,21 @@ impl Decoder {
                 let hist = cur_hist[e];
                 let st = self.entries[e];
                 // Self loop.
-                relax(
-                    e,
-                    s + log_self + frame[st.emission as usize],
-                    hist,
-                    &mut nxt,
-                    &mut nxt_hist,
-                );
+                let cand = s + log_self + scores.get(st.emission as usize);
+                if cand > nxt[e] {
+                    nxt[e] = cand;
+                    nxt_hist[e] = hist;
+                }
                 let is_word_end = st.word != u32::MAX && e == self.word_last[st.word as usize];
                 let in_sil = e >= self.sil_first;
                 if !is_word_end && e != self.sil_last {
                     // Advance within the chain.
                     let target = e + 1;
-                    relax(
-                        target,
-                        s + log_adv + frame[self.entries[target].emission as usize],
-                        hist,
-                        &mut nxt,
-                        &mut nxt_hist,
-                    );
+                    let cand = s + log_adv + scores.get(self.entries[target].emission as usize);
+                    if cand > nxt[target] {
+                        nxt[target] = cand;
+                        nxt_hist[target] = hist;
+                    }
                 }
                 if !is_word_end && !in_sil {
                     continue;
@@ -500,31 +941,53 @@ impl Decoder {
                 // traversing the full 3-state chain.
                 let exit_score = s + log_adv;
                 if is_word_end {
-                    relax(
-                        self.sil_first,
-                        exit_score + frame[self.entries[self.sil_first].emission as usize],
-                        hist,
-                        &mut nxt,
-                        &mut nxt_hist,
-                    );
+                    let cand =
+                        exit_score + scores.get(self.entries[self.sil_first].emission as usize);
+                    if cand > nxt[self.sil_first] {
+                        nxt[self.sil_first] = cand;
+                        nxt_hist[self.sil_first] = hist;
+                    }
                 }
+                any_exit = true;
                 let prev_word = if hist == ROOT {
                     None
                 } else {
                     Some(arena[hist as usize].0 as usize)
                 };
+                let row_idx = prev_word.map_or(0, |p| p + 1);
+                if lm_rows[row_idx].is_none() {
+                    lm_rows[row_idx] = Some(
+                        (0..self.num_words)
+                            .map(|w| {
+                                lmw * match prev_word {
+                                    Some(p) => lm.log_bigram(p, w),
+                                    None => lm.log_start(w),
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+                let row = lm_rows[row_idx].as_deref().expect("row just built");
+                for (w, &lm_scaled) in row.iter().enumerate() {
+                    // Same association as the direct form: ((exit + lmw*lm)
+                    // + wip) + emission, so the winning score is bit-equal.
+                    let part = exit_score + lm_scaled;
+                    if part > exit_best[w] {
+                        exit_best[w] = part;
+                        exit_hist[w] = hist;
+                    }
+                }
+            }
+            if any_exit {
                 for w in 0..self.num_words {
-                    let lm_score = match prev_word {
-                        Some(p) => lm.log_bigram(p, w),
-                        None => lm.log_start(w),
-                    };
+                    if exit_best[w] == neg {
+                        continue;
+                    }
                     let target = self.word_first[w];
-                    let cand = exit_score
-                        + lmw * lm_score
-                        + wip
-                        + frame[self.entries[target].emission as usize];
+                    let cand =
+                        exit_best[w] + wip + scores.get(self.entries[target].emission as usize);
                     if cand > nxt[target] {
-                        arena.push((w as u32, hist));
+                        arena.push((w as u32, exit_hist[w]));
                         nxt[target] = cand;
                         nxt_hist[target] = (arena.len() - 1) as u32;
                     }

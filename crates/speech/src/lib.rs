@@ -43,5 +43,5 @@ pub mod nbest;
 pub mod synth;
 pub mod vad;
 
-pub use asr::{AcousticModelKind, AsrOutput, AsrSystem, AsrTrainConfig};
+pub use asr::{AcousticModelKind, AsrOutput, AsrSystem, AsrTrainConfig, ScoringMode};
 pub use synth::{SynthConfig, Synthesizer, Utterance};

@@ -1,0 +1,176 @@
+//! Equivalence gates for the lazy beam-driven scoring path.
+//!
+//! The lazy decoder must produce the *same bits* as the eager reference:
+//! identical 1-best word sequence and identical total log-score, for both
+//! acoustic models, across beam widths and thread counts. A property-style
+//! test additionally checks the lazy GMM cache never evaluates a
+//! `(frame, state)` cell twice, and that narrow beams actually skip work.
+
+use sirius_par::ExecPolicy;
+use sirius_speech::asr::{AcousticModelKind, AsrSystem, AsrTrainConfig, ScoringMode};
+use sirius_speech::hmm::{AcousticScorer, Decoder, DecoderConfig};
+use sirius_speech::lexicon::Lexicon;
+use sirius_speech::synth::{SynthConfig, Synthesizer};
+
+const CORPUS: [&str; 4] = [
+    "set my alarm",
+    "call me a cab",
+    "go home now",
+    "stop the music",
+];
+
+fn system() -> AsrSystem {
+    AsrSystem::train(&CORPUS, 42, AsrTrainConfig::default())
+}
+
+/// Lazy and eager decodes must agree exactly — same words, same score bits,
+/// same search effort — for both scorers, several beam widths and thread
+/// counts {1, 4}.
+#[test]
+fn lazy_decode_is_bit_identical_to_eager() {
+    let mut asr = system();
+    let mut synth = Synthesizer::new(321, SynthConfig::default());
+    let utts: Vec<Vec<f32>> = CORPUS.iter().map(|t| synth.say(t).samples).collect();
+    for beam in [10.0f32, 60.0, 2500.0] {
+        let lexicon = Lexicon::from_texts(CORPUS);
+        let decoder = Decoder::new(
+            &lexicon,
+            DecoderConfig {
+                beam,
+                ..DecoderConfig::default()
+            },
+        );
+        for threads in [1usize, 4] {
+            asr.set_exec_policy(ExecPolicy::with_threads(threads));
+            for samples in &utts {
+                let frames = asr.frontend().extract(samples);
+                // GMM: eager matrix vs lazy provider.
+                let emis = asr.gmm_scorer().score_utterance(&frames);
+                let eager = decoder.decode_scores(&emis, asr.lm(), asr.lexicon());
+                let mut lazy_scores = asr.gmm_scorer().lazy_scores(&frames);
+                let lazy = decoder.decode_lazy(&mut lazy_scores, asr.lm(), asr.lexicon());
+                match (eager, lazy) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.words, b.words, "GMM words beam={beam} x{threads}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "GMM score beam={beam} x{threads}"
+                        );
+                        assert_eq!(a.tokens_expanded, b.tokens_expanded);
+                        assert_eq!(a.complete, b.complete);
+                    }
+                    (a, b) => assert_eq!(a.is_none(), b.is_none(), "GMM beam={beam}"),
+                }
+                // DNN: eager matrix vs block-batched lazy provider.
+                let emis = asr.dnn_scorer().score_utterance(&frames);
+                let eager = decoder.decode_scores(&emis, asr.lm(), asr.lexicon());
+                let mut lazy_scores = asr.dnn_scorer().lazy_scores(&frames);
+                let lazy = decoder.decode_lazy(&mut lazy_scores, asr.lm(), asr.lexicon());
+                match (eager, lazy) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.words, b.words, "DNN words beam={beam} x{threads}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "DNN score beam={beam} x{threads}"
+                        );
+                        assert_eq!(a.tokens_expanded, b.tokens_expanded);
+                    }
+                    (a, b) => assert_eq!(a.is_none(), b.is_none(), "DNN beam={beam}"),
+                }
+            }
+        }
+    }
+}
+
+/// The end-to-end recognize() entry points must agree between modes.
+#[test]
+fn recognize_modes_agree() {
+    let asr = system();
+    let mut synth = Synthesizer::new(654, SynthConfig::default());
+    for text in CORPUS {
+        let utt = synth.say(text);
+        for kind in [AcousticModelKind::Gmm, AcousticModelKind::Dnn] {
+            let eager = asr.recognize_with_mode(&utt.samples, kind, ScoringMode::Eager);
+            let lazy = asr.recognize_with_mode(&utt.samples, kind, ScoringMode::Lazy);
+            assert_eq!(eager.text, lazy.text, "{kind} {text}");
+            assert_eq!(eager.tokens_expanded, lazy.tokens_expanded);
+            assert_eq!(eager.confidence, lazy.confidence);
+            let default = asr.recognize(&utt.samples, kind);
+            assert_eq!(default.text, lazy.text);
+        }
+    }
+}
+
+/// Property: the memoizing cache never computes a `(frame, state)` pair
+/// twice — `computed <= total_cells` and every repeated read hits the memo.
+/// Seeded across several utterances and beam widths.
+#[test]
+fn lazy_cache_never_computes_a_cell_twice() {
+    let asr = system();
+    let mut synth = Synthesizer::new(987, SynthConfig::default());
+    for (i, text) in CORPUS.iter().enumerate() {
+        let utt = synth.say(text);
+        let frames = asr.frontend().extract(&utt.samples);
+        for beam in [15.0f32, 120.0, 2500.0] {
+            let decoder = Decoder::new(
+                asr.lexicon(),
+                DecoderConfig {
+                    beam,
+                    ..DecoderConfig::default()
+                },
+            );
+            let mut scores = asr.gmm_scorer().lazy_scores(&frames);
+            let _ = decoder.decode_lazy(&mut scores, asr.lm(), asr.lexicon());
+            let stats = scores.stats();
+            // The decoder re-reads shared emissions many times per frame;
+            // the cache must have evaluated each at most once. If any cell
+            // were computed twice, `computed` would exceed the dense total
+            // on wide beams (requested >> total_cells here).
+            assert!(
+                stats.computed <= stats.total_cells,
+                "utt {i} beam {beam}: computed {} > cells {}",
+                stats.computed,
+                stats.total_cells
+            );
+            assert!(
+                stats.requested > stats.computed,
+                "utt {i} beam {beam}: memoization never hit"
+            );
+        }
+    }
+}
+
+/// Narrow beams must evaluate strictly fewer cells than the dense matrix —
+/// the lazy win the tentpole is about.
+#[test]
+fn narrow_beam_skips_scoring_work() {
+    let asr = system();
+    let utt = Synthesizer::new(55, SynthConfig::default()).say("go home now");
+    let frames = asr.frontend().extract(&utt.samples);
+    let decode_computed = |beam: f32| {
+        let decoder = Decoder::new(
+            asr.lexicon(),
+            DecoderConfig {
+                beam,
+                ..DecoderConfig::default()
+            },
+        );
+        let mut scores = asr.gmm_scorer().lazy_scores(&frames);
+        let _ = decoder.decode_lazy(&mut scores, asr.lm(), asr.lexicon());
+        scores.stats()
+    };
+    let narrow = decode_computed(15.0);
+    let wide = decode_computed(2500.0);
+    assert!(
+        narrow.computed < wide.computed,
+        "narrow {} !< wide {}",
+        narrow.computed,
+        wide.computed
+    );
+    assert!(
+        narrow.computed < narrow.total_cells,
+        "narrow beam computed the dense matrix"
+    );
+}

@@ -9,7 +9,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sirius_speech::dnn::Dnn;
+use sirius_speech::dnn::{Dnn, DnnScratch};
 
 use crate::parallel::{checksum_f32, chunked_map};
 use crate::{Kernel, Service};
@@ -49,6 +49,25 @@ impl DnnKernel {
         self.net
             .forward(&self.frames[i])
             .iter()
+            .map(|&p| checksum_f32(p))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// GEMM-batched variant of [`Kernel::run_baseline`]: stacks all frames
+    /// into one matrix and runs one multiply per layer. Checksum-equal to
+    /// the per-frame baseline because the batched forward is bit-identical
+    /// per row (see [`Dnn::forward_batch_into`]).
+    pub fn run_batched(&self) -> u64 {
+        let rows = self.frames.len();
+        let mut x = Vec::with_capacity(rows * INPUT_DIM);
+        for f in &self.frames {
+            x.extend_from_slice(f);
+        }
+        let plan = self.net.plan();
+        let mut out = Vec::new();
+        self.net
+            .forward_batch_into(&x, rows, &plan, &mut DnnScratch::default(), &mut out);
+        out.iter()
             .map(|&p| checksum_f32(p))
             .fold(0u64, u64::wrapping_add)
     }
@@ -92,6 +111,12 @@ mod tests {
     fn baseline_equals_parallel() {
         let k = DnnKernel::generate(0.02, 5);
         assert_eq!(k.run_baseline(), k.run_parallel(3));
+    }
+
+    #[test]
+    fn batched_gemm_matches_baseline_checksum() {
+        let k = DnnKernel::generate(0.02, 7);
+        assert_eq!(k.run_baseline(), k.run_batched());
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub enum SearchBudget {
 
 const LEAF_SIZE: usize = 12;
 
+/// Squared Euclidean distance between two equal-length vectors — the single
+/// inner-loop kernel shared by the tree search and the linear-scan oracle.
+#[inline]
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
 impl KdTree {
     /// Builds a tree from `(vector, payload)` pairs.
     ///
@@ -170,6 +177,7 @@ impl KdTree {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut state = SearchState {
             best: [None, None],
+            worst: f32::INFINITY,
             checks: 0,
             max_checks: match budget {
                 SearchBudget::Exact => usize::MAX,
@@ -195,14 +203,8 @@ impl KdTree {
                     }
                     state.checks += 1;
                     let e = &self.entries[i as usize];
-                    let d: f32 = e
-                        .vector
-                        .iter()
-                        .zip(query)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
                     state.offer(Neighbor {
-                        distance_sq: d,
+                        distance_sq: dist_sq(&e.vector, query),
                         payload: e.payload,
                     });
                 }
@@ -224,11 +226,9 @@ impl KdTree {
                     return;
                 }
                 // Backtrack only if the splitting plane is closer than the
-                // current worst of the two best.
-                let worst = state.best[1]
-                    .or(state.best[0])
-                    .map_or(f32::INFINITY, |n| n.distance_sq);
-                if diff * diff < worst {
+                // current worst of the two best (maintained incrementally
+                // by `offer`, not re-derived per split).
+                if diff * diff < state.worst {
                     self.search_node(far, query, state);
                 }
             }
@@ -238,6 +238,10 @@ impl KdTree {
 
 struct SearchState {
     best: [Option<Neighbor>; 2],
+    /// Pruning bound: distance of the worst retained neighbour (the second
+    /// best once two are known, else the best, else infinity). Kept up to
+    /// date by `offer` so split nodes test it directly.
+    worst: f32,
     checks: usize,
     max_checks: usize,
 }
@@ -253,9 +257,12 @@ impl SearchState {
             Some(_) => match self.best[1] {
                 None => self.best[1] = Some(n),
                 Some(b1) if n.distance_sq < b1.distance_sq => self.best[1] = Some(n),
-                Some(_) => {}
+                Some(_) => return,
             },
         }
+        self.worst = self.best[1]
+            .or(self.best[0])
+            .map_or(f32::INFINITY, |x| x.distance_sq);
     }
 }
 
@@ -264,7 +271,7 @@ pub fn linear_nearest(points: &[(Vec<f32>, u32)], query: &[f32]) -> Option<Neigh
     points
         .iter()
         .map(|(v, p)| Neighbor {
-            distance_sq: v.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum(),
+            distance_sq: dist_sq(v, query),
             payload: *p,
         })
         .min_by(|a, b| a.distance_sq.total_cmp(&b.distance_sq))

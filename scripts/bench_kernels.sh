@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_kernels.json: the kernel speedup summary for the lazy
+# beam-driven scoring + GEMM batching work (recipe in EXPERIMENTS.md).
+#
+# Usage: scripts/bench_kernels.sh [REPS]   (default 9; medians over reps)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-9}"
+
+cargo build --release -p sirius-bench --bin bench_kernels
+./target/release/bench_kernels --reps "$REPS" > BENCH_kernels.json
+echo "==> wrote BENCH_kernels.json"

@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> all checks passed"
