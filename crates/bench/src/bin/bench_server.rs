@@ -1,0 +1,304 @@
+//! Open-loop load harness for the staged serving runtime (`BENCH_server.json`).
+//!
+//! Turns the paper's Figure 17 from a formula into a measurement:
+//!
+//! 1. **Serial baseline** — the monolithic `Sirius::process` loop over the
+//!    42-query input set gives the zero-load service time (and so the M/M/1
+//!    service rate μ) plus the serial queries/sec floor.
+//! 2. **Open-loop sweep** — a Poisson arrival process drives the staged
+//!    runtime at ρ ∈ {0.2, 0.4, 0.6, 0.8}; per-query sojourn times
+//!    (admission → completion) give measured latency-vs-load, lined up
+//!    against the `Mm1` prediction via `sirius_dcsim::compare`.
+//! 3. **Saturation** — closed-loop clients hammer the runtime with 1 and
+//!    with `--workers` workers per heavy stage; staged outputs are checked
+//!    against the serial references query-by-query.
+//!
+//! Usage: `bench_server [--queries N] [--workers W] [--seed S]`
+//! (defaults: 100 arrivals per load point, 4 workers). JSON on stdout;
+//! progress on stderr.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusResponse};
+use sirius::prepare_input_set;
+use sirius::profile::LatencyStats;
+use sirius_dcsim::{MeasuredPoint, QueueComparison};
+use sirius_server::{ServerConfig, SiriusServer};
+
+const SWEEP_RHO: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Sleep-then-spin to an absolute deadline: open-loop arrivals must not
+/// drift with scheduler latency.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(500) {
+            std::thread::sleep(remaining - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// The response fields that must match the serial reference bit-for-bit.
+fn payload(r: &SiriusResponse) -> (String, String, Option<String>) {
+    (
+        r.recognized.clone(),
+        format!("{:?}", r.outcome),
+        r.matched_venue.clone(),
+    )
+}
+
+struct OpenLoopPoint {
+    rho: f64,
+    lambda: f64,
+    offered: usize,
+    shed: usize,
+    stats: LatencyStats,
+}
+
+/// Drives the runtime open-loop at arrival rate `lambda` with exponential
+/// interarrival gaps. Returns per-query sojourn statistics.
+fn open_loop(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    lambda: f64,
+    rho: f64,
+    arrivals: usize,
+    seed: u64,
+) -> OpenLoopPoint {
+    // One worker per stage: the tandem-of-single-servers layout the paper's
+    // per-service M/M/1 modeling assumes. Queues deep enough that the sweep
+    // never sheds (shedding would censor the latency distribution).
+    let server = SiriusServer::start(
+        Arc::clone(sirius),
+        ServerConfig::default().with_queue_depth(arrivals.max(16)),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tickets = Vec::with_capacity(arrivals);
+    let mut shed = 0usize;
+    let mut next = Instant::now();
+    for i in 0..arrivals {
+        let gap = -(1.0 - rng.gen_range(0.0f64..1.0)).ln() / lambda;
+        next += Duration::from_secs_f64(gap);
+        wait_until(next);
+        match server.submit(inputs[i % inputs.len()].clone()) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(_) => shed += 1,
+        }
+    }
+    let sojourns: Vec<Duration> = tickets
+        .into_iter()
+        .filter_map(|t| t.wait().ok().map(|r| r.timing.total))
+        .collect();
+    server.shutdown();
+    OpenLoopPoint {
+        rho,
+        lambda,
+        offered: arrivals,
+        shed,
+        stats: LatencyStats::from_samples(&sojourns),
+    }
+}
+
+/// Closed-loop saturation: `clients` threads process `total` queries as
+/// fast as the runtime admits them. Returns (qps, outputs_match_serial).
+fn saturate(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    reference: &[(String, String, Option<String>)],
+    workers: usize,
+    clients: usize,
+    total: usize,
+) -> (f64, bool) {
+    let server = SiriusServer::start(
+        Arc::clone(sirius),
+        ServerConfig::with_workers(workers).with_queue_depth(64),
+    );
+    let next = AtomicUsize::new(0);
+    let all_match = AtomicBool::new(true);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let server = &server;
+            let next = &next;
+            let all_match = &all_match;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let at = i % inputs.len();
+                match server.process_sync(inputs[at].clone()) {
+                    Ok(response) => {
+                        if payload(&response) != reference[at] {
+                            all_match.store(false, Ordering::Relaxed);
+                        }
+                    }
+                    // Closed-loop clients retry shed queries.
+                    Err(_) => {
+                        next.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    server.shutdown();
+    (total as f64 / elapsed, all_match.load(Ordering::Relaxed))
+}
+
+fn stats_json(stats: &LatencyStats) -> String {
+    format!(
+        "\"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}",
+        ms(stats.mean),
+        ms(stats.p50),
+        ms(stats.p95),
+        ms(stats.p99)
+    )
+}
+
+fn main() {
+    let mut arrivals = 100usize;
+    let mut workers = 4usize;
+    let mut seed = 0x51_A7E5u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--queries" => arrivals = take("--queries") as usize,
+            "--workers" => workers = take("--workers") as usize,
+            "--seed" => seed = take("--seed"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_server [--queries N] [--workers W] [--seed S]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(arrivals >= 10, "--queries must be at least 10");
+    assert!(workers >= 1, "--workers must be at least 1");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("building Sirius (trains all models)...");
+    let sirius = Arc::new(Sirius::build(SiriusConfig::default()));
+    let prepared = prepare_input_set(&sirius, 4242);
+    let inputs: Vec<SiriusInput> = prepared.iter().map(|p| p.input()).collect();
+
+    // Warm caches and capture the serial reference outputs.
+    let reference: Vec<_> = inputs
+        .iter()
+        .map(|input| payload(&sirius.process(input)))
+        .collect();
+
+    eprintln!("serial baseline over {} queries...", inputs.len());
+    let t = Instant::now();
+    let serial_latencies: Vec<Duration> = inputs
+        .iter()
+        .map(|input| sirius.process(input).timing.total)
+        .collect();
+    let serial_wall = t.elapsed().as_secs_f64();
+    let serial_stats = LatencyStats::from_samples(&serial_latencies);
+    let serial_qps = inputs.len() as f64 / serial_wall;
+    let mean_service = serial_wall / inputs.len() as f64;
+    let mu = 1.0 / mean_service;
+
+    let mut points = Vec::new();
+    for (i, &rho) in SWEEP_RHO.iter().enumerate() {
+        let lambda = rho * mu;
+        eprintln!("open-loop sweep: rho={rho:.1} lambda={lambda:.1}/s ({arrivals} arrivals)...");
+        points.push(open_loop(
+            &sirius,
+            &inputs,
+            lambda,
+            rho,
+            arrivals,
+            seed.wrapping_add(i as u64),
+        ));
+    }
+    let comparison = QueueComparison::against_service_time(
+        mean_service,
+        &points
+            .iter()
+            .map(|p| MeasuredPoint {
+                lambda: p.lambda,
+                mean_latency: p.stats.mean.as_secs_f64(),
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let total = (3 * inputs.len()).max(arrivals);
+    eprintln!("saturation: 1 worker/stage, {total} queries...");
+    let (staged_1w_qps, match_1w) = saturate(&sirius, &inputs, &reference, 1, 2, total);
+    eprintln!("saturation: {workers} workers/stage, {total} queries...");
+    let (staged_qps, match_nw) =
+        saturate(&sirius, &inputs, &reference, workers, workers + 2, total);
+
+    println!("{{");
+    println!("  \"bench\": \"server\",");
+    println!("  \"cores\": {cores},");
+    println!("  \"arrivals_per_point\": {arrivals},");
+    println!("  \"workers\": {workers},");
+    println!(
+        "  \"serial\": {{ \"queries\": {}, \"qps\": {:.2}, {} }},",
+        inputs.len(),
+        serial_qps,
+        stats_json(&serial_stats)
+    );
+    println!(
+        "  \"mm1\": {{ \"mu_qps\": {:.2}, \"mean_service_ms\": {:.3} }},",
+        mu,
+        mean_service * 1e3
+    );
+    println!("  \"open_loop\": [");
+    for (i, (p, row)) in points.iter().zip(&comparison.rows).enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let rel = row
+            .relative_error
+            .map_or("null".to_owned(), |e| format!("{e:.3}"));
+        println!(
+            "    {{ \"rho\": {:.2}, \"lambda_qps\": {:.2}, \"offered\": {}, \"shed\": {}, {}, \"mm1_predicted_mean_ms\": {:.3}, \"mm1_relative_error\": {} }}{comma}",
+            p.rho,
+            p.lambda,
+            p.offered,
+            p.shed,
+            stats_json(&p.stats),
+            row.predicted * 1e3,
+            rel
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"mm1_mean_relative_error\": {},",
+        comparison
+            .mean_relative_error()
+            .map_or("null".to_owned(), |e| format!("{e:.3}"))
+    );
+    println!(
+        "  \"saturation\": {{ \"total_queries\": {total}, \"staged_1worker_qps\": {:.2}, \"staged_qps\": {:.2}, \"speedup_vs_serial\": {:.2}, \"outputs_match_serial\": {} }}",
+        staged_1w_qps,
+        staged_qps,
+        staged_qps / serial_qps,
+        match_1w && match_nw
+    );
+    println!("}}");
+}

@@ -133,11 +133,13 @@ pub fn fig7a(ctx: &MeasuredContext) -> Table {
 /// Figure 7b: latency across query types.
 pub fn fig7b(ctx: &MeasuredContext) -> Table {
     let mut t = Table::new("Fig 7b: Latency across query types");
-    t.header(["Type", "count", "mean", "min", "max"]);
+    t.header(["Type", "count", "mean", "min", "max", "p95", "p99"]);
     t.row([
         "WS".to_owned(),
         "16".to_owned(),
         duration(ctx.websearch_mean),
+        "-".to_owned(),
+        "-".to_owned(),
         "-".to_owned(),
         "-".to_owned(),
     ]);
@@ -148,6 +150,8 @@ pub fn fig7b(ctx: &MeasuredContext) -> Table {
             duration(stats.mean),
             duration(stats.min),
             duration(stats.max),
+            duration(stats.p95),
+            duration(stats.p99),
         ]);
     }
     t.note("paper shape: VC < VQ < VIQ, all orders of magnitude above WS");
@@ -157,7 +161,9 @@ pub fn fig7b(ctx: &MeasuredContext) -> Table {
 /// Figure 8a: latency variability per service.
 pub fn fig8a(ctx: &MeasuredContext) -> Table {
     let mut t = Table::new("Fig 8a: Latency variability across services");
-    t.header(["Service", "count", "mean", "min", "max", "max/min"]);
+    t.header([
+        "Service", "count", "mean", "p50", "p95", "min", "max", "max/min",
+    ]);
     for (service, stats) in ctx.profiler.service_latency_spread() {
         if stats.count == 0 {
             continue;
@@ -167,6 +173,8 @@ pub fn fig8a(ctx: &MeasuredContext) -> Table {
             service.to_owned(),
             stats.count.to_string(),
             duration(stats.mean),
+            duration(stats.p50),
+            duration(stats.p95),
             duration(stats.min),
             duration(stats.max),
             format!("{spread:.1}x"),

@@ -1,0 +1,81 @@
+//! Typed pipeline errors.
+//!
+//! The staged runtime (`sirius-server`) runs every pipeline stage on pooled
+//! worker threads; a malformed request or an overload condition must surface
+//! as a value the caller can match on, never as a panic that takes a worker
+//! down. [`SiriusError`] is that value: admission control rejections,
+//! shutdown races and internal invariant violations are all typed here, and
+//! the fallible pipeline entry points ([`Sirius::try_process`]) return it.
+//!
+//! [`Sirius::try_process`]: crate::pipeline::Sirius::try_process
+
+/// Why a query could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiriusError {
+    /// Admission control shed the request: the named stage's bounded queue
+    /// was full. The client should back off and retry (the serving-system
+    /// alternative is unbounded queueing, which turns overload into
+    /// unbounded latency for every queued request).
+    Overloaded {
+        /// The stage whose queue rejected the request.
+        stage: &'static str,
+    },
+    /// The runtime is shutting down and no longer accepts (or can complete)
+    /// requests.
+    ShuttingDown,
+    /// Image matching returned an image id outside the venue table — an
+    /// internal invariant violation (the database and venue table are built
+    /// together), reported as a value so a serving worker survives it.
+    VenueOutOfRange {
+        /// The offending image id.
+        image_id: u32,
+        /// The venue-table size it must be below.
+        venues: usize,
+    },
+    /// A stage worker panicked while processing this request. The worker
+    /// itself survives (the panic is caught at the pool boundary); only the
+    /// one request is lost.
+    StagePanicked {
+        /// The stage whose handler panicked.
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for SiriusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SiriusError::Overloaded { stage } => {
+                write!(f, "overloaded: the {stage} stage queue is full")
+            }
+            SiriusError::ShuttingDown => f.write_str("the runtime is shutting down"),
+            SiriusError::VenueOutOfRange { image_id, venues } => write!(
+                f,
+                "image id {image_id} outside the venue table ({venues} venues)"
+            ),
+            SiriusError::StagePanicked { stage } => {
+                write!(f, "the {stage} stage panicked while serving this request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SiriusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_stage() {
+        let e = SiriusError::Overloaded { stage: "asr" };
+        assert!(e.to_string().contains("asr"));
+        let e = SiriusError::StagePanicked { stage: "qa" };
+        assert!(e.to_string().contains("qa"));
+        assert!(SiriusError::ShuttingDown.to_string().contains("shutting"));
+        let e = SiriusError::VenueOutOfRange {
+            image_id: 9,
+            venues: 3,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

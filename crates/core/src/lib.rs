@@ -34,29 +34,42 @@
 #![warn(missing_docs)]
 
 pub mod classifier;
+pub mod error;
 pub mod inputset;
 pub mod pipeline;
 pub mod profile;
+pub mod stage;
 pub mod taxonomy;
 
 pub use classifier::{DeviceAction, QueryClassifier};
+pub use error::SiriusError;
 pub use inputset::{prepare_input_set, PreparedQuery};
 pub use pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome, SiriusResponse};
 pub use profile::Profiler;
+pub use stage::Stage;
 pub use taxonomy::{input_set, QueryKind, QuerySpec};
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use std::sync::OnceLock;
+    use std::sync::{Arc, OnceLock};
 
     use crate::pipeline::{Sirius, SiriusConfig};
 
-    static SIRIUS: OnceLock<Sirius> = OnceLock::new();
+    static SIRIUS: OnceLock<Arc<Sirius>> = OnceLock::new();
+
+    fn shared() -> &'static Arc<Sirius> {
+        SIRIUS.get_or_init(|| Arc::new(Sirius::build(SiriusConfig::default())))
+    }
 
     /// A shared Sirius instance for tests (building one trains every model,
     /// which costs seconds; share it across the test binary).
     pub fn shared_sirius() -> &'static Sirius {
-        SIRIUS.get_or_init(|| Sirius::build(SiriusConfig::default()))
+        shared()
+    }
+
+    /// The same shared instance behind an [`Arc`], for stage wrappers.
+    pub fn shared_sirius_arc() -> Arc<Sirius> {
+        Arc::clone(shared())
     }
 }
 

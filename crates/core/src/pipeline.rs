@@ -23,6 +23,11 @@ use sirius_vision::surf::SurfConfig;
 use sirius_vision::synth as vsynth;
 
 use crate::classifier::{DeviceAction, QueryClass, QueryClassifier};
+use crate::error::SiriusError;
+use crate::stage::{
+    AsrRequest, AsrResponse, ClassifyRequest, ClassifyResponse, ImmRequest, ImmResponse, QaRequest,
+    QaResponse,
+};
 use crate::taxonomy;
 
 /// Configuration for building a Sirius instance.
@@ -306,71 +311,159 @@ impl Sirius {
     }
 
     /// Processes a query end-to-end with the default (GMM) acoustic model.
+    ///
+    /// A thin synchronous wrapper over the staged path
+    /// ([`Sirius::try_process`]): both invoke the identical stage methods in
+    /// the identical order, so outputs are bit-identical to the
+    /// per-stage-queued `sirius-server` runtime by construction.
     pub fn process(&self, input: &SiriusInput) -> SiriusResponse {
         self.process_with(input, AcousticModelKind::Gmm)
     }
 
     /// Processes a query end-to-end, choosing the acoustic model.
+    ///
+    /// Infallible for compatibility: the staged path can only fail on an
+    /// internal invariant violation ([`SiriusError::VenueOutOfRange`], which
+    /// a correctly built instance never produces), and that case degrades to
+    /// an unanswered response instead of panicking.
     pub fn process_with(&self, input: &SiriusInput, acoustic: AcousticModelKind) -> SiriusResponse {
+        self.try_process_with(input, acoustic)
+            .unwrap_or_else(|_| SiriusResponse {
+                recognized: String::new(),
+                outcome: SiriusOutcome::Answer(None),
+                matched_venue: None,
+                timing: StageTiming::default(),
+            })
+    }
+
+    /// Fallible end-to-end processing with the default (GMM) acoustic model.
+    pub fn try_process(&self, input: &SiriusInput) -> Result<SiriusResponse, SiriusError> {
+        self.try_process_with(input, AcousticModelKind::Gmm)
+    }
+
+    /// Fallible end-to-end processing: the synchronous composition of the
+    /// four typed stages (ASR → classify → IMM → QA). This is the reference
+    /// path the staged `sirius-server` runtime must match bit-for-bit.
+    pub fn try_process_with(
+        &self,
+        input: &SiriusInput,
+        acoustic: AcousticModelKind,
+    ) -> Result<SiriusResponse, SiriusError> {
         let t_total = Instant::now();
 
-        // Stage 1: ASR.
-        let asr_out = self.asr.recognize(&input.audio, acoustic);
-        let recognized = asr_out.text.clone();
+        let asr = self.stage_asr(AsrRequest {
+            audio: input.audio.clone(),
+            acoustic,
+        })?;
+        let classify = self.stage_classify(ClassifyRequest {
+            recognized: asr.recognized.clone(),
+        })?;
 
-        // Stage 2: query classification.
-        let t = Instant::now();
-        let class = self.classifier.classify(&recognized);
-        let classify = t.elapsed();
-
-        if class == QueryClass::Action {
-            let action = self.classifier.action(&recognized).unwrap_or(DeviceAction {
-                action: "unknown".to_owned(),
-                command: recognized.clone(),
-            });
-            return SiriusResponse {
-                recognized,
+        if let Some(action) = classify.action {
+            return Ok(SiriusResponse {
+                recognized: asr.recognized,
                 outcome: SiriusOutcome::Action(action),
                 matched_venue: None,
                 timing: StageTiming {
-                    asr: asr_out.timing,
-                    classify,
+                    asr: asr.timing,
+                    classify: classify.elapsed,
                     qa: None,
                     imm: None,
                     total: t_total.elapsed(),
                 },
-            };
+            });
         }
 
-        // Stage 3 (VIQ only): image matching, then query rewriting.
-        let mut question = recognized.clone();
-        let mut imm_timing = None;
+        let imm = self.stage_imm(ImmRequest {
+            question: asr.recognized.clone(),
+            image: input.image.clone(),
+        })?;
+        let qa = self.stage_qa(QaRequest {
+            question: imm.question,
+        })?;
+
+        Ok(SiriusResponse {
+            recognized: asr.recognized,
+            outcome: SiriusOutcome::Answer(qa.answer),
+            matched_venue: imm.matched_venue,
+            timing: StageTiming {
+                asr: asr.timing,
+                classify: classify.elapsed,
+                qa: Some(qa.breakdown),
+                imm: imm.timing,
+                total: t_total.elapsed(),
+            },
+        })
+    }
+
+    /// Stage 1: speech recognition.
+    pub fn stage_asr(&self, req: AsrRequest) -> Result<AsrResponse, SiriusError> {
+        let out = self.asr.recognize(&req.audio, req.acoustic);
+        Ok(AsrResponse {
+            recognized: out.text,
+            timing: out.timing,
+        })
+    }
+
+    /// Stage 2: query classification (action extraction included, so the
+    /// routing decision is complete when the message leaves the stage).
+    pub fn stage_classify(&self, req: ClassifyRequest) -> Result<ClassifyResponse, SiriusError> {
+        let t = Instant::now();
+        let class = self.classifier.classify(&req.recognized);
+        let action = (class == QueryClass::Action).then(|| {
+            self.classifier
+                .action(&req.recognized)
+                .unwrap_or(DeviceAction {
+                    action: "unknown".to_owned(),
+                    command: req.recognized.clone(),
+                })
+        });
+        Ok(ClassifyResponse {
+            class,
+            action,
+            elapsed: t.elapsed(),
+        })
+    }
+
+    /// Stage 3 (VIQ only): image matching, then deictic query rewriting.
+    /// Without an image the stage passes the question through untouched.
+    pub fn stage_imm(&self, req: ImmRequest) -> Result<ImmResponse, SiriusError> {
+        let ImmRequest {
+            mut question,
+            image,
+        } = req;
+        let mut timing = None;
         let mut matched_venue = None;
-        if let Some(image) = &input.image {
+        if let Some(image) = &image {
             let result = self.imm.match_image(image);
-            imm_timing = Some(result.timing);
+            timing = Some(result.timing);
             if let Some(id) = result.best {
-                let venue = self.venues[id.0 as usize].clone();
+                let venue = self
+                    .venues
+                    .get(id.0 as usize)
+                    .ok_or(SiriusError::VenueOutOfRange {
+                        image_id: id.0,
+                        venues: self.venues.len(),
+                    })?
+                    .clone();
                 question = rewrite_deictic(&question, &venue);
                 matched_venue = Some(venue);
             }
         }
-
-        // Stage 4: question answering.
-        let qa_result = self.qa.answer(&question);
-
-        SiriusResponse {
-            recognized,
-            outcome: SiriusOutcome::Answer(qa_result.answer),
+        Ok(ImmResponse {
+            question,
             matched_venue,
-            timing: StageTiming {
-                asr: asr_out.timing,
-                classify,
-                qa: Some(qa_result.breakdown),
-                imm: imm_timing,
-                total: t_total.elapsed(),
-            },
-        }
+            timing,
+        })
+    }
+
+    /// Stage 4: question answering.
+    pub fn stage_qa(&self, req: QaRequest) -> Result<QaResponse, SiriusError> {
+        let result = self.qa.answer(&req.question);
+        Ok(QaResponse {
+            answer: result.answer,
+            breakdown: result.breakdown,
+        })
     }
 }
 

@@ -25,6 +25,55 @@ pub struct LatencyStats {
     pub min: Duration,
     /// Slowest query.
     pub max: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency (nearest rank).
+    pub p95: Duration,
+    /// 99th-percentile latency (nearest rank). Tail latency is the paper's
+    /// datacenter design constraint, and the quantity a load harness sweeps.
+    pub p99: Duration,
+}
+
+impl LatencyStats {
+    /// Computes full statistics (mean/min/max and p50/p95/p99) over a set
+    /// of samples. Zero durations for an empty set.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                p50: Duration::ZERO,
+                p95: Duration::ZERO,
+                p99: Duration::ZERO,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: Duration = sorted.iter().sum();
+        Self {
+            count: sorted.len(),
+            mean: sum / sorted.len() as u32,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set: the smallest
+/// sample at or above the requested fraction of the distribution. Zero for
+/// an empty set.
+pub fn percentile_of_sorted(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 /// One (filter hits, QA latency) observation for Figure 8c.
@@ -88,22 +137,12 @@ impl Profiler {
         }
     }
 
-    /// Latency statistics per query kind (Figures 7b, 8a).
+    /// Latency statistics per query kind (Figures 7b, 8a), including
+    /// p50/p95/p99 tail percentiles.
     pub fn latency_stats(&self) -> Vec<(&'static str, LatencyStats)> {
         self.per_kind
             .iter()
-            .map(|(kind, samples)| {
-                let sum: Duration = samples.iter().sum();
-                (
-                    *kind,
-                    LatencyStats {
-                        count: samples.len(),
-                        mean: sum / samples.len().max(1) as u32,
-                        min: samples.iter().min().copied().unwrap_or_default(),
-                        max: samples.iter().max().copied().unwrap_or_default(),
-                    },
-                )
-            })
+            .map(|(kind, samples)| (*kind, LatencyStats::from_samples(samples)))
             .collect()
     }
 
@@ -129,18 +168,12 @@ impl Profiler {
         Self::shares(&self.imm_components)
     }
 
-    /// Per-service mean latencies (Figure 8a): (service, mean, min, max).
+    /// Per-service latency statistics (Figure 8a), including p50/p95/p99.
     pub fn service_latency_spread(&self) -> Vec<(&'static str, LatencyStats)> {
-        let stat = |samples: &[Duration]| LatencyStats {
-            count: samples.len(),
-            mean: samples.iter().sum::<Duration>() / samples.len().max(1) as u32,
-            min: samples.iter().min().copied().unwrap_or_default(),
-            max: samples.iter().max().copied().unwrap_or_default(),
-        };
         vec![
-            ("ASR", stat(&self.asr_latencies)),
-            ("QA", stat(&self.qa_latencies)),
-            ("IMM", stat(&self.imm_latencies)),
+            ("ASR", LatencyStats::from_samples(&self.asr_latencies)),
+            ("QA", LatencyStats::from_samples(&self.qa_latencies)),
+            ("IMM", LatencyStats::from_samples(&self.imm_latencies)),
         ]
     }
 
@@ -206,5 +239,46 @@ mod tests {
         let p = Profiler::new();
         assert!(p.latency_stats().is_empty());
         assert_eq!(p.filter_hit_correlation(), 0.0);
+        let stats = LatencyStats::from_samples(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(
+            percentile_of_sorted(&sorted, 50.0),
+            Duration::from_millis(50)
+        );
+        assert_eq!(
+            percentile_of_sorted(&sorted, 95.0),
+            Duration::from_millis(95)
+        );
+        assert_eq!(
+            percentile_of_sorted(&sorted, 99.0),
+            Duration::from_millis(99)
+        );
+        assert_eq!(
+            percentile_of_sorted(&sorted, 100.0),
+            Duration::from_millis(100)
+        );
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), Duration::from_millis(1));
+        // Small sample sets: p99 of 4 samples is the max.
+        let four: Vec<Duration> = (1..=4).map(Duration::from_secs).collect();
+        assert_eq!(percentile_of_sorted(&four, 99.0), Duration::from_secs(4));
+        assert_eq!(percentile_of_sorted(&four, 50.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn from_samples_orders_unsorted_input() {
+        let samples = [5u64, 1, 4, 2, 3].map(Duration::from_secs);
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.min, Duration::from_secs(1));
+        assert_eq!(stats.max, Duration::from_secs(5));
+        assert_eq!(stats.p50, Duration::from_secs(3));
+        assert_eq!(stats.mean, Duration::from_secs(3));
+        assert!(stats.p95 <= stats.p99 && stats.p99 <= stats.max);
     }
 }

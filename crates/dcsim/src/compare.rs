@@ -1,0 +1,183 @@
+//! Model-vs-measured queueing comparison.
+//!
+//! Figure 17 of the paper is the closed-form M/M/1 latency-vs-load curve.
+//! With the staged serving runtime (`sirius-server`) the same curve can be
+//! *measured*: drive the runtime open-loop at a swept arrival rate λ and
+//! record mean sojourn time per point. This module lines those measurements
+//! up against the [`Mm1`] prediction and quantifies the gap, turning the
+//! figure from a formula into a validation of one.
+//!
+//! The comparison is honest about its own limits: the runtime is a tandem
+//! of stage queues with generally-distributed service times, not a single
+//! exponential server, so the model is an approximation — the relative
+//! error column is the point of the exercise, not a residual to hide.
+
+use crate::queue::Mm1;
+
+/// One measured operating point of a running server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPoint {
+    /// Offered arrival rate λ in queries per second.
+    pub lambda: f64,
+    /// Measured mean sojourn time (queue wait + service) in seconds.
+    pub mean_latency: f64,
+}
+
+/// One measured point lined up against the model's prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonRow {
+    /// Offered arrival rate λ in queries per second.
+    pub lambda: f64,
+    /// Utilization ρ = λ/μ under the model's service rate.
+    pub rho: f64,
+    /// Measured mean sojourn seconds.
+    pub measured: f64,
+    /// Predicted mean sojourn seconds, `1/(μ−λ)`; infinite at ρ ≥ 1.
+    pub predicted: f64,
+    /// |measured − predicted| / predicted, when the prediction is finite
+    /// and positive.
+    pub relative_error: Option<f64>,
+}
+
+/// A swept-load comparison of measured sojourn times against an M/M/1 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueComparison {
+    /// The model's service rate μ (queries/second).
+    pub mu: f64,
+    /// One row per measured operating point, in input order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl QueueComparison {
+    /// Lines `points` up against `model`.
+    pub fn against(model: Mm1, points: &[MeasuredPoint]) -> Self {
+        let rows = points
+            .iter()
+            .map(|p| {
+                let predicted = model.latency(p.lambda);
+                let relative_error = (predicted.is_finite() && predicted > 0.0)
+                    .then(|| (p.mean_latency - predicted).abs() / predicted);
+                ComparisonRow {
+                    lambda: p.lambda,
+                    rho: p.lambda / model.mu,
+                    measured: p.mean_latency,
+                    predicted,
+                    relative_error,
+                }
+            })
+            .collect();
+        Self { mu: model.mu, rows }
+    }
+
+    /// Convenience: build the model from a measured mean service time
+    /// (seconds per query at zero load), then compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_service_time <= 0`.
+    pub fn against_service_time(mean_service_time: f64, points: &[MeasuredPoint]) -> Self {
+        Self::against(Mm1::from_service_time(mean_service_time), points)
+    }
+
+    /// Mean relative error over the stable (finite-prediction) points;
+    /// `None` when no point is stable.
+    pub fn mean_relative_error(&self) -> Option<f64> {
+        let errors: Vec<f64> = self.rows.iter().filter_map(|r| r.relative_error).collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(errors.iter().sum::<f64>() / errors.len() as f64)
+        }
+    }
+
+    /// Worst relative error over the stable points.
+    pub fn worst_relative_error(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.relative_error)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite errors"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_generated_points_have_zero_error() {
+        let model = Mm1 { mu: 20.0 };
+        let points: Vec<MeasuredPoint> = [4.0, 10.0, 16.0]
+            .iter()
+            .map(|&lambda| MeasuredPoint {
+                lambda,
+                mean_latency: model.latency(lambda),
+            })
+            .collect();
+        let cmp = QueueComparison::against(model, &points);
+        assert_eq!(cmp.rows.len(), 3);
+        for row in &cmp.rows {
+            assert!(row.relative_error.expect("stable") < 1e-12);
+            assert!(row.rho < 1.0);
+        }
+        assert!(cmp.mean_relative_error().expect("stable") < 1e-12);
+        assert!(cmp.worst_relative_error().expect("stable") < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_points_have_no_relative_error() {
+        let cmp = QueueComparison::against_service_time(
+            0.1,
+            &[
+                MeasuredPoint {
+                    lambda: 5.0,
+                    mean_latency: 0.25,
+                },
+                MeasuredPoint {
+                    lambda: 12.0,
+                    mean_latency: 40.0,
+                },
+            ],
+        );
+        assert!((cmp.mu - 10.0).abs() < 1e-12);
+        assert!(cmp.rows[0].relative_error.is_some());
+        assert_eq!(cmp.rows[1].predicted, f64::INFINITY);
+        assert!(cmp.rows[1].relative_error.is_none());
+        // Summary statistics only cover the stable point.
+        let expected = (0.25 - 0.2f64).abs() / 0.2;
+        assert!((cmp.mean_relative_error().unwrap() - expected).abs() < 1e-12);
+        assert_eq!(
+            cmp.mean_relative_error(),
+            cmp.worst_relative_error(),
+            "single stable point"
+        );
+    }
+
+    #[test]
+    fn all_unstable_yields_no_summary() {
+        let cmp = QueueComparison::against(
+            Mm1 { mu: 1.0 },
+            &[MeasuredPoint {
+                lambda: 2.0,
+                mean_latency: 10.0,
+            }],
+        );
+        assert!(cmp.mean_relative_error().is_none());
+        assert!(cmp.worst_relative_error().is_none());
+    }
+
+    #[test]
+    fn measured_above_model_reports_positive_error() {
+        // A tandem pipeline has more queueing than a single M/M/1 server;
+        // the comparison must report that gap, not mask it.
+        let model = Mm1 { mu: 10.0 };
+        let cmp = QueueComparison::against(
+            model,
+            &[MeasuredPoint {
+                lambda: 5.0,
+                mean_latency: 0.3,
+            }],
+        );
+        let err = cmp.rows[0].relative_error.unwrap();
+        assert!((err - 0.5).abs() < 1e-12, "expected 50% gap, got {err}");
+    }
+}

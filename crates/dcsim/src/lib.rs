@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod design;
 pub mod gap;
 pub mod partition;
@@ -16,6 +17,7 @@ pub mod queue;
 pub mod sim;
 pub mod tco;
 
+pub use compare::{ComparisonRow, MeasuredPoint, QueueComparison};
 pub use design::{
     design_space, heterogeneous_design, homogeneous_design, query_level_metrics, DesignPoint,
     Objective, QueryClass,

@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod queue;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 

@@ -1,0 +1,48 @@
+//! # sirius-server
+//!
+//! The staged service runtime for the Sirius pipeline: the monolithic
+//! [`Sirius::process`] walk decomposed into per-service worker pools
+//! connected by bounded MPMC queues, with shed-on-full admission control
+//! and graceful shutdown.
+//!
+//! The paper's datacenter analysis (Figures 16/17, Tables 8/9) models each
+//! Sirius service as a queueing server; this crate is that serving system
+//! made concrete, so queueing delay, throughput and overload behaviour can
+//! be *measured* and checked against the `sirius_dcsim::queue::Mm1`
+//! prediction instead of only computed from it.
+//!
+//! Outputs are bit-identical to the synchronous pipeline: both paths invoke
+//! the same typed stage methods ([`sirius::stage`]) in the same order per
+//! query; the runtime only changes *where* they run.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput};
+//! use sirius_server::{ServerConfig, SiriusServer};
+//!
+//! let sirius = Arc::new(Sirius::build(SiriusConfig::default()));
+//! let server = SiriusServer::start(Arc::clone(&sirius), ServerConfig::with_workers(4));
+//! let input = SiriusInput { audio: vec![0.0; 16_000], image: None };
+//! match server.process_sync(input) {
+//!     Ok(response) => println!("{:?}", response.outcome),
+//!     Err(err) => eprintln!("shed: {err}"),
+//! }
+//! server.shutdown();
+//! ```
+//!
+//! [`Sirius::process`]: sirius::pipeline::Sirius::process
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod runtime;
+
+pub use pool::spawn_stage_pool;
+pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
+
+// The runtime shares one trained `Sirius` across every worker thread; this
+// compile-time assertion is the whole safety argument.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<sirius::pipeline::Sirius>();
+};

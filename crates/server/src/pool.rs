@@ -1,0 +1,110 @@
+//! Generic worker pool over a typed [`Stage`].
+//!
+//! [`spawn_stage_pool`] turns any `Stage` implementation into a pool of
+//! named OS threads draining one bounded queue. Each queued job carries an
+//! opaque per-query context `C` alongside the stage request; the `route`
+//! callback receives the context and the stage result and decides what
+//! happens next (forward to the next stage's queue, or complete the query's
+//! ticket). Handlers run under `catch_unwind`, so a panicking request is
+//! converted into [`SiriusError::StagePanicked`] and the worker survives to
+//! serve the next job.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sirius::error::SiriusError;
+use sirius::stage::Stage;
+use sirius_par::queue::Receiver;
+
+/// Spawns `workers` named threads (clamped to at least 1) that drain `rx`
+/// through `stage` and hand each result to `route`. The threads exit when
+/// the queue is closed (every sender dropped) and drained.
+pub fn spawn_stage_pool<S, C, R>(
+    stage: Arc<S>,
+    workers: usize,
+    rx: Receiver<(C, S::Req)>,
+    route: R,
+) -> Vec<JoinHandle<()>>
+where
+    S: Stage + 'static,
+    C: Send + 'static,
+    R: Fn(C, Result<S::Resp, SiriusError>) + Send + Sync + Clone + 'static,
+{
+    (0..workers.max(1))
+        .map(|i| {
+            let stage = Arc::clone(&stage);
+            let rx = rx.clone();
+            let route = route.clone();
+            std::thread::Builder::new()
+                .name(format!("sirius-{}-{i}", stage.name()))
+                .spawn(move || {
+                    while let Some((ctx, req)) = rx.recv() {
+                        let result = catch_unwind(AssertUnwindSafe(|| stage.handle(req)))
+                            .unwrap_or_else(|_| {
+                                Err(SiriusError::StagePanicked {
+                                    stage: stage.name(),
+                                })
+                            });
+                        route(ctx, result);
+                    }
+                })
+                .expect("spawn stage worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    use sirius_par::queue::bounded;
+
+    /// A stage that doubles, errors on odd input, and panics on 13.
+    struct Doubler;
+
+    impl Stage for Doubler {
+        type Req = u64;
+        type Resp = u64;
+
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+
+        fn handle(&self, req: u64) -> Result<u64, SiriusError> {
+            assert!(req != 13, "unlucky request");
+            if req % 2 == 1 {
+                return Err(SiriusError::ShuttingDown);
+            }
+            Ok(req * 2)
+        }
+    }
+
+    #[test]
+    fn pool_processes_routes_and_survives_panics() {
+        let (tx, rx) = bounded(16);
+        let (out_tx, out_rx) = mpsc::channel();
+        let workers = spawn_stage_pool(Arc::new(Doubler), 3, rx, move |id: usize, result| {
+            out_tx.send((id, result)).unwrap();
+        });
+        let inputs: Vec<u64> = vec![2, 4, 13, 7, 100];
+        for (id, req) in inputs.iter().enumerate() {
+            tx.send((id, *req)).unwrap();
+        }
+        drop(tx);
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut results: Vec<_> = out_rx.iter().collect();
+        results.sort_by_key(|(id, _)| *id);
+        assert_eq!(results[0].1, Ok(4));
+        assert_eq!(results[1].1, Ok(8));
+        assert_eq!(
+            results[2].1,
+            Err(SiriusError::StagePanicked { stage: "doubler" })
+        );
+        assert_eq!(results[3].1, Err(SiriusError::ShuttingDown));
+        assert_eq!(results[4].1, Ok(200));
+    }
+}

@@ -1,0 +1,399 @@
+//! The staged Sirius serving runtime.
+//!
+//! [`SiriusServer::start`] wires the four typed pipeline stages (ASR →
+//! classify → IMM → QA) into per-stage worker pools connected by bounded
+//! MPMC queues:
+//!
+//! ```text
+//!  submit ─try_send─▶ [asr queue] ─▶ ASR pool ─send─▶ [classify queue]
+//!        ─▶ classify pool ──Action──▶ ticket completed
+//!                         └─Question─▶ [imm queue] ─▶ IMM pool
+//!        ─send─▶ [qa queue] ─▶ QA pool ─▶ ticket completed
+//! ```
+//!
+//! **Admission control**: [`SiriusServer::submit`] uses a non-blocking
+//! `try_send` into the ASR queue and sheds with
+//! [`SiriusError::Overloaded`] when it is full — overload surfaces as a
+//! typed rejection the client can retry, instead of unbounded queueing.
+//!
+//! **Back-pressure**: interior hand-offs use blocking `send`, so a slow
+//! downstream stage stalls its upstream pool rather than growing a queue
+//! without bound. The stage graph is a forward-only chain whose final pool
+//! never blocks, so progress is always guaranteed (no cycles, no deadlock).
+//!
+//! **Graceful shutdown**: dropping (or [`SiriusServer::shutdown`]ting) the
+//! runtime closes the ASR queue; each pool drains its queue, exits, and by
+//! dropping its sender closes the next queue in the chain. Every accepted
+//! query completes before the workers are joined.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sirius::error::SiriusError;
+use sirius::pipeline::{Sirius, SiriusInput, SiriusOutcome, SiriusResponse, StageTiming};
+use sirius::stage::{
+    AsrRequest, AsrResponse, AsrStage, ClassifyRequest, ClassifyStage, ImmRequest, ImmStage,
+    QaRequest, QaStage,
+};
+use sirius_par::queue::{bounded, Sender, TrySendError};
+use sirius_speech::asr::{AcousticModelKind, AsrTiming};
+use sirius_vision::db::ImmTiming;
+use sirius_vision::image::GrayImage;
+
+use crate::pool::spawn_stage_pool;
+
+/// Sizing of one stage's pool and queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Worker threads draining this stage's queue (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded queue depth in front of the pool (clamped to at least 1).
+    pub queue_depth: usize,
+}
+
+impl Default for StageConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// Configuration of the staged runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// ASR pool/queue sizing. Its queue is the admission-control queue.
+    pub asr: StageConfig,
+    /// Query-classifier pool/queue sizing (the stage is microseconds, one
+    /// worker is plenty).
+    pub classify: StageConfig,
+    /// Image-matching pool/queue sizing.
+    pub imm: StageConfig,
+    /// Question-answering pool/queue sizing.
+    pub qa: StageConfig,
+    /// Acoustic model every query is scored with.
+    pub acoustic: AcousticModelKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            asr: StageConfig::default(),
+            classify: StageConfig::default(),
+            imm: StageConfig::default(),
+            qa: StageConfig::default(),
+            acoustic: AcousticModelKind::Gmm,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// `workers` threads on each heavy stage (ASR, IMM, QA); the classifier
+    /// keeps a single worker.
+    pub fn with_workers(workers: usize) -> Self {
+        let mut cfg = Self::default();
+        cfg.asr.workers = workers;
+        cfg.imm.workers = workers;
+        cfg.qa.workers = workers;
+        cfg
+    }
+
+    /// Sets every stage's queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.asr.queue_depth = depth;
+        self.classify.queue_depth = depth;
+        self.imm.queue_depth = depth;
+        self.qa.queue_depth = depth;
+        self
+    }
+
+    /// Total worker threads the runtime will spawn.
+    pub fn total_workers(&self) -> usize {
+        self.asr.workers.max(1)
+            + self.classify.workers.max(1)
+            + self.imm.workers.max(1)
+            + self.qa.workers.max(1)
+    }
+}
+
+struct TicketState {
+    slot: Mutex<Option<Result<SiriusResponse, SiriusError>>>,
+    done: Condvar,
+}
+
+/// Completion handle for one submitted query.
+///
+/// On success the response's `timing.total` is the **sojourn time** — queue
+/// wait plus service across every stage, measured from admission — which is
+/// exactly the quantity the M/M/1 model predicts.
+pub struct Ticket {
+    state: Arc<TicketState>,
+    submitted: Instant,
+}
+
+impl Ticket {
+    /// When the query was admitted.
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted
+    }
+
+    /// Blocks until the query completes.
+    pub fn wait(self) -> Result<SiriusResponse, SiriusError> {
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot).expect("ticket lock");
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn try_take(&self) -> Option<Result<SiriusResponse, SiriusError>> {
+        self.state.slot.lock().expect("ticket lock").take()
+    }
+}
+
+fn complete(state: &Arc<TicketState>, result: Result<SiriusResponse, SiriusError>) {
+    let mut slot = state.slot.lock().expect("ticket lock");
+    *slot = Some(result);
+    state.done.notify_all();
+}
+
+/// Per-query state carried alongside stage requests as they move through
+/// the queues. Grows monotonically: each stage adds what the final response
+/// assembly needs.
+struct Ctx {
+    ticket: Arc<TicketState>,
+    started: Instant,
+    image: Option<GrayImage>,
+    recognized: String,
+    asr_timing: AsrTiming,
+    classify: Duration,
+    imm_timing: Option<ImmTiming>,
+    matched_venue: Option<String>,
+}
+
+/// The staged Sirius serving runtime. See the module docs for the queueing
+/// topology and policies.
+pub struct SiriusServer {
+    sirius: Arc<Sirius>,
+    config: ServerConfig,
+    submit_tx: Option<Sender<(Ctx, AsrRequest)>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SiriusServer {
+    /// Starts worker pools for every stage over a shared trained assistant.
+    pub fn start(sirius: Arc<Sirius>, config: ServerConfig) -> Self {
+        let (asr_tx, asr_rx) = bounded::<(Ctx, AsrRequest)>(config.asr.queue_depth);
+        let (cls_tx, cls_rx) = bounded::<(Ctx, ClassifyRequest)>(config.classify.queue_depth);
+        let (imm_tx, imm_rx) = bounded::<(Ctx, ImmRequest)>(config.imm.queue_depth);
+        let (qa_tx, qa_rx) = bounded::<(Ctx, QaRequest)>(config.qa.queue_depth);
+
+        let mut workers = Vec::with_capacity(config.total_workers());
+
+        // QA pool: the chain's tail; completes tickets and never blocks.
+        workers.extend(spawn_stage_pool(
+            Arc::new(QaStage(Arc::clone(&sirius))),
+            config.qa.workers,
+            qa_rx,
+            move |ctx: Ctx, result| {
+                let response = result.map(|qa| SiriusResponse {
+                    recognized: ctx.recognized,
+                    outcome: SiriusOutcome::Answer(qa.answer),
+                    matched_venue: ctx.matched_venue,
+                    timing: StageTiming {
+                        asr: ctx.asr_timing,
+                        classify: ctx.classify,
+                        qa: Some(qa.breakdown),
+                        imm: ctx.imm_timing,
+                        total: ctx.started.elapsed(),
+                    },
+                });
+                complete(&ctx.ticket, response);
+            },
+        ));
+
+        // IMM pool: match + rewrite, then forward to QA (blocking send =
+        // back-pressure).
+        workers.extend(spawn_stage_pool(
+            Arc::new(ImmStage(Arc::clone(&sirius))),
+            config.imm.workers,
+            imm_rx,
+            move |mut ctx: Ctx, result| match result {
+                Ok(imm) => {
+                    ctx.imm_timing = imm.timing;
+                    ctx.matched_venue = imm.matched_venue;
+                    let job = (
+                        ctx,
+                        QaRequest {
+                            question: imm.question,
+                        },
+                    );
+                    if let Err(sirius_par::queue::SendError((ctx, _))) = qa_tx.send(job) {
+                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
+                    }
+                }
+                Err(err) => complete(&ctx.ticket, Err(err)),
+            },
+        ));
+
+        // Classify pool: actions complete immediately; questions continue to
+        // IMM (which passes through when there is no image).
+        workers.extend(spawn_stage_pool(
+            Arc::new(ClassifyStage(Arc::clone(&sirius))),
+            config.classify.workers,
+            cls_rx,
+            move |mut ctx: Ctx, result| match result {
+                Ok(cls) => {
+                    ctx.classify = cls.elapsed;
+                    if let Some(action) = cls.action {
+                        let response = SiriusResponse {
+                            recognized: ctx.recognized,
+                            outcome: SiriusOutcome::Action(action),
+                            matched_venue: None,
+                            timing: StageTiming {
+                                asr: ctx.asr_timing,
+                                classify: ctx.classify,
+                                qa: None,
+                                imm: None,
+                                total: ctx.started.elapsed(),
+                            },
+                        };
+                        complete(&ctx.ticket, Ok(response));
+                        return;
+                    }
+                    let question = ctx.recognized.clone();
+                    let image = ctx.image.take();
+                    let job = (ctx, ImmRequest { question, image });
+                    if let Err(sirius_par::queue::SendError((ctx, _))) = imm_tx.send(job) {
+                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
+                    }
+                }
+                Err(err) => complete(&ctx.ticket, Err(err)),
+            },
+        ));
+
+        // ASR pool: the chain's head, fed by `submit`.
+        workers.extend(spawn_stage_pool(
+            Arc::new(AsrStage(Arc::clone(&sirius))),
+            config.asr.workers,
+            asr_rx,
+            move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
+                Ok(asr) => {
+                    ctx.recognized = asr.recognized.clone();
+                    ctx.asr_timing = asr.timing;
+                    let job = (
+                        ctx,
+                        ClassifyRequest {
+                            recognized: asr.recognized,
+                        },
+                    );
+                    if let Err(sirius_par::queue::SendError((ctx, _))) = cls_tx.send(job) {
+                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
+                    }
+                }
+                Err(err) => complete(&ctx.ticket, Err(err)),
+            },
+        ));
+
+        Self {
+            sirius,
+            config,
+            submit_tx: Some(asr_tx),
+            workers,
+        }
+    }
+
+    /// The shared assistant this runtime serves.
+    pub fn sirius(&self) -> &Arc<Sirius> {
+        &self.sirius
+    }
+
+    /// The configuration the runtime was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Queries currently waiting in the admission (ASR) queue.
+    pub fn admission_queue_len(&self) -> usize {
+        self.submit_tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// Admits a query, or sheds it if the admission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SiriusError::Overloaded`] when the ASR queue is at capacity;
+    /// [`SiriusError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: SiriusInput) -> Result<Ticket, SiriusError> {
+        let tx = self.submit_tx.as_ref().ok_or(SiriusError::ShuttingDown)?;
+        let started = Instant::now();
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let ctx = Ctx {
+            ticket: Arc::clone(&state),
+            started,
+            image: input.image,
+            recognized: String::new(),
+            asr_timing: AsrTiming::default(),
+            classify: Duration::ZERO,
+            imm_timing: None,
+            matched_venue: None,
+        };
+        let req = AsrRequest {
+            audio: input.audio,
+            acoustic: self.config.acoustic,
+        };
+        match tx.try_send((ctx, req)) {
+            Ok(()) => Ok(Ticket {
+                state,
+                submitted: started,
+            }),
+            Err(TrySendError::Full(_)) => Err(SiriusError::Overloaded { stage: "asr" }),
+            Err(TrySendError::Disconnected(_)) => Err(SiriusError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits: the one-call synchronous client of the staged
+    /// path. Output matches [`Sirius::process_with`] bit-for-bit (same
+    /// stage methods, same order).
+    pub fn process_sync(&self, input: SiriusInput) -> Result<SiriusResponse, SiriusError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Stops admitting, drains every accepted query, and joins all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Closing the admission queue cascades: each pool drains, exits and
+        // drops its sender to the next queue, closing that one in turn.
+        drop(self.submit_tx.take());
+        for worker in self.workers.drain(..) {
+            worker.join().expect("stage worker never panics");
+        }
+    }
+}
+
+impl Drop for SiriusServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for SiriusServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiriusServer")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .field("accepting", &self.submit_tx.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_server.json: the staged-runtime load sweep (open-loop
+# latency-vs-load against the M/M/1 prediction, plus closed-loop saturation
+# throughput). Recipe in EXPERIMENTS.md.
+#
+# Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
+#   QUERIES  arrivals per load point (default 100)
+#   WORKERS  workers per heavy stage for the saturation run (default 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUERIES="${1:-100}"
+WORKERS="${2:-4}"
+
+cargo build --release -p sirius-bench --bin bench_server
+./target/release/bench_server --queries "$QUERIES" --workers "$WORKERS" > BENCH_server.json
+echo "==> wrote BENCH_server.json"

@@ -16,6 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --release -p sirius-bench --bin bench_server"
+cargo build --release -p sirius-bench --bin bench_server
+
+echo "==> cargo test --release -p sirius-server -q (concurrency gates)"
+cargo test --release -p sirius-server -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
