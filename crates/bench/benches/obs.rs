@@ -1,0 +1,77 @@
+//! Hot-path benches for the observability substrate: the primitives stage
+//! workers execute per job (counter inc, histogram record, disabled span)
+//! must stay in the nanoseconds — `scripts/check.sh` builds this bench and
+//! `bench_obs` gates the end-to-end overhead below 1%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use sirius_obs::{Counter, Histogram, NoopRecorder, Recorder, Registry, Span, SpanKind};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    group.sample_size(20);
+
+    let counter = Counter::default();
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+
+    let histogram = Histogram::default();
+    group.bench_function("histogram_record_1k", |b| {
+        b.iter(|| {
+            let mut v = 1u64;
+            for _ in 0..1000 {
+                histogram.record(black_box(v));
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 32;
+            }
+        })
+    });
+
+    let noop = NoopRecorder;
+    group.bench_function("disabled_span_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                Span::enter(black_box(&noop as &dyn Recorder), "asr", SpanKind::Service).exit();
+            }
+        })
+    });
+
+    group.bench_function("clock_read_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(Instant::now());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let registry = Registry::new();
+    for stage in ["asr", "classify", "imm", "qa"] {
+        let h = registry.histogram(&format!("{stage}.service_ns"));
+        for i in 0..10_000u64 {
+            h.record(i * 997);
+        }
+        registry.counter(&format!("{stage}.panics")).inc();
+    }
+    let mut group = c.benchmark_group("obs_export");
+    group.sample_size(20);
+    group.bench_function("snapshot_4stage", |b| {
+        b.iter(|| black_box(registry.snapshot()))
+    });
+    let snap = registry.snapshot();
+    group.bench_function("render_json", |b| b.iter(|| black_box(snap.to_json())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_snapshot);
+criterion_main!(benches);

@@ -6,9 +6,14 @@
 //!    42-query input set gives the zero-load service time (and so the M/M/1
 //!    service rate μ) plus the serial queries/sec floor.
 //! 2. **Open-loop sweep** — a Poisson arrival process drives the staged
-//!    runtime at ρ ∈ {0.2, 0.4, 0.6, 0.8}; per-query sojourn times
-//!    (admission → completion) give measured latency-vs-load, lined up
-//!    against the `Mm1` prediction via `sirius_dcsim::compare`.
+//!    runtime at ρ ∈ {0.2, 0.4, 0.6, 0.8}. All telemetry comes from the
+//!    runtime's own `sirius-obs` registry snapshots: the sojourn histogram
+//!    is lined up against the `Mm1` prediction, the per-stage
+//!    queue-wait/service histograms against a per-stage tandem model
+//!    (`sirius_dcsim::TandemComparison`), and both cross-checks of the
+//!    telemetry itself are reported — per-stage time must reconcile with
+//!    the end-to-end sojourn, and bucketed percentiles must agree with the
+//!    exact nearest-rank values within one bucket width.
 //! 3. **Saturation** — closed-loop clients hammer the runtime with 1 and
 //!    with `--workers` workers per heavy stage; staged outputs are checked
 //!    against the serial references query-by-query.
@@ -28,8 +33,10 @@ use rand_chacha::ChaCha8Rng;
 use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusResponse};
 use sirius::prepare_input_set;
 use sirius::profile::LatencyStats;
-use sirius_dcsim::{MeasuredPoint, QueueComparison};
-use sirius_server::{ServerConfig, SiriusServer};
+use sirius_dcsim::{MeasuredPoint, QueueComparison, StageMeasurement, TandemComparison};
+use sirius_obs::metrics::{bucket_bounds, bucket_index};
+use sirius_obs::{HistogramSnapshot, Snapshot};
+use sirius_server::{ServerConfig, SiriusServer, STAGES};
 
 const SWEEP_RHO: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
 
@@ -67,12 +74,19 @@ struct OpenLoopPoint {
     rho: f64,
     lambda: f64,
     offered: usize,
-    shed: usize,
-    stats: LatencyStats,
+    /// Registry snapshot taken after the last completion, before shutdown.
+    snapshot: Snapshot,
+    /// Wall-clock seconds from first arrival to last completion (the
+    /// tandem model's measurement window).
+    wall: f64,
+    /// Exact per-query sojourns from the tickets, for cross-checking the
+    /// bucketed histogram.
+    exact: LatencyStats,
 }
 
 /// Drives the runtime open-loop at arrival rate `lambda` with exponential
-/// interarrival gaps. Returns per-query sojourn statistics.
+/// interarrival gaps. All statistics come from the runtime's own metrics
+/// snapshot; exact ticket sojourns are kept only to cross-check it.
 fn open_loop(
     sirius: &Arc<Sirius>,
     inputs: &[SiriusInput],
@@ -90,28 +104,90 @@ fn open_loop(
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut tickets = Vec::with_capacity(arrivals);
-    let mut shed = 0usize;
-    let mut next = Instant::now();
+    let begun = Instant::now();
+    let mut next = begun;
     for i in 0..arrivals {
         let gap = -(1.0 - rng.gen_range(0.0f64..1.0)).ln() / lambda;
         next += Duration::from_secs_f64(gap);
         wait_until(next);
-        match server.submit(inputs[i % inputs.len()].clone()) {
-            Ok(ticket) => tickets.push(ticket),
-            Err(_) => shed += 1,
+        if let Ok(ticket) = server.submit(inputs[i % inputs.len()].clone()) {
+            tickets.push(ticket);
         }
     }
     let sojourns: Vec<Duration> = tickets
         .into_iter()
         .filter_map(|t| t.wait().ok().map(|r| r.timing.total))
         .collect();
+    let wall = begun.elapsed().as_secs_f64();
+    let snapshot = server.metrics_snapshot();
     server.shutdown();
     OpenLoopPoint {
         rho,
         lambda,
         offered: arrivals,
-        shed,
-        stats: LatencyStats::from_samples(&sojourns),
+        snapshot,
+        wall,
+        exact: LatencyStats::from_samples(&sojourns),
+    }
+}
+
+impl OpenLoopPoint {
+    fn sojourn(&self) -> &HistogramSnapshot {
+        self.snapshot
+            .histogram("sojourn_ns")
+            .expect("runtime registers sojourn_ns")
+    }
+
+    fn shed(&self) -> u64 {
+        self.snapshot.counter("admission.shed").unwrap_or(0)
+    }
+
+    /// Per-stage measurements from the runtime's own histograms, lined up
+    /// against independent per-stage M/M/1 models and reconciled with the
+    /// end-to-end sojourn.
+    fn tandem(&self) -> TandemComparison {
+        let stages: Vec<StageMeasurement> = STAGES
+            .iter()
+            .map(|stage| {
+                let wait = self
+                    .snapshot
+                    .histogram(&format!("{stage}.queue_wait_ns"))
+                    .expect("stage wait histogram");
+                let service = self
+                    .snapshot
+                    .histogram(&format!("{stage}.service_ns"))
+                    .expect("stage service histogram");
+                StageMeasurement {
+                    stage: (*stage).to_owned(),
+                    completions: service.count,
+                    mean_wait: wait.mean() / 1e9,
+                    mean_service: service.mean() / 1e9,
+                }
+            })
+            .collect();
+        let sojourn = self.sojourn();
+        TandemComparison::against(self.wall, sojourn.count, sojourn.mean() / 1e9, &stages)
+    }
+
+    /// Whether the bucketed p50/p95/p99 agree with the exact nearest-rank
+    /// percentiles to within one bucket width. (The histogram and the
+    /// tickets time the same queries through clocks a hair apart, so the
+    /// tolerance is the exact value's bucket ± one neighbouring width.)
+    fn percentiles_within_one_bucket(&self) -> bool {
+        let h = self.sojourn();
+        [
+            (50.0, self.exact.p50),
+            (95.0, self.exact.p95),
+            (99.0, self.exact.p99),
+        ]
+        .iter()
+        .all(|&(pct, exact)| {
+            let exact_ns = exact.as_nanos() as u64;
+            let (lo, hi) = bucket_bounds(bucket_index(exact_ns));
+            let width = hi - lo + 1;
+            let bucketed = h.percentile(pct);
+            bucketed >= lo.saturating_sub(width) && bucketed <= hi.saturating_add(width)
+        })
     }
 }
 
@@ -170,6 +246,20 @@ fn stats_json(stats: &LatencyStats) -> String {
         ms(stats.p95),
         ms(stats.p99)
     )
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "\"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}",
+        h.mean() / 1e6,
+        h.percentile(50.0) as f64 / 1e6,
+        h.percentile(95.0) as f64 / 1e6,
+        h.percentile(99.0) as f64 / 1e6
+    )
+}
+
+fn opt(e: Option<f64>) -> String {
+    e.map_or("null".to_owned(), |e| format!("{e:.3}"))
 }
 
 fn main() {
@@ -241,7 +331,7 @@ fn main() {
             .iter()
             .map(|p| MeasuredPoint {
                 lambda: p.lambda,
-                mean_latency: p.stats.mean.as_secs_f64(),
+                mean_latency: p.sojourn().mean() / 1e9,
             })
             .collect::<Vec<_>>(),
     );
@@ -272,26 +362,49 @@ fn main() {
     println!("  \"open_loop\": [");
     for (i, (p, row)) in points.iter().zip(&comparison.rows).enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
-        let rel = row
-            .relative_error
-            .map_or("null".to_owned(), |e| format!("{e:.3}"));
+        let tandem = p.tandem();
         println!(
-            "    {{ \"rho\": {:.2}, \"lambda_qps\": {:.2}, \"offered\": {}, \"shed\": {}, {}, \"mm1_predicted_mean_ms\": {:.3}, \"mm1_relative_error\": {} }}{comma}",
+            "    {{ \"rho\": {:.2}, \"lambda_qps\": {:.2}, \"offered\": {}, \"shed\": {}, {}, \"mm1_predicted_mean_ms\": {:.3}, \"mm1_relative_error\": {}, \"sojourn_reconstruction_error\": {}, \"percentiles_within_one_bucket\": {} }}{comma}",
             p.rho,
             p.lambda,
             p.offered,
-            p.shed,
-            stats_json(&p.stats),
+            p.shed(),
+            hist_json(p.sojourn()),
             row.predicted * 1e3,
-            rel
+            opt(row.relative_error),
+            opt(tandem.reconstruction_error()),
+            p.percentiles_within_one_bucket()
         );
     }
     println!("  ],");
     println!(
         "  \"mm1_mean_relative_error\": {},",
-        comparison
-            .mean_relative_error()
-            .map_or("null".to_owned(), |e| format!("{e:.3}"))
+        opt(comparison.mean_relative_error())
+    );
+    // Per-stage tandem table at the highest swept load: each stage's own
+    // arrival rate, utilization and measured-vs-predicted sojourn.
+    let heaviest = points.last().expect("non-empty sweep");
+    let tandem = heaviest.tandem();
+    println!(
+        "  \"tandem\": {{ \"rho\": {:.2}, \"stages\": [",
+        heaviest.rho
+    );
+    for (i, row) in tandem.rows.iter().enumerate() {
+        let comma = if i + 1 < tandem.rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"stage\": \"{}\", \"lambda_qps\": {:.2}, \"rho\": {:.3}, \"measured_ms\": {:.3}, \"mm1_predicted_ms\": {:.3}, \"relative_error\": {} }}{comma}",
+            row.stage,
+            row.lambda,
+            row.rho,
+            row.measured * 1e3,
+            row.predicted * 1e3,
+            opt(row.relative_error)
+        );
+    }
+    println!(
+        "  ], \"reconstruction_error\": {}, \"mean_relative_error\": {} }},",
+        opt(tandem.reconstruction_error()),
+        opt(tandem.mean_relative_error())
     );
     println!(
         "  \"saturation\": {{ \"total_queries\": {total}, \"staged_1worker_qps\": {:.2}, \"staged_qps\": {:.2}, \"speedup_vs_serial\": {:.2}, \"outputs_match_serial\": {} }}",

@@ -39,6 +39,13 @@ pub enum SiriusError {
         /// The stage whose handler panicked.
         stage: &'static str,
     },
+    /// A bounded wait for the response elapsed before the query completed.
+    /// The query is still in flight: the caller keeps the ticket and may
+    /// wait again.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for SiriusError {
@@ -54,6 +61,9 @@ impl std::fmt::Display for SiriusError {
             ),
             SiriusError::StagePanicked { stage } => {
                 write!(f, "the {stage} stage panicked while serving this request")
+            }
+            SiriusError::Timeout { waited } => {
+                write!(f, "no response after waiting {waited:?}")
             }
         }
     }
@@ -77,5 +87,9 @@ mod tests {
             venues: 3,
         };
         assert!(e.to_string().contains('9'));
+        let e = SiriusError::Timeout {
+            waited: std::time::Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("250"));
     }
 }

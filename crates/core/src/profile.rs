@@ -4,6 +4,13 @@
 //! [`SiriusResponse`] timings and reports per-service breakdowns (Figure 9),
 //! per-query-kind latency statistics (Figures 7b/8a), and the QA
 //! latency-vs-filter-hits correlation data (Figure 8c).
+//!
+//! Percentile arithmetic is shared with the serving stack: the nearest-rank
+//! math here delegates to [`sirius_obs::stats`], the same code the
+//! `sirius-obs` bucketed histograms rank with — exact sample statistics and
+//! live serving telemetry can only differ by bucketing, never by rank
+//! convention. [`Profiler::to_registry`] re-exports the accumulated
+//! accounting over those same registry primitives.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -67,13 +74,11 @@ impl LatencyStats {
 /// Nearest-rank percentile of an ascending-sorted sample set: the smallest
 /// sample at or above the requested fraction of the distribution. Zero for
 /// an empty set.
+///
+/// Delegates to [`sirius_obs::stats::percentile_of_sorted`] so the workspace
+/// has exactly one percentile implementation.
 pub fn percentile_of_sorted(sorted: &[Duration], pct: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let pct = pct.clamp(0.0, 100.0);
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    sirius_obs::stats::percentile_of_sorted(sorted, pct).unwrap_or(Duration::ZERO)
 }
 
 /// One (filter hits, QA latency) observation for Figure 8c.
@@ -197,6 +202,59 @@ impl Profiler {
             .collect();
         pearson(&xs, &ys)
     }
+
+    /// Re-exports the accumulated accounting as a `sirius-obs` registry:
+    /// per-kind and per-service latency histograms (`latency.{kind}_ns`,
+    /// `{service}.latency_ns`) and per-component time counters
+    /// (`{service}.{component}_ns`) — the same primitives the staged
+    /// runtime records into, so offline profiling and live serving
+    /// telemetry render through one exporter.
+    pub fn to_registry(&self) -> sirius_obs::Registry {
+        let registry = sirius_obs::Registry::new();
+        for (kind, samples) in &self.per_kind {
+            let h = registry.histogram(&format!("latency.{}_ns", metric_name(kind)));
+            for d in samples {
+                h.record_duration(*d);
+            }
+        }
+        for (service, samples) in [
+            ("asr", &self.asr_latencies),
+            ("qa", &self.qa_latencies),
+            ("imm", &self.imm_latencies),
+        ] {
+            let h = registry.histogram(&format!("{service}.latency_ns"));
+            for d in samples {
+                h.record_duration(*d);
+            }
+        }
+        for (service, components) in [
+            ("asr", &self.asr_components),
+            ("qa", &self.qa_components),
+            ("imm", &self.imm_components),
+        ] {
+            for (component, elapsed) in components.iter() {
+                registry
+                    .counter(&format!("{service}.{}_ns", metric_name(component)))
+                    .add_duration(*elapsed);
+            }
+        }
+        registry
+    }
+}
+
+/// Lowercases a display label into a metric-name segment (`HMM search` →
+/// `hmm_search`, `filter/extract` → `filter_extract`).
+fn metric_name(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Pearson correlation coefficient of two equal-length samples.
@@ -268,6 +326,49 @@ mod tests {
         let four: Vec<Duration> = (1..=4).map(Duration::from_secs).collect();
         assert_eq!(percentile_of_sorted(&four, 99.0), Duration::from_secs(4));
         assert_eq!(percentile_of_sorted(&four, 50.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn exact_and_bucketed_percentiles_share_rank_arithmetic() {
+        // The same samples through the exact path (LatencyStats) and the
+        // serving path (sirius-obs bucketed histogram) must agree to within
+        // one bucket width — they share the nearest-rank implementation, so
+        // bucketing is the only possible difference.
+        let samples: Vec<Duration> = (1..=200).map(|i| Duration::from_micros(i * 37)).collect();
+        let exact = LatencyStats::from_samples(&samples);
+        let h = sirius_obs::Histogram::default();
+        for d in &samples {
+            h.record_duration(*d);
+        }
+        let snap = h.snapshot();
+        for (pct, exact_value) in [(50.0, exact.p50), (95.0, exact.p95), (99.0, exact.p99)] {
+            let bucketed = snap.percentile(pct);
+            let exact_ns = exact_value.as_nanos() as u64;
+            let (lo, hi) =
+                sirius_obs::metrics::bucket_bounds(sirius_obs::metrics::bucket_index(exact_ns));
+            assert!(
+                (lo..=hi).contains(&bucketed),
+                "p{pct}: bucketed {bucketed} outside [{lo}, {hi}] around exact {exact_ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_registry_exports_latencies_and_components() {
+        let mut p = Profiler::new();
+        p.per_kind
+            .entry("VC")
+            .or_default()
+            .extend((1..=10).map(Duration::from_millis));
+        p.asr_latencies.push(Duration::from_millis(7));
+        *p.asr_components.entry("HMM search").or_default() += Duration::from_millis(3);
+        *p.qa_components.entry("filter/extract").or_default() += Duration::from_millis(2);
+        let snap = p.to_registry().snapshot();
+        assert_eq!(snap.histogram("latency.vc_ns").unwrap().count, 10);
+        assert_eq!(snap.histogram("asr.latency_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("asr.hmm_search_ns"), Some(3_000_000));
+        assert_eq!(snap.counter("qa.filter_extract_ns"), Some(2_000_000));
+        assert_eq!(snap.histogram("qa.latency_ns").unwrap().count, 0);
     }
 
     #[test]

@@ -99,6 +99,143 @@ impl QueueComparison {
     }
 }
 
+/// One stage of a measured tandem queue, as exported by the staged
+/// runtime's per-stage telemetry (`sirius-server` queue-wait/service
+/// histograms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMeasurement {
+    /// Stage name (`asr`, `classify`, ...).
+    pub stage: String,
+    /// Jobs that passed through the stage during the window. In Sirius the
+    /// stages see *different* populations — actions exit at the classifier,
+    /// so IMM/QA serve only the question subset.
+    pub completions: u64,
+    /// Mean queue wait in seconds.
+    pub mean_wait: f64,
+    /// Mean service time in seconds.
+    pub mean_service: f64,
+}
+
+impl StageMeasurement {
+    /// The stage's measured mean sojourn (wait + service) in seconds.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_wait + self.mean_service
+    }
+}
+
+/// One stage's measurement lined up against its own M/M/1 prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TandemStageRow {
+    /// Stage name.
+    pub stage: String,
+    /// The stage's own arrival rate λₛ = completions / window (actions
+    /// exiting early make λ differ per stage).
+    pub lambda: f64,
+    /// Utilization ρₛ = λₛ·E[Sₛ].
+    pub rho: f64,
+    /// Measured mean stage sojourn (wait + service) seconds.
+    pub measured: f64,
+    /// Predicted mean stage sojourn `1/(μₛ−λₛ)`; infinite at ρₛ ≥ 1.
+    pub predicted: f64,
+    /// |measured − predicted| / predicted, when the prediction is finite
+    /// and positive.
+    pub relative_error: Option<f64>,
+}
+
+/// Per-stage queueing comparison for a tandem of stage queues, plus the
+/// end-to-end reconciliation: the population-weighted sum of per-stage
+/// sojourns must reconstruct the measured end-to-end sojourn (the paper's
+/// per-service decomposition, checked against its own total).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TandemComparison {
+    /// One row per stage, in input order.
+    pub rows: Vec<TandemStageRow>,
+    /// Measured end-to-end mean sojourn seconds.
+    pub measured_total: f64,
+    /// End-to-end mean reconstructed from the per-stage measurements:
+    /// Σₛ (completionsₛ / queries) · (waitₛ + serviceₛ).
+    pub reconstructed_total: f64,
+}
+
+impl TandemComparison {
+    /// Lines per-stage measurements over a window of `wall_seconds` (in
+    /// which `queries` queries completed end-to-end with mean sojourn
+    /// `measured_total`) against independent per-stage M/M/1 models.
+    ///
+    /// Stages with no completions or non-positive mean service are carried
+    /// as unpredicted rows (no model can be fit), not dropped.
+    pub fn against(
+        wall_seconds: f64,
+        queries: u64,
+        measured_total: f64,
+        stages: &[StageMeasurement],
+    ) -> Self {
+        let mut reconstructed_total = 0.0;
+        let rows = stages
+            .iter()
+            .map(|s| {
+                if queries > 0 {
+                    reconstructed_total +=
+                        (s.completions as f64 / queries as f64) * s.mean_sojourn();
+                }
+                let lambda = if wall_seconds > 0.0 {
+                    s.completions as f64 / wall_seconds
+                } else {
+                    0.0
+                };
+                let measured = s.mean_sojourn();
+                let (rho, predicted) = if s.mean_service > 0.0 && s.completions > 0 {
+                    let model = Mm1::from_service_time(s.mean_service);
+                    (lambda / model.mu, model.latency(lambda))
+                } else {
+                    (0.0, f64::NAN)
+                };
+                let relative_error = (predicted.is_finite() && predicted > 0.0)
+                    .then(|| (measured - predicted).abs() / predicted);
+                TandemStageRow {
+                    stage: s.stage.clone(),
+                    lambda,
+                    rho,
+                    measured,
+                    predicted,
+                    relative_error,
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            measured_total,
+            reconstructed_total,
+        }
+    }
+
+    /// |reconstructed − measured| / measured for the end-to-end mean;
+    /// `None` when the measured total is not positive.
+    pub fn reconstruction_error(&self) -> Option<f64> {
+        (self.measured_total > 0.0)
+            .then(|| (self.reconstructed_total - self.measured_total).abs() / self.measured_total)
+    }
+
+    /// Mean per-stage relative error over the stable (finite-prediction)
+    /// stages; `None` when no stage is stable.
+    pub fn mean_relative_error(&self) -> Option<f64> {
+        let errors: Vec<f64> = self.rows.iter().filter_map(|r| r.relative_error).collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(errors.iter().sum::<f64>() / errors.len() as f64)
+        }
+    }
+
+    /// Worst per-stage relative error over the stable stages.
+    pub fn worst_relative_error(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.relative_error)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite errors"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +300,75 @@ mod tests {
         );
         assert!(cmp.mean_relative_error().is_none());
         assert!(cmp.worst_relative_error().is_none());
+    }
+
+    #[test]
+    fn tandem_reconstruction_weights_stages_by_population() {
+        // 100 queries in 10 s; 40 exit at classify (actions), 60 continue.
+        let stages = vec![
+            StageMeasurement {
+                stage: "asr".into(),
+                completions: 100,
+                mean_wait: 0.01,
+                mean_service: 0.04,
+            },
+            StageMeasurement {
+                stage: "classify".into(),
+                completions: 100,
+                mean_wait: 0.0,
+                mean_service: 0.001,
+            },
+            StageMeasurement {
+                stage: "qa".into(),
+                completions: 60,
+                mean_wait: 0.02,
+                mean_service: 0.08,
+            },
+        ];
+        // Exact weighted total: 0.05 + 0.001 + 0.6·0.1 = 0.111.
+        let cmp = TandemComparison::against(10.0, 100, 0.111, &stages);
+        assert_eq!(cmp.rows.len(), 3);
+        assert!((cmp.reconstructed_total - 0.111).abs() < 1e-12);
+        assert!(cmp.reconstruction_error().unwrap() < 1e-9);
+        // Per-stage λ reflects each stage's own population.
+        assert!((cmp.rows[0].lambda - 10.0).abs() < 1e-12);
+        assert!((cmp.rows[2].lambda - 6.0).abs() < 1e-12);
+        // ρ = λ·E[S]: ASR at 10·0.04 = 0.4.
+        assert!((cmp.rows[0].rho - 0.4).abs() < 1e-12);
+        assert!(cmp.mean_relative_error().is_some());
+        assert!(cmp.worst_relative_error().unwrap() >= cmp.mean_relative_error().unwrap());
+    }
+
+    #[test]
+    fn tandem_handles_empty_and_saturated_stages() {
+        let stages = vec![
+            // Saturated: λ = 30/s against μ = 20/s → no finite prediction.
+            StageMeasurement {
+                stage: "asr".into(),
+                completions: 300,
+                mean_wait: 1.0,
+                mean_service: 0.05,
+            },
+            // Idle stage: no completions, no model.
+            StageMeasurement {
+                stage: "imm".into(),
+                completions: 0,
+                mean_wait: 0.0,
+                mean_service: 0.0,
+            },
+        ];
+        let cmp = TandemComparison::against(10.0, 300, 1.05, &stages);
+        assert!(cmp.rows[0].rho > 1.0);
+        assert!(cmp.rows[0].relative_error.is_none());
+        assert!(cmp.rows[1].predicted.is_nan());
+        assert!(cmp.rows[1].relative_error.is_none());
+        assert!(cmp.mean_relative_error().is_none());
+        // The idle stage contributes nothing to the reconstruction.
+        assert!((cmp.reconstructed_total - 1.05).abs() < 1e-12);
+        // Degenerate windows are handled, not divided by.
+        let degenerate = TandemComparison::against(0.0, 0, 0.0, &stages);
+        assert_eq!(degenerate.rows[0].lambda, 0.0);
+        assert!(degenerate.reconstruction_error().is_none());
     }
 
     #[test]

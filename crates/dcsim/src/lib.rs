@@ -17,7 +17,10 @@ pub mod queue;
 pub mod sim;
 pub mod tco;
 
-pub use compare::{ComparisonRow, MeasuredPoint, QueueComparison};
+pub use compare::{
+    ComparisonRow, MeasuredPoint, QueueComparison, StageMeasurement, TandemComparison,
+    TandemStageRow,
+};
 pub use design::{
     design_space, heterogeneous_design, homogeneous_design, query_level_metrics, DesignPoint,
     Objective, QueryClass,

@@ -1,0 +1,377 @@
+//! Lock-free metric primitives: counters, gauges and log-bucketed
+//! histograms.
+//!
+//! Every recording path is wait-free on atomics — no `Mutex`, no `Condvar`,
+//! no allocation — so a serving worker can record into a histogram from the
+//! middle of its hot loop without perturbing the latency it is measuring.
+//! Handles are cheap `Arc` clones; the same metric can be recorded from any
+//! number of threads.
+//!
+//! Histograms are **log-linear bucketed** (8 linear sub-buckets per
+//! power-of-two octave, the HdrHistogram layout at low resolution): the
+//! bucket containing a value is never wider than value/8, so exported
+//! percentiles are within one bucket width (≤ 12.5% relative) of the exact
+//! nearest-rank sample. Exact `count`, `sum`, `min` and `max` are kept on
+//! the side, so means are exact and percentiles clamp into the observed
+//! range.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::stats::nearest_rank;
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave (8).
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count: values below [`SUBS`] get exact unit buckets; every
+/// octave above contributes [`SUBS`] buckets up to `u64::MAX`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUBS as usize) + SUBS as usize;
+
+/// The bucket index a value lands in. Monotone in the value.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as u64; // >= SUB_BITS
+    let octave = exp - SUB_BITS as u64 + 1;
+    let sub = (value >> (exp - SUB_BITS as u64)) - SUBS;
+    (octave * SUBS + sub) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUBS {
+        return (index, index);
+    }
+    let octave = index / SUBS;
+    let sub = index % SUBS;
+    let width = 1u64 << (octave - 1);
+    let lo = (SUBS + sub) << (octave - 1);
+    (lo, lo + (width - 1))
+}
+
+/// A monotonically increasing event count. Also used as a cycle accumulator
+/// (`add` nanoseconds) by the profiler's per-component accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, as counters are).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulates a duration in nanoseconds.
+    pub fn add_duration(&self, d: Duration) {
+        self.add(saturating_nanos(d));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, capacity, in-flight count).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>, // NUM_BUCKETS long
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-bucketed histogram (see the module docs for the bucket
+/// layout and accuracy bound). Values are unit-agnostic `u64`s; duration
+/// histograms record nanoseconds via [`Histogram::record_duration`] and by
+/// convention carry a `_ns` name suffix.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Self(Arc::new(HistogramInner {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. Wait-free: four relaxed atomic adds and two
+    /// atomic min/max updates, no locking and no allocation.
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(saturating_nanos(d));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Captures a consistent-enough point-in-time copy (bucket counts are
+    /// read one by one; concurrent recording can skew a snapshot by the
+    /// handful of events that land mid-read, which is irrelevant for load
+    /// reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let mut buckets = Vec::new();
+        for (i, b) in inner.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        // Derive min/max fallbacks from the buckets themselves so a snapshot
+        // torn by a concurrent `record` (bucket visible, min/max not yet)
+        // still reports a sane range.
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            let lowest = bucket_bounds(buckets[0].0 as usize).0;
+            let highest = bucket_bounds(buckets[buckets.len() - 1].0 as usize).0;
+            let min = match inner.min.load(Ordering::Relaxed) {
+                u64::MAX => lowest, // unset: fall back to the lowest bucket
+                v => v,
+            };
+            (min, inner.max.load(Ordering::Relaxed).max(highest))
+        };
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time histogram contents: exact count/sum/min/max plus the
+/// non-empty `(bucket index, count)` pairs in ascending bucket order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile at bucket resolution: the upper bound of the
+    /// bucket holding the ranked observation, clamped into `[min, max]`.
+    /// Within one bucket width (≤ 12.5% relative) of the exact nearest-rank
+    /// sample, and exact at p0/p100.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        let rank = nearest_rank(self.count as usize, pct) as u64;
+        if rank == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(index as usize);
+                return hi.min(self.max).max(lo.max(self.min));
+            }
+        }
+        self.max
+    }
+
+    /// Mean in milliseconds, for nanosecond-valued histograms.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean() / 1e6
+    }
+
+    /// Percentile in milliseconds, for nanosecond-valued histograms.
+    pub fn percentile_ms(&self, pct: f64) -> f64 {
+        self.percentile(pct) as f64 / 1e6
+    }
+}
+
+fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_contiguous_and_self_inverse() {
+        // Every bucket's bounds contain exactly the values that map to it,
+        // consecutive buckets tile the axis, and width <= lo/8 beyond the
+        // linear range.
+        let mut prev_hi: Option<u64> = None;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i}");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "bucket {i} is contiguous");
+            }
+            if lo >= SUBS {
+                assert!((hi - lo + 1) * SUBS <= lo + SUBS, "bucket {i} too wide");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+        // Spot values across the range.
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000_000, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v}");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_are_plain_atomics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add_duration(Duration::from_nanos(8));
+        assert_eq!(c.get(), 50);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_within_one_bucket_of_exact() {
+        // A deliberately skewed sample set; compare against the exact
+        // nearest-rank values through the same stats::nearest_rank code.
+        let mut samples: Vec<u64> = (0..2000u64).map(|i| (i * i * 7919) % 900_001).collect();
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, samples.len() as u64);
+        assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        assert_eq!(snap.min, samples[0]);
+        assert_eq!(snap.max, *samples.last().unwrap());
+        for pct in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let exact = crate::stats::percentile_of_sorted(&samples, pct).unwrap();
+            let approx = snap.percentile(pct);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo + 1;
+            assert!(
+                approx.abs_diff(exact) <= width,
+                "p{pct}: approx {approx} vs exact {exact} (bucket width {width})"
+            );
+        }
+        // The extremes are exact thanks to min/max clamping.
+        assert_eq!(snap.percentile(0.0), samples[0]);
+        assert_eq!(snap.percentile(100.0), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 5_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 20_000);
+        assert_eq!(snap.sum, (0..20_000u64).sum::<u64>());
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 19_999);
+    }
+}

@@ -1,0 +1,272 @@
+//! The metrics registry: named counters, gauges and histograms with a
+//! point-in-time [`Snapshot`] and two renderers (JSON for `BENCH_*.json`
+//! artifacts, Prometheus-style text for humans).
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short lock to insert
+//! the name; it happens once, at wiring time. The returned handles record
+//! through lock-free atomics ([`crate::metrics`]), so the serving hot path
+//! never touches the registry lock.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics. Cloning shares the underlying registry;
+/// handles returned for the same name are the same metric.
+///
+/// Naming convention: dot-separated paths (`asr.service_ns`), with a `_ns`
+/// suffix for nanosecond-valued histograms and counters.
+#[derive(Clone, Default)]
+pub struct Registry(Arc<Mutex<Inner>>);
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.0
+            .lock()
+            .expect("registry lock")
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.0
+            .lock()
+            .expect("registry lock")
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.0
+            .lock()
+            .expect("registry lock")
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Captures every registered metric at this instant.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.0.lock().expect("registry lock");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.0.lock().expect("registry lock");
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// A point-in-time capture of a [`Registry`], in name order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, contents)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The captured value of a counter, if it was registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// The captured value of a gauge, if it was registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// The captured contents of a histogram, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        lookup(&self.histograms, name)
+    }
+
+    /// Renders the snapshot as a JSON object: counters and gauges as plain
+    /// numbers, histograms as `{count, sum, min, max, mean, p50, p95, p99}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in self.counters.iter().chain(&self.gauges) {
+            push_entry(&mut out, &mut first);
+            out.push_str(&format!("  \"{name}\": {value}"));
+        }
+        for (name, h) in &self.histograms {
+            push_entry(&mut out, &mut first);
+            out.push_str(&format!(
+                "  \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+            ));
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus exposition format (counters and
+    /// gauges as samples, histograms as summaries with quantile labels).
+    /// Dots in metric names become underscores.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, pct) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{q}\"}} {}\n",
+                    h.percentile(pct)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+fn lookup<'a, T>(entries: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    entries
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+fn push_entry(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("queries").add(2);
+        r.counter("queries").inc();
+        assert_eq!(r.snapshot().counter("queries"), Some(3));
+        r.gauge("depth").set(5);
+        assert_eq!(r.snapshot().gauge("depth"), Some(5));
+        r.histogram("lat_ns").record(100);
+        r.histogram("lat_ns").record(300);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("lat_ns").unwrap().count, 2);
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("missing"), None);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        let r2 = r.clone();
+        r2.counter("hits").add(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("a.shed").add(4);
+        r.gauge("a.depth").set(2);
+        let h = r.histogram("a.lat_ns");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.shed\": 4"));
+        assert!(json.contains("\"a.depth\": 2"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"sum\": 60"));
+        // One comma between every pair of entries (3 entries -> 2 commas).
+        assert_eq!(json.matches(",\n").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_and_summarizes() {
+        let r = Registry::new();
+        r.counter("asr.shed").inc();
+        r.gauge("asr.queue_depth").set(3);
+        r.histogram("asr.service_ns").record(1000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE asr_shed counter\nasr_shed 1\n"));
+        assert!(text.contains("# TYPE asr_queue_depth gauge\nasr_queue_depth 3\n"));
+        assert!(text.contains("# TYPE asr_service_ns summary\n"));
+        assert!(text.contains("asr_service_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("asr_service_ns_count 1\n"));
+        assert!(
+            !text.contains("asr.") && !text.contains("queue_depth."),
+            "metric names must be sanitized: {text}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Exact nearest-rank percentile arithmetic.
+//!
+//! This module is the *single* percentile implementation in the workspace:
+//! the exact sample-set statistics (`sirius::profile::LatencyStats`) and the
+//! bucketed [`Histogram`](crate::metrics::Histogram) export both resolve
+//! their ranks here, so a figure table and a registry snapshot can never
+//! disagree about what "p99" means.
+
+/// The 1-based nearest rank of the `pct` percentile in a population of
+/// `count` samples: the smallest rank whose cumulative share of the
+/// distribution is at least `pct`/100. Zero only for an empty population.
+///
+/// This is the classic nearest-rank definition — `ceil(pct/100 × count)`,
+/// clamped to `[1, count]` — so p100 is the maximum, p0 the minimum, and
+/// p99 of four samples is the fourth.
+pub fn nearest_rank(count: usize, pct: f64) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * count as f64).ceil() as usize;
+    rank.clamp(1, count)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set: the sample at
+/// [`nearest_rank`]. `None` for an empty set.
+pub fn percentile_of_sorted<T: Copy>(sorted: &[T], pct: f64) -> Option<T> {
+    let rank = nearest_rank(sorted.len(), pct);
+    (rank > 0).then(|| sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_classic_definition() {
+        assert_eq!(nearest_rank(0, 50.0), 0);
+        assert_eq!(nearest_rank(100, 50.0), 50);
+        assert_eq!(nearest_rank(100, 95.0), 95);
+        assert_eq!(nearest_rank(100, 99.0), 99);
+        assert_eq!(nearest_rank(100, 100.0), 100);
+        assert_eq!(nearest_rank(100, 0.0), 1);
+        // Small populations: p99 of 4 samples is the max.
+        assert_eq!(nearest_rank(4, 99.0), 4);
+        assert_eq!(nearest_rank(4, 50.0), 2);
+        // Out-of-range percentiles clamp instead of panicking.
+        assert_eq!(nearest_rank(10, -5.0), 1);
+        assert_eq!(nearest_rank(10, 250.0), 10);
+    }
+
+    #[test]
+    fn percentile_of_sorted_picks_the_ranked_sample() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_of_sorted(&sorted, 50.0), Some(50));
+        assert_eq!(percentile_of_sorted(&sorted, 95.0), Some(95));
+        assert_eq!(percentile_of_sorted(&sorted, 99.0), Some(99));
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), Some(100));
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), Some(1));
+        assert_eq!(percentile_of_sorted::<u64>(&[], 50.0), None);
+    }
+}

@@ -34,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod pool;
 pub mod runtime;
 
-pub use pool::spawn_stage_pool;
+pub use metrics::{ServerMetrics, StageObs, STAGES};
+pub use pool::{spawn_stage_pool, Job};
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
 
 // The runtime shares one trained `Sirius` across every worker thread; this

@@ -1,0 +1,136 @@
+//! The staged runtime's telemetry: one [`Registry`] per server holding
+//! per-stage queue-wait/service histograms and panic counters, admission
+//! counters, queue-depth gauges and the end-to-end sojourn histogram.
+//!
+//! Everything a worker records on the hot path is lock-free
+//! (`sirius-obs` atomics); the registry lock is touched only at wiring and
+//! snapshot time. [`SiriusServer::metrics_snapshot`] refreshes the
+//! queue-depth gauges from the live queues and exports the lot.
+//!
+//! Naming scheme (`Snapshot` keys):
+//!
+//! | name | type | meaning |
+//! |---|---|---|
+//! | `{stage}.queue_wait_ns` | histogram | time queued in front of the stage |
+//! | `{stage}.service_ns` | histogram | stage handler time |
+//! | `{stage}.panics` | counter | requests lost to a caught stage panic |
+//! | `{stage}.queue_depth` | gauge | queued items at snapshot time |
+//! | `{stage}.queue_capacity` | gauge | bounded queue capacity |
+//! | `admission.accepted` / `admission.shed` | counter | admission control outcomes |
+//! | `completed` / `failed` | counter | ticket completions by result |
+//! | `sojourn_ns` | histogram | admission → completion, successful queries |
+//!
+//! [`SiriusServer::metrics_snapshot`]: crate::SiriusServer::metrics_snapshot
+
+use std::sync::Arc;
+
+use sirius_obs::{Counter, Histogram, Registry};
+
+/// The stage names the runtime instruments, in pipeline order.
+pub const STAGES: [&str; 4] = ["asr", "classify", "imm", "qa"];
+
+/// Per-stage observability handles shared by every worker in one pool.
+#[derive(Debug, Clone)]
+pub struct StageObs {
+    /// Time each job spent queued before a worker picked it up.
+    pub queue_wait: Histogram,
+    /// Time the stage handler spent on each job.
+    pub service: Histogram,
+    /// Jobs lost to a panic caught at the pool boundary.
+    pub panics: Counter,
+}
+
+impl StageObs {
+    /// Registers the stage's metrics under `{stage}.…` names.
+    pub fn register(registry: &Registry, stage: &str) -> Arc<Self> {
+        Arc::new(Self {
+            queue_wait: registry.histogram(&format!("{stage}.queue_wait_ns")),
+            service: registry.histogram(&format!("{stage}.service_ns")),
+            panics: registry.counter(&format!("{stage}.panics")),
+        })
+    }
+}
+
+/// Every metric the staged runtime records, pre-registered in one
+/// [`Registry`] (also reachable by name through snapshots).
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Queries admitted by `submit`.
+    pub accepted: Counter,
+    /// Queries shed at admission (`Overloaded`).
+    pub shed: Counter,
+    /// Tickets completed with a response.
+    pub completed: Counter,
+    /// Tickets completed with an error.
+    pub failed: Counter,
+    /// Admission → completion time of successful queries.
+    pub sojourn: Histogram,
+    /// ASR pool telemetry.
+    pub asr: Arc<StageObs>,
+    /// Classifier pool telemetry.
+    pub classify: Arc<StageObs>,
+    /// Image-matching pool telemetry.
+    pub imm: Arc<StageObs>,
+    /// Question-answering pool telemetry.
+    pub qa: Arc<StageObs>,
+}
+
+impl ServerMetrics {
+    /// A fresh registry with every runtime metric registered.
+    pub fn new() -> Arc<Self> {
+        let registry = Registry::new();
+        Arc::new(Self {
+            accepted: registry.counter("admission.accepted"),
+            shed: registry.counter("admission.shed"),
+            completed: registry.counter("completed"),
+            failed: registry.counter("failed"),
+            sojourn: registry.histogram("sojourn_ns"),
+            asr: StageObs::register(&registry, "asr"),
+            classify: StageObs::register(&registry, "classify"),
+            imm: StageObs::register(&registry, "imm"),
+            qa: StageObs::register(&registry, "qa"),
+            registry,
+        })
+    }
+
+    /// The backing registry (snapshot it via
+    /// [`SiriusServer::metrics_snapshot`] to get fresh queue gauges).
+    ///
+    /// [`SiriusServer::metrics_snapshot`]: crate::SiriusServer::metrics_snapshot
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The per-stage telemetry for a stage name from [`STAGES`].
+    pub fn stage(&self, name: &str) -> Option<&Arc<StageObs>> {
+        match name {
+            "asr" => Some(&self.asr),
+            "classify" => Some(&self.classify),
+            "imm" => Some(&self.imm),
+            "qa" => Some(&self.qa),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_are_registered_and_shared() {
+        let m = ServerMetrics::new();
+        m.asr.queue_wait.record(100);
+        m.shed.inc();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.histogram("asr.queue_wait_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("admission.shed"), Some(1));
+        for stage in STAGES {
+            assert!(m.stage(stage).is_some(), "{stage}");
+            assert!(snap.histogram(&format!("{stage}.service_ns")).is_some());
+            assert!(snap.counter(&format!("{stage}.panics")).is_some());
+        }
+        assert!(m.stage("nope").is_none());
+    }
+}

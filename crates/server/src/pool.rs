@@ -1,29 +1,66 @@
 //! Generic worker pool over a typed [`Stage`].
 //!
 //! [`spawn_stage_pool`] turns any `Stage` implementation into a pool of
-//! named OS threads draining one bounded queue. Each queued job carries an
-//! opaque per-query context `C` alongside the stage request; the `route`
-//! callback receives the context and the stage result and decides what
-//! happens next (forward to the next stage's queue, or complete the query's
-//! ticket). Handlers run under `catch_unwind`, so a panicking request is
-//! converted into [`SiriusError::StagePanicked`] and the worker survives to
-//! serve the next job.
+//! named OS threads draining one bounded queue. Each queued [`Job`] carries
+//! an opaque per-query context `C` alongside the stage request plus its
+//! enqueue timestamp; the `route` callback receives the context and the
+//! stage result and decides what happens next (forward to the next stage's
+//! queue, or complete the query's ticket). Handlers run under
+//! `catch_unwind`, so a panicking request is converted into
+//! [`SiriusError::StagePanicked`] and the worker survives to serve the next
+//! job.
+//!
+//! Every worker attributes each job's time to the stage's [`StageObs`]
+//! histograms: queue wait (enqueue → dequeue) and service (the `handle`
+//! call). Those records are lock-free atomics. When the optional
+//! [`Recorder`] is enabled, the same two spans are also reported per query.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use sirius::error::SiriusError;
 use sirius::stage::Stage;
+use sirius_obs::{Recorder, SpanKind};
 use sirius_par::queue::Receiver;
 
+use crate::metrics::StageObs;
+
+/// One queued unit of work: the per-query context, the stage request, and
+/// when it entered the queue (so the worker can attribute queue wait).
+#[derive(Debug)]
+pub struct Job<C, Req> {
+    /// Per-query context threaded through the stage graph.
+    pub ctx: C,
+    /// The typed request for the stage draining this queue.
+    pub req: Req,
+    /// When the job was enqueued.
+    pub enqueued: Instant,
+}
+
+impl<C, Req> Job<C, Req> {
+    /// A job stamped with the current instant.
+    pub fn now(ctx: C, req: Req) -> Self {
+        Self {
+            ctx,
+            req,
+            enqueued: Instant::now(),
+        }
+    }
+}
+
 /// Spawns `workers` named threads (clamped to at least 1) that drain `rx`
-/// through `stage` and hand each result to `route`. The threads exit when
-/// the queue is closed (every sender dropped) and drained.
+/// through `stage` and hand each result to `route`, recording queue-wait
+/// and service time into `obs` (and into `recorder` when it is enabled).
+/// The threads exit when the queue is closed (every sender dropped) and
+/// drained.
 pub fn spawn_stage_pool<S, C, R>(
     stage: Arc<S>,
     workers: usize,
-    rx: Receiver<(C, S::Req)>,
+    rx: Receiver<Job<C, S::Req>>,
+    obs: Arc<StageObs>,
+    recorder: Arc<dyn Recorder>,
     route: R,
 ) -> Vec<JoinHandle<()>>
 where
@@ -35,17 +72,31 @@ where
         .map(|i| {
             let stage = Arc::clone(&stage);
             let rx = rx.clone();
+            let obs = Arc::clone(&obs);
+            let recorder = Arc::clone(&recorder);
             let route = route.clone();
             std::thread::Builder::new()
                 .name(format!("sirius-{}-{i}", stage.name()))
                 .spawn(move || {
-                    while let Some((ctx, req)) = rx.recv() {
-                        let result = catch_unwind(AssertUnwindSafe(|| stage.handle(req)))
-                            .unwrap_or_else(|_| {
-                                Err(SiriusError::StagePanicked {
-                                    stage: stage.name(),
-                                })
-                            });
+                    while let Some(Job { ctx, req, enqueued }) = rx.recv() {
+                        let wait = enqueued.elapsed();
+                        obs.queue_wait.record_duration(wait);
+                        if recorder.enabled() {
+                            recorder.record(stage.name(), SpanKind::QueueWait, wait);
+                        }
+                        let begun = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| stage.handle(req)));
+                        let service = begun.elapsed();
+                        obs.service.record_duration(service);
+                        if recorder.enabled() {
+                            recorder.record(stage.name(), SpanKind::Service, service);
+                        }
+                        let result = result.unwrap_or_else(|_| {
+                            obs.panics.inc();
+                            Err(SiriusError::StagePanicked {
+                                stage: stage.name(),
+                            })
+                        });
                         route(ctx, result);
                     }
                 })
@@ -59,6 +110,7 @@ mod tests {
     use super::*;
     use std::sync::mpsc;
 
+    use sirius_obs::{CollectingRecorder, Registry};
     use sirius_par::queue::bounded;
 
     /// A stage that doubles, errors on odd input, and panics on 13.
@@ -82,15 +134,25 @@ mod tests {
     }
 
     #[test]
-    fn pool_processes_routes_and_survives_panics() {
+    fn pool_processes_routes_observes_and_survives_panics() {
+        let registry = Registry::new();
+        let obs = StageObs::register(&registry, "doubler");
+        let recorder = Arc::new(CollectingRecorder::new());
         let (tx, rx) = bounded(16);
         let (out_tx, out_rx) = mpsc::channel();
-        let workers = spawn_stage_pool(Arc::new(Doubler), 3, rx, move |id: usize, result| {
-            out_tx.send((id, result)).unwrap();
-        });
+        let workers = spawn_stage_pool(
+            Arc::new(Doubler),
+            3,
+            rx,
+            Arc::clone(&obs),
+            Arc::<CollectingRecorder>::clone(&recorder),
+            move |id: usize, result| {
+                out_tx.send((id, result)).unwrap();
+            },
+        );
         let inputs: Vec<u64> = vec![2, 4, 13, 7, 100];
         for (id, req) in inputs.iter().enumerate() {
-            tx.send((id, *req)).unwrap();
+            tx.send(Job::now(id, *req)).unwrap();
         }
         drop(tx);
         for w in workers {
@@ -106,5 +168,26 @@ mod tests {
         );
         assert_eq!(results[3].1, Err(SiriusError::ShuttingDown));
         assert_eq!(results[4].1, Ok(200));
+
+        // Every job — including the panicked one — is attributed.
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("doubler.queue_wait_ns").unwrap().count, 5);
+        assert_eq!(snap.histogram("doubler.service_ns").unwrap().count, 5);
+        assert_eq!(snap.counter("doubler.panics"), Some(1));
+        let events = recorder.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|(s, k, _)| *s == "doubler" && *k == SpanKind::QueueWait)
+                .count(),
+            5
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|(s, k, _)| *s == "doubler" && *k == SpanKind::Service)
+                .count(),
+            5
+        );
     }
 }

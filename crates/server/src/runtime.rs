@@ -25,6 +25,13 @@
 //! runtime closes the ASR queue; each pool drains its queue, exits, and by
 //! dropping its sender closes the next queue in the chain. Every accepted
 //! query completes before the workers are joined.
+//!
+//! **Observability**: every pool records per-stage queue-wait and
+//! service-time histograms, panic counters and (at snapshot time)
+//! queue-depth gauges into one [`ServerMetrics`] registry — all lock-free
+//! on the hot path. [`SiriusServer::metrics_snapshot`] exports the lot;
+//! [`SiriusServer::start_with_recorder`] additionally attributes every
+//! span of every query to a caller-supplied [`Recorder`].
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -36,12 +43,14 @@ use sirius::stage::{
     AsrRequest, AsrResponse, AsrStage, ClassifyRequest, ClassifyStage, ImmRequest, ImmStage,
     QaRequest, QaStage,
 };
+use sirius_obs::{Gauge, NoopRecorder, Recorder, Snapshot, SpanKind};
 use sirius_par::queue::{bounded, Sender, TrySendError};
 use sirius_speech::asr::{AcousticModelKind, AsrTiming};
 use sirius_vision::db::ImmTiming;
 use sirius_vision::image::GrayImage;
 
-use crate::pool::spawn_stage_pool;
+use crate::metrics::ServerMetrics;
+use crate::pool::{spawn_stage_pool, Job};
 
 /// Sizing of one stage's pool and queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +159,36 @@ impl Ticket {
         }
     }
 
+    /// Blocks until the query completes or `timeout` elapses.
+    ///
+    /// On timeout the ticket is **kept** (unlike [`Ticket::wait`], which
+    /// consumes it): the query is still in flight and the caller may wait
+    /// again or poll with [`Ticket::try_take`].
+    ///
+    /// # Errors
+    ///
+    /// [`SiriusError::Timeout`] if no result arrived within `timeout`; any
+    /// pipeline error the query itself completed with.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<SiriusResponse, SiriusError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SiriusError::Timeout { waited: timeout });
+            }
+            let (guard, _) = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket lock");
+            slot = guard;
+        }
+    }
+
     /// Non-blocking poll; `None` while the query is still in flight.
     pub fn try_take(&self) -> Option<Result<SiriusResponse, SiriusError>> {
         self.state.slot.lock().expect("ticket lock").take()
@@ -160,6 +199,30 @@ fn complete(state: &Arc<TicketState>, result: Result<SiriusResponse, SiriusError
     let mut slot = state.slot.lock().expect("ticket lock");
     *slot = Some(result);
     state.done.notify_all();
+}
+
+/// Completes a ticket and accounts for the outcome: successful queries
+/// record their sojourn (and a `total` span when the recorder is enabled),
+/// failed ones bump the failure counter.
+fn finish(
+    metrics: &ServerMetrics,
+    recorder: &dyn Recorder,
+    started: Instant,
+    ticket: &Arc<TicketState>,
+    result: Result<SiriusResponse, SiriusError>,
+) {
+    match &result {
+        Ok(_) => {
+            let sojourn = started.elapsed();
+            metrics.completed.inc();
+            metrics.sojourn.record_duration(sojourn);
+            if recorder.enabled() {
+                recorder.record("total", SpanKind::Total, sojourn);
+            }
+        }
+        Err(_) => metrics.failed.inc(),
+    }
+    complete(ticket, result);
 }
 
 /// Per-query state carried alongside stage requests as they move through
@@ -176,22 +239,75 @@ struct Ctx {
     matched_venue: Option<String>,
 }
 
+/// A retained handle onto one stage's queue that refreshes its depth and
+/// capacity gauges on demand. Holding it keeps a `Sender` clone alive, so
+/// probes must be dropped before the workers are joined at shutdown —
+/// otherwise the interior queues never close.
+struct QueueProbe {
+    depth: Gauge,
+    capacity: Gauge,
+    read: Box<dyn Fn() -> (usize, usize) + Send + Sync>,
+}
+
+impl QueueProbe {
+    fn new<T: Send + 'static>(metrics: &ServerMetrics, stage: &str, tx: &Sender<T>) -> Self {
+        let probe = Self {
+            depth: metrics.registry().gauge(&format!("{stage}.queue_depth")),
+            capacity: metrics.registry().gauge(&format!("{stage}.queue_capacity")),
+            read: {
+                let tx = tx.clone();
+                Box::new(move || (tx.len(), tx.capacity()))
+            },
+        };
+        probe.refresh();
+        probe
+    }
+
+    fn refresh(&self) {
+        let (depth, capacity) = (self.read)();
+        self.depth.set(depth as u64);
+        self.capacity.set(capacity as u64);
+    }
+}
+
 /// The staged Sirius serving runtime. See the module docs for the queueing
 /// topology and policies.
 pub struct SiriusServer {
     sirius: Arc<Sirius>,
     config: ServerConfig,
-    submit_tx: Option<Sender<(Ctx, AsrRequest)>>,
+    metrics: Arc<ServerMetrics>,
+    submit_tx: Option<Sender<Job<Ctx, AsrRequest>>>,
+    queue_probes: Vec<QueueProbe>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl SiriusServer {
-    /// Starts worker pools for every stage over a shared trained assistant.
+    /// Starts worker pools for every stage over a shared trained assistant,
+    /// with per-query span tracing disabled (metrics are always on — their
+    /// hot path is a handful of relaxed atomics).
     pub fn start(sirius: Arc<Sirius>, config: ServerConfig) -> Self {
-        let (asr_tx, asr_rx) = bounded::<(Ctx, AsrRequest)>(config.asr.queue_depth);
-        let (cls_tx, cls_rx) = bounded::<(Ctx, ClassifyRequest)>(config.classify.queue_depth);
-        let (imm_tx, imm_rx) = bounded::<(Ctx, ImmRequest)>(config.imm.queue_depth);
-        let (qa_tx, qa_rx) = bounded::<(Ctx, QaRequest)>(config.qa.queue_depth);
+        Self::start_with_recorder(sirius, config, Arc::new(NoopRecorder))
+    }
+
+    /// Starts the runtime with a [`Recorder`] that receives every query's
+    /// queue-wait/service spans per stage plus a `total` span on success.
+    pub fn start_with_recorder(
+        sirius: Arc<Sirius>,
+        config: ServerConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        let metrics = ServerMetrics::new();
+        let (asr_tx, asr_rx) = bounded::<Job<Ctx, AsrRequest>>(config.asr.queue_depth);
+        let (cls_tx, cls_rx) = bounded::<Job<Ctx, ClassifyRequest>>(config.classify.queue_depth);
+        let (imm_tx, imm_rx) = bounded::<Job<Ctx, ImmRequest>>(config.imm.queue_depth);
+        let (qa_tx, qa_rx) = bounded::<Job<Ctx, QaRequest>>(config.qa.queue_depth);
+
+        let queue_probes = vec![
+            QueueProbe::new(&metrics, "asr", &asr_tx),
+            QueueProbe::new(&metrics, "classify", &cls_tx),
+            QueueProbe::new(&metrics, "imm", &imm_tx),
+            QueueProbe::new(&metrics, "qa", &qa_tx),
+        ];
 
         let mut workers = Vec::with_capacity(config.total_workers());
 
@@ -200,20 +316,32 @@ impl SiriusServer {
             Arc::new(QaStage(Arc::clone(&sirius))),
             config.qa.workers,
             qa_rx,
-            move |ctx: Ctx, result| {
-                let response = result.map(|qa| SiriusResponse {
-                    recognized: ctx.recognized,
-                    outcome: SiriusOutcome::Answer(qa.answer),
-                    matched_venue: ctx.matched_venue,
-                    timing: StageTiming {
-                        asr: ctx.asr_timing,
-                        classify: ctx.classify,
-                        qa: Some(qa.breakdown),
-                        imm: ctx.imm_timing,
-                        total: ctx.started.elapsed(),
-                    },
-                });
-                complete(&ctx.ticket, response);
+            Arc::clone(&metrics.qa),
+            Arc::clone(&recorder),
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |ctx: Ctx, result| {
+                    let response = result.map(|qa| SiriusResponse {
+                        recognized: ctx.recognized,
+                        outcome: SiriusOutcome::Answer(qa.answer),
+                        matched_venue: ctx.matched_venue,
+                        timing: StageTiming {
+                            asr: ctx.asr_timing,
+                            classify: ctx.classify,
+                            qa: Some(qa.breakdown),
+                            imm: ctx.imm_timing,
+                            total: ctx.started.elapsed(),
+                        },
+                    });
+                    finish(
+                        &metrics,
+                        recorder.as_ref(),
+                        ctx.started,
+                        &ctx.ticket,
+                        response,
+                    );
+                }
             },
         ));
 
@@ -223,21 +351,39 @@ impl SiriusServer {
             Arc::new(ImmStage(Arc::clone(&sirius))),
             config.imm.workers,
             imm_rx,
-            move |mut ctx: Ctx, result| match result {
-                Ok(imm) => {
-                    ctx.imm_timing = imm.timing;
-                    ctx.matched_venue = imm.matched_venue;
-                    let job = (
-                        ctx,
-                        QaRequest {
-                            question: imm.question,
-                        },
-                    );
-                    if let Err(sirius_par::queue::SendError((ctx, _))) = qa_tx.send(job) {
-                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
+            Arc::clone(&metrics.imm),
+            Arc::clone(&recorder),
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |mut ctx: Ctx, result| match result {
+                    Ok(imm) => {
+                        ctx.imm_timing = imm.timing;
+                        ctx.matched_venue = imm.matched_venue;
+                        let job = Job::now(
+                            ctx,
+                            QaRequest {
+                                question: imm.question,
+                            },
+                        );
+                        if let Err(sirius_par::queue::SendError(job)) = qa_tx.send(job) {
+                            finish(
+                                &metrics,
+                                recorder.as_ref(),
+                                job.ctx.started,
+                                &job.ctx.ticket,
+                                Err(SiriusError::ShuttingDown),
+                            );
+                        }
                     }
+                    Err(err) => finish(
+                        &metrics,
+                        recorder.as_ref(),
+                        ctx.started,
+                        &ctx.ticket,
+                        Err(err),
+                    ),
                 }
-                Err(err) => complete(&ctx.ticket, Err(err)),
             },
         ));
 
@@ -247,33 +393,57 @@ impl SiriusServer {
             Arc::new(ClassifyStage(Arc::clone(&sirius))),
             config.classify.workers,
             cls_rx,
-            move |mut ctx: Ctx, result| match result {
-                Ok(cls) => {
-                    ctx.classify = cls.elapsed;
-                    if let Some(action) = cls.action {
-                        let response = SiriusResponse {
-                            recognized: ctx.recognized,
-                            outcome: SiriusOutcome::Action(action),
-                            matched_venue: None,
-                            timing: StageTiming {
-                                asr: ctx.asr_timing,
-                                classify: ctx.classify,
-                                qa: None,
-                                imm: None,
-                                total: ctx.started.elapsed(),
-                            },
-                        };
-                        complete(&ctx.ticket, Ok(response));
-                        return;
+            Arc::clone(&metrics.classify),
+            Arc::clone(&recorder),
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |mut ctx: Ctx, result| match result {
+                    Ok(cls) => {
+                        ctx.classify = cls.elapsed;
+                        if let Some(action) = cls.action {
+                            let response = SiriusResponse {
+                                recognized: ctx.recognized,
+                                outcome: SiriusOutcome::Action(action),
+                                matched_venue: None,
+                                timing: StageTiming {
+                                    asr: ctx.asr_timing,
+                                    classify: ctx.classify,
+                                    qa: None,
+                                    imm: None,
+                                    total: ctx.started.elapsed(),
+                                },
+                            };
+                            finish(
+                                &metrics,
+                                recorder.as_ref(),
+                                ctx.started,
+                                &ctx.ticket,
+                                Ok(response),
+                            );
+                            return;
+                        }
+                        let question = ctx.recognized.clone();
+                        let image = ctx.image.take();
+                        let job = Job::now(ctx, ImmRequest { question, image });
+                        if let Err(sirius_par::queue::SendError(job)) = imm_tx.send(job) {
+                            finish(
+                                &metrics,
+                                recorder.as_ref(),
+                                job.ctx.started,
+                                &job.ctx.ticket,
+                                Err(SiriusError::ShuttingDown),
+                            );
+                        }
                     }
-                    let question = ctx.recognized.clone();
-                    let image = ctx.image.take();
-                    let job = (ctx, ImmRequest { question, image });
-                    if let Err(sirius_par::queue::SendError((ctx, _))) = imm_tx.send(job) {
-                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
-                    }
+                    Err(err) => finish(
+                        &metrics,
+                        recorder.as_ref(),
+                        ctx.started,
+                        &ctx.ticket,
+                        Err(err),
+                    ),
                 }
-                Err(err) => complete(&ctx.ticket, Err(err)),
             },
         ));
 
@@ -282,28 +452,48 @@ impl SiriusServer {
             Arc::new(AsrStage(Arc::clone(&sirius))),
             config.asr.workers,
             asr_rx,
-            move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
-                Ok(asr) => {
-                    ctx.recognized = asr.recognized.clone();
-                    ctx.asr_timing = asr.timing;
-                    let job = (
-                        ctx,
-                        ClassifyRequest {
-                            recognized: asr.recognized,
-                        },
-                    );
-                    if let Err(sirius_par::queue::SendError((ctx, _))) = cls_tx.send(job) {
-                        complete(&ctx.ticket, Err(SiriusError::ShuttingDown));
+            Arc::clone(&metrics.asr),
+            Arc::clone(&recorder),
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
+                    Ok(asr) => {
+                        ctx.recognized = asr.recognized.clone();
+                        ctx.asr_timing = asr.timing;
+                        let job = Job::now(
+                            ctx,
+                            ClassifyRequest {
+                                recognized: asr.recognized,
+                            },
+                        );
+                        if let Err(sirius_par::queue::SendError(job)) = cls_tx.send(job) {
+                            finish(
+                                &metrics,
+                                recorder.as_ref(),
+                                job.ctx.started,
+                                &job.ctx.ticket,
+                                Err(SiriusError::ShuttingDown),
+                            );
+                        }
                     }
+                    Err(err) => finish(
+                        &metrics,
+                        recorder.as_ref(),
+                        ctx.started,
+                        &ctx.ticket,
+                        Err(err),
+                    ),
                 }
-                Err(err) => complete(&ctx.ticket, Err(err)),
             },
         ));
 
         Self {
             sirius,
             config,
+            metrics,
             submit_tx: Some(asr_tx),
+            queue_probes,
             workers,
         }
     }
@@ -316,6 +506,20 @@ impl SiriusServer {
     /// The configuration the runtime was started with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The runtime's metrics (live handles; see [`crate::metrics`] for the
+    /// naming scheme).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// Refreshes the queue-depth/capacity gauges and exports every metric.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        for probe in &self.queue_probes {
+            probe.refresh();
+        }
+        self.metrics.registry().snapshot()
     }
 
     /// Queries currently waiting in the admission (ASR) queue.
@@ -350,12 +554,22 @@ impl SiriusServer {
             audio: input.audio,
             acoustic: self.config.acoustic,
         };
-        match tx.try_send((ctx, req)) {
-            Ok(()) => Ok(Ticket {
-                state,
-                submitted: started,
-            }),
-            Err(TrySendError::Full(_)) => Err(SiriusError::Overloaded { stage: "asr" }),
+        match tx.try_send(Job {
+            ctx,
+            req,
+            enqueued: started,
+        }) {
+            Ok(()) => {
+                self.metrics.accepted.inc();
+                Ok(Ticket {
+                    state,
+                    submitted: started,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.shed.inc();
+                Err(SiriusError::Overloaded { stage: "asr" })
+            }
             Err(TrySendError::Disconnected(_)) => Err(SiriusError::ShuttingDown),
         }
     }
@@ -374,7 +588,10 @@ impl SiriusServer {
 
     fn shutdown_in_place(&mut self) {
         // Closing the admission queue cascades: each pool drains, exits and
-        // drops its sender to the next queue, closing that one in turn.
+        // drops its sender to the next queue, closing that one in turn. The
+        // queue probes hold sender clones on the interior queues, so they
+        // must go first or the cascade never reaches the downstream pools.
+        self.queue_probes.clear();
         drop(self.submit_tx.take());
         for worker in self.workers.drain(..) {
             worker.join().expect("stage worker never panics");
@@ -395,5 +612,54 @@ impl std::fmt::Debug for SiriusServer {
             .field("workers", &self.workers.len())
             .field("accepting", &self.submit_tx.is_some())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_ticket() -> (Arc<TicketState>, Ticket) {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+            submitted: Instant::now(),
+        };
+        (state, ticket)
+    }
+
+    #[test]
+    fn wait_timeout_returns_typed_timeout_and_keeps_the_ticket() {
+        let (state, ticket) = fresh_ticket();
+        let waited = Duration::from_millis(10);
+        assert_eq!(
+            ticket.wait_timeout(waited),
+            Err(SiriusError::Timeout { waited })
+        );
+        // The ticket survived the timeout; a late completion is observable.
+        complete(&state, Err(SiriusError::ShuttingDown));
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(5)),
+            Err(SiriusError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_completion_before_the_deadline() {
+        let (state, ticket) = fresh_ticket();
+        let completer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            complete(&state, Err(SiriusError::StagePanicked { stage: "qa" }));
+        });
+        let begun = Instant::now();
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(30)),
+            Err(SiriusError::StagePanicked { stage: "qa" })
+        );
+        assert!(begun.elapsed() < Duration::from_secs(30));
+        completer.join().unwrap();
     }
 }

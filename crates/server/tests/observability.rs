@@ -1,0 +1,186 @@
+//! Telemetry gates for the staged runtime.
+//!
+//! 1. Per-stage histograms must account for every admitted query: counts
+//!    line up with the routing (actions exit at classify; only questions
+//!    reach IMM/QA), and the per-stage `queue_wait + service` time
+//!    reconciles with the end-to-end sojourn histogram.
+//! 2. Admission counters must mirror the typed submit results.
+//! 3. A caller-supplied `Recorder` must see every span of every query.
+//! 4. Snapshots must export queue gauges and render to JSON/Prometheus.
+
+use std::sync::{Arc, OnceLock};
+
+use sirius::error::SiriusError;
+use sirius::pipeline::{Sirius, SiriusConfig, SiriusOutcome};
+use sirius::prepare_input_set;
+use sirius_obs::{CollectingRecorder, SpanKind};
+use sirius_server::{ServerConfig, SiriusServer};
+
+static SIRIUS: OnceLock<Arc<Sirius>> = OnceLock::new();
+
+fn shared_sirius() -> Arc<Sirius> {
+    Arc::clone(SIRIUS.get_or_init(|| Arc::new(Sirius::build(SiriusConfig::default()))))
+}
+
+#[test]
+fn per_stage_histograms_account_for_every_query() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 4242);
+    let server = SiriusServer::start(Arc::clone(&sirius), ServerConfig::default());
+
+    let mut actions = 0u64;
+    for p in prepared.iter() {
+        let response = server.process_sync(p.input()).expect("query served");
+        if matches!(response.outcome, SiriusOutcome::Action(_)) {
+            actions += 1;
+        }
+    }
+    let total = prepared.len() as u64;
+    let questions = total - actions;
+    assert!(actions > 0 && questions > 0, "input set mixes both kinds");
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("admission.accepted"), Some(total));
+    assert_eq!(snap.counter("admission.shed"), Some(0));
+    assert_eq!(snap.counter("completed"), Some(total));
+    assert_eq!(snap.counter("failed"), Some(0));
+
+    // Stage counts mirror the routing topology.
+    for stage in ["asr", "classify"] {
+        for kind in ["queue_wait_ns", "service_ns"] {
+            let h = snap.histogram(&format!("{stage}.{kind}")).unwrap();
+            assert_eq!(h.count, total, "{stage}.{kind}");
+        }
+        assert_eq!(snap.counter(&format!("{stage}.panics")), Some(0));
+    }
+    for stage in ["imm", "qa"] {
+        let h = snap.histogram(&format!("{stage}.service_ns")).unwrap();
+        assert_eq!(h.count, questions, "{stage} sees only questions");
+    }
+
+    // Reconciliation: summed per-stage wait + service never exceeds the
+    // summed sojourn (both are exact sums, not bucketed), and the
+    // unattributed remainder (routing hand-offs) is a small fraction.
+    let sojourn = snap.histogram("sojourn_ns").unwrap();
+    assert_eq!(sojourn.count, total);
+    let attributed: u64 = ["asr", "classify", "imm", "qa"]
+        .iter()
+        .flat_map(|s| {
+            [
+                snap.histogram(&format!("{s}.queue_wait_ns")).unwrap().sum,
+                snap.histogram(&format!("{s}.service_ns")).unwrap().sum,
+            ]
+        })
+        .sum();
+    assert!(
+        attributed <= sojourn.sum,
+        "stage time {attributed} must not exceed sojourn {}",
+        sojourn.sum
+    );
+    assert!(
+        attributed * 2 >= sojourn.sum,
+        "stage time {attributed} should dominate sojourn {}",
+        sojourn.sum
+    );
+
+    // Bucketed percentiles are ordered and bounded by the exact extremes.
+    let (p50, p95, p99) = (
+        sojourn.percentile(50.0),
+        sojourn.percentile(95.0),
+        sojourn.percentile(99.0),
+    );
+    assert!(sojourn.min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= sojourn.max);
+
+    server.shutdown();
+}
+
+#[test]
+fn admission_counters_mirror_shedding() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 31415);
+    let server = SiriusServer::start(
+        Arc::clone(&sirius),
+        ServerConfig::default().with_queue_depth(1),
+    );
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    for p in prepared.iter() {
+        match server.submit(p.input()) {
+            Ok(t) => tickets.push(t),
+            Err(SiriusError::Overloaded { .. }) => shed += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(shed > 0, "depth-1 queue must shed under a burst");
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        t.wait().expect("accepted queries complete");
+    }
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("admission.accepted"), Some(accepted));
+    assert_eq!(snap.counter("admission.shed"), Some(shed));
+    assert_eq!(snap.counter("completed"), Some(accepted));
+    server.shutdown();
+}
+
+#[test]
+fn recorder_sees_every_span_of_every_query() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 777);
+    let recorder = Arc::new(CollectingRecorder::new());
+    let server = SiriusServer::start_with_recorder(
+        Arc::clone(&sirius),
+        ServerConfig::default(),
+        Arc::<CollectingRecorder>::clone(&recorder),
+    );
+    let n = 6;
+    for p in prepared.iter().take(n) {
+        server.process_sync(p.input()).expect("query served");
+    }
+    server.shutdown();
+
+    let events = recorder.events();
+    let count = |stage: &str, kind: SpanKind| {
+        events
+            .iter()
+            .filter(|(s, k, _)| *s == stage && *k == kind)
+            .count()
+    };
+    // Every query passes ASR and classify, with both spans attributed.
+    assert_eq!(count("asr", SpanKind::QueueWait), n);
+    assert_eq!(count("asr", SpanKind::Service), n);
+    assert_eq!(count("classify", SpanKind::Service), n);
+    // Exactly one total span per successful query.
+    assert_eq!(count("total", SpanKind::Total), n);
+    // Questions flow through IMM and QA in lockstep.
+    assert_eq!(
+        count("imm", SpanKind::Service),
+        count("qa", SpanKind::Service)
+    );
+    assert!(recorder.total_for("asr", SpanKind::Service) > std::time::Duration::ZERO);
+}
+
+#[test]
+fn snapshot_exports_queue_gauges_and_renders() {
+    let sirius = shared_sirius();
+    let server = SiriusServer::start(
+        Arc::clone(&sirius),
+        ServerConfig::default().with_queue_depth(7),
+    );
+    let snap = server.metrics_snapshot();
+    for stage in sirius_server::STAGES {
+        assert_eq!(
+            snap.gauge(&format!("{stage}.queue_capacity")),
+            Some(7),
+            "{stage}"
+        );
+        assert_eq!(snap.gauge(&format!("{stage}.queue_depth")), Some(0), "idle");
+    }
+    let json = snap.to_json();
+    assert!(json.contains("\"sojourn_ns\""));
+    assert!(json.contains("\"asr.queue_capacity\": 7"));
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE asr_service_ns summary"));
+    assert!(prom.contains("asr_queue_capacity 7"));
+    server.shutdown();
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_obs.json: the observability overhead gate (per-primitive
+# ns/op, the full per-query disabled-tracing obs block, and its fraction of
+# the mean serial query latency — must stay below 1%). Recipe in
+# EXPERIMENTS.md. Exits non-zero if the gate fails.
+#
+# Usage: scripts/bench_obs.sh [REPS]
+#   REPS  A/B serial loop pairs (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-3}"
+
+cargo build --release -p sirius-bench --bin bench_obs
+./target/release/bench_obs --reps "$REPS" > BENCH_obs.json
+echo "==> wrote BENCH_obs.json"

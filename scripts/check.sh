@@ -16,10 +16,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo build --release -p sirius-bench --bin bench_server"
-cargo build --release -p sirius-bench --bin bench_server
+echo "==> cargo build --release -p sirius-bench --bin bench_server --bin bench_obs"
+cargo build --release -p sirius-bench --bin bench_server --bin bench_obs
 
-echo "==> cargo test --release -p sirius-server -q (concurrency gates)"
+echo "==> cargo test --release -p sirius-obs -q (observability unit gates)"
+cargo test --release -p sirius-obs -q
+
+echo "==> cargo test --release -p sirius-server -q (concurrency + telemetry gates)"
 cargo test --release -p sirius-server -q
 
 echo "==> cargo bench --no-run"
