@@ -14,7 +14,15 @@
 //!    telemetry itself are reported — per-stage time must reconcile with
 //!    the end-to-end sojourn, and bucketed percentiles must agree with the
 //!    exact nearest-rank values within one bucket width.
-//! 3. **Saturation** — closed-loop clients hammer the runtime with 1 and
+//! 3. **Admission-policy sweep** — shed-on-full vs deadline-aware admission
+//!    head-to-head at ρ ∈ {0.8, 0.9, 1.1, 1.5} under an SLO of
+//!    8 × the mean service time, with paired arrival processes. Reported
+//!    per policy: goodput (SLO-met completions per second), shed and
+//!    expired rates, and p99 sojourn; the shed-on-full shed rates are
+//!    cross-checked against the closed-form M/M/1/K blocking probability
+//!    (`sirius_dcsim::ShedComparison`), and admitted outputs are checked
+//!    against the serial references.
+//! 4. **Saturation** — closed-loop clients hammer the runtime with 1 and
 //!    with `--workers` workers per heavy stage; staged outputs are checked
 //!    against the serial references query-by-query.
 //!
@@ -30,15 +38,28 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use sirius::error::SiriusError;
 use sirius::pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusResponse};
 use sirius::prepare_input_set;
 use sirius::profile::LatencyStats;
-use sirius_dcsim::{MeasuredPoint, QueueComparison, StageMeasurement, TandemComparison};
+use sirius_dcsim::{
+    MeasuredPoint, QueueComparison, ShedComparison, ShedPoint, StageMeasurement, TandemComparison,
+};
 use sirius_obs::metrics::{bucket_bounds, bucket_index};
 use sirius_obs::{HistogramSnapshot, Snapshot};
 use sirius_server::{ServerConfig, SiriusServer, STAGES};
 
 const SWEEP_RHO: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+/// Offered loads for the admission-policy head-to-head, straddling
+/// saturation: deadline-aware admission should not matter much below
+/// ρ ≈ 0.8 and must dominate above it.
+const POLICY_RHO: [f64; 4] = [0.8, 0.9, 1.1, 1.5];
+/// The policy sweep's SLO as a multiple of the zero-load mean service time
+/// (a "responsive" bar in the spirit of the paper's latency targets).
+const SLO_SERVICE_MULTIPLE: f64 = 8.0;
+/// Queue depth of the policy-sweep servers; with the one in-service slot
+/// this is the system capacity K of the M/M/1/K shed model.
+const POLICY_QUEUE_DEPTH: usize = 16;
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -191,6 +212,153 @@ impl OpenLoopPoint {
     }
 }
 
+/// One admission policy's showing at one offered load.
+struct PolicyOutcome {
+    admitted: u64,
+    /// Sheds from a full admission queue (`Overloaded`).
+    shed_full: u64,
+    /// Sheds from the sojourn estimator (`DeadlineUnmeetable` at submit).
+    shed_deadline: u64,
+    /// Admitted jobs whose deadline passed while queued (dropped at
+    /// dequeue, never serviced).
+    expired: u64,
+    completed: u64,
+    /// Completions that met the SLO — the goodput numerator.
+    within_slo: u64,
+    /// First arrival to last completion, seconds.
+    wall: f64,
+    p99_ms: f64,
+    outputs_match: bool,
+    /// Whether the runtime's own ledger balanced: accepted = completed +
+    /// failed, expiries all attributed to exactly one stage, and every
+    /// accepted query either got ASR service or expired there — i.e. no
+    /// stage spent service time on a dead job.
+    accounting_balanced: bool,
+}
+
+impl PolicyOutcome {
+    fn goodput(&self) -> f64 {
+        self.within_slo as f64 / self.wall
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "\"admitted\": {}, \"shed_full\": {}, \"shed_deadline\": {}, \"expired\": {}, \"completed\": {}, \"within_slo\": {}, \"goodput_qps\": {:.2}, \"p99_ms\": {:.3}",
+            self.admitted,
+            self.shed_full,
+            self.shed_deadline,
+            self.expired,
+            self.completed,
+            self.within_slo,
+            self.goodput(),
+            self.p99_ms
+        )
+    }
+}
+
+/// Drives one fresh single-worker runtime open-loop at rate `lambda` under
+/// one admission policy: `admission_deadline = None` is plain shed-on-full,
+/// `Some(slo)` stamps every submit with the SLO as its deadline. Goodput is
+/// judged against the same `slo` either way so the two policies compare on
+/// identical terms, and the paired caller reuses one `seed` per load point
+/// so both see the same arrival process.
+#[allow(clippy::too_many_arguments)]
+fn policy_run(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    reference: &[(String, String, Option<String>)],
+    lambda: f64,
+    arrivals: usize,
+    admission_deadline: Option<Duration>,
+    slo: Duration,
+    seed: u64,
+) -> PolicyOutcome {
+    let server = SiriusServer::start(
+        Arc::clone(sirius),
+        ServerConfig::with_workers(1).with_queue_depth(POLICY_QUEUE_DEPTH),
+    );
+    // Warm the per-stage service meters so the sojourn estimator starts
+    // informed; both policies get the identical warmup for parity.
+    for input in inputs {
+        server.process_sync(input.clone()).expect("warmup query");
+    }
+    let warm = inputs.len() as u64;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tickets = Vec::with_capacity(arrivals);
+    let mut shed_full = 0u64;
+    let mut shed_deadline = 0u64;
+    let begun = Instant::now();
+    let mut next = begun;
+    for i in 0..arrivals {
+        let gap = -(1.0 - rng.gen_range(0.0f64..1.0)).ln() / lambda;
+        next += Duration::from_secs_f64(gap);
+        wait_until(next);
+        let at = i % inputs.len();
+        let submitted = match admission_deadline {
+            Some(deadline) => server.submit_with_deadline(inputs[at].clone(), deadline),
+            None => server.submit(inputs[at].clone()),
+        };
+        match submitted {
+            Ok(ticket) => tickets.push((at, ticket)),
+            Err(SiriusError::Overloaded { .. }) => shed_full += 1,
+            Err(SiriusError::DeadlineUnmeetable { .. }) => shed_deadline += 1,
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+
+    let admitted = tickets.len() as u64;
+    let mut completed = 0u64;
+    let mut within_slo = 0u64;
+    let mut expired = 0u64;
+    let mut outputs_match = true;
+    let mut sojourns = Vec::new();
+    for (at, ticket) in tickets {
+        match ticket.wait() {
+            Ok(response) => {
+                completed += 1;
+                if response.timing.total <= slo {
+                    within_slo += 1;
+                }
+                sojourns.push(response.timing.total);
+                if payload(&response) != reference[at] {
+                    outputs_match = false;
+                }
+            }
+            Err(SiriusError::DeadlineUnmeetable { .. }) => expired += 1,
+            Err(other) => panic!("unexpected ticket error: {other}"),
+        }
+    }
+    let wall = begun.elapsed().as_secs_f64();
+
+    let snap = server.metrics_snapshot();
+    let accepted = snap.counter("admission.accepted").unwrap_or(0);
+    let stage_expired: u64 = STAGES
+        .iter()
+        .map(|s| snap.counter(&format!("{s}.expired")).unwrap_or(0))
+        .sum();
+    let asr_serviced = snap.histogram("asr.service_ns").map_or(0, |h| h.count);
+    let accounting_balanced = accepted == admitted + warm
+        && stage_expired == expired
+        && asr_serviced + snap.counter("asr.expired").unwrap_or(0) == accepted
+        && snap.counter("completed") == Some(completed + warm)
+        && snap.counter("failed") == Some(expired);
+    server.shutdown();
+
+    PolicyOutcome {
+        admitted,
+        shed_full,
+        shed_deadline,
+        expired,
+        completed,
+        within_slo,
+        wall,
+        p99_ms: ms(LatencyStats::from_samples(&sojourns).p99),
+        outputs_match,
+        accounting_balanced,
+    }
+}
+
 /// Closed-loop saturation: `clients` threads process `total` queries as
 /// fast as the runtime admits them. Returns (qps, outputs_match_serial).
 fn saturate(
@@ -336,6 +504,59 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let slo = Duration::from_secs_f64(SLO_SERVICE_MULTIPLE * mean_service);
+    let policy_arrivals = arrivals.max(150);
+    let mut policy_rows = Vec::new();
+    for (i, &rho) in POLICY_RHO.iter().enumerate() {
+        let lambda = rho * mu;
+        let pair_seed = seed.wrapping_add(0x900 + i as u64);
+        eprintln!(
+            "policy sweep: rho={rho:.1} lambda={lambda:.1}/s ({policy_arrivals} arrivals) shed-on-full..."
+        );
+        let shed_on_full = policy_run(
+            &sirius,
+            &inputs,
+            &reference,
+            lambda,
+            policy_arrivals,
+            None,
+            slo,
+            pair_seed,
+        );
+        eprintln!("policy sweep: rho={rho:.1} deadline-aware...");
+        let deadline_aware = policy_run(
+            &sirius,
+            &inputs,
+            &reference,
+            lambda,
+            policy_arrivals,
+            Some(slo),
+            slo,
+            pair_seed,
+        );
+        policy_rows.push((rho, shed_on_full, deadline_aware));
+    }
+    let shed_points: Vec<ShedPoint> = policy_rows
+        .iter()
+        .map(|(rho, shed_on_full, _)| ShedPoint {
+            rho: *rho,
+            capacity: POLICY_QUEUE_DEPTH + 1,
+            offered: policy_arrivals as u64,
+            shed: shed_on_full.shed_full,
+        })
+        .collect();
+    let shed_cmp = ShedComparison::against(&shed_points);
+    let deadline_beats_shed = policy_rows
+        .iter()
+        .filter(|(rho, ..)| *rho >= 0.9)
+        .all(|(_, shed_on_full, deadline_aware)| deadline_aware.goodput() > shed_on_full.goodput());
+    let policy_outputs_match = policy_rows
+        .iter()
+        .all(|(_, a, b)| a.outputs_match && b.outputs_match);
+    let policy_accounting = policy_rows
+        .iter()
+        .all(|(_, a, b)| a.accounting_balanced && b.accounting_balanced);
+
     let total = (3 * inputs.len()).max(arrivals);
     eprintln!("saturation: 1 worker/stage, {total} queries...");
     let (staged_1w_qps, match_1w) = saturate(&sirius, &inputs, &reference, 1, 2, total);
@@ -405,6 +626,28 @@ fn main() {
         "  ], \"reconstruction_error\": {}, \"mean_relative_error\": {} }},",
         opt(tandem.reconstruction_error()),
         opt(tandem.mean_relative_error())
+    );
+    println!(
+        "  \"policy_sweep\": {{ \"slo_ms\": {:.3}, \"arrivals_per_point\": {policy_arrivals}, \"mm1k_capacity\": {}, \"points\": [",
+        slo.as_secs_f64() * 1e3,
+        POLICY_QUEUE_DEPTH + 1
+    );
+    for (i, ((rho, shed_on_full, deadline_aware), row)) in
+        policy_rows.iter().zip(&shed_cmp.rows).enumerate()
+    {
+        let comma = if i + 1 < policy_rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"rho\": {rho:.2}, \"shed_on_full\": {{ {}, \"measured_shed_rate\": {:.4}, \"mm1k_predicted_shed_rate\": {:.4}, \"absolute_error\": {:.4} }}, \"deadline_aware\": {{ {} }} }}{comma}",
+            shed_on_full.json(),
+            row.measured,
+            row.predicted,
+            row.absolute_error,
+            deadline_aware.json()
+        );
+    }
+    println!(
+        "  ], \"mm1k_worst_absolute_error\": {}, \"deadline_beats_shed_on_full_at_high_load\": {deadline_beats_shed}, \"outputs_match_serial\": {policy_outputs_match}, \"accounting_balanced\": {policy_accounting} }},",
+        opt(shed_cmp.worst_absolute_error())
     );
     println!(
         "  \"saturation\": {{ \"total_queries\": {total}, \"staged_1worker_qps\": {:.2}, \"staged_qps\": {:.2}, \"speedup_vs_serial\": {:.2}, \"outputs_match_serial\": {} }}",

@@ -46,6 +46,24 @@ pub enum SiriusError {
         /// How long the caller waited before giving up.
         waited: std::time::Duration,
     },
+    /// Deadline-aware admission control shed the request: the expected
+    /// end-to-end sojourn (live queue backlog × recent mean service, summed
+    /// over the stages) already exceeds the caller's deadline, so admitting
+    /// the query would only spend service time on an answer that arrives
+    /// too late. Also completes a query that was admitted but expired in a
+    /// queue before any worker picked it up; such jobs are dropped at
+    /// dequeue and consume no stage service time.
+    DeadlineUnmeetable {
+        /// The expected (or, for an expired job, already elapsed) sojourn.
+        expected: std::time::Duration,
+        /// The deadline the caller asked for.
+        deadline: std::time::Duration,
+        /// Retry hint: how long until the backlog ahead of the query drains
+        /// enough that the deadline becomes meetable, assuming the pipeline
+        /// keeps draining at its current service rate and no new queries are
+        /// admitted in between.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for SiriusError {
@@ -65,6 +83,15 @@ impl std::fmt::Display for SiriusError {
             SiriusError::Timeout { waited } => {
                 write!(f, "no response after waiting {waited:?}")
             }
+            SiriusError::DeadlineUnmeetable {
+                expected,
+                deadline,
+                retry_after,
+            } => write!(
+                f,
+                "deadline unmeetable: expected sojourn {expected:?} exceeds deadline \
+                 {deadline:?}; retry after {retry_after:?}"
+            ),
         }
     }
 }
@@ -91,5 +118,15 @@ mod tests {
             waited: std::time::Duration::from_millis(250),
         };
         assert!(e.to_string().contains("250"));
+        let e = SiriusError::DeadlineUnmeetable {
+            expected: std::time::Duration::from_millis(90),
+            deadline: std::time::Duration::from_millis(40),
+            retry_after: std::time::Duration::from_millis(50),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("90") && text.contains("40") && text.contains("50"),
+            "{text}"
+        );
     }
 }

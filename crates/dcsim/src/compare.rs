@@ -12,7 +12,7 @@
 //! exponential server, so the model is an approximation — the relative
 //! error column is the point of the exercise, not a residual to hide.
 
-use crate::queue::Mm1;
+use crate::queue::{mm1k_blocking_probability, Mm1};
 
 /// One measured operating point of a running server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,6 +236,90 @@ impl TandemComparison {
     }
 }
 
+/// One measured shed-rate operating point of a shed-on-full admission
+/// policy: at offered load ρ, `shed` of `offered` arrivals were rejected
+/// because the bounded admission queue (system capacity `capacity`,
+/// waiting room plus servers) was full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPoint {
+    /// Offered load ρ = λ/μ.
+    pub rho: f64,
+    /// Total system capacity K of the admission queue (queue depth plus
+    /// in-service slots).
+    pub capacity: usize,
+    /// Arrivals offered during the window.
+    pub offered: u64,
+    /// Arrivals shed because the queue was full.
+    pub shed: u64,
+}
+
+impl ShedPoint {
+    /// The measured shed fraction (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// One shed-rate measurement lined up against the M/M/1/K blocking
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedRow {
+    /// Offered load ρ.
+    pub rho: f64,
+    /// Measured shed fraction.
+    pub measured: f64,
+    /// Predicted blocking probability
+    /// [`mm1k_blocking_probability`]`(rho, capacity)`.
+    pub predicted: f64,
+    /// |measured − predicted|, an absolute probability gap (relative error
+    /// explodes when the prediction is a near-zero tail probability).
+    pub absolute_error: f64,
+}
+
+/// Measured shed rates of shed-on-full admission control lined up against
+/// the closed-form M/M/1/K blocking probability — the admission-control
+/// analogue of [`QueueComparison`]. As there, the model is an
+/// approximation (the runtime is a tandem with general service times, not
+/// one exponential server) and the error column is the point, not a
+/// residual to hide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedComparison {
+    /// One row per measured point, in input order.
+    pub rows: Vec<ShedRow>,
+}
+
+impl ShedComparison {
+    /// Lines each measured point up against its own M/M/1/K prediction.
+    pub fn against(points: &[ShedPoint]) -> Self {
+        let rows = points
+            .iter()
+            .map(|p| {
+                let measured = p.shed_rate();
+                let predicted = mm1k_blocking_probability(p.rho, p.capacity);
+                ShedRow {
+                    rho: p.rho,
+                    measured,
+                    predicted,
+                    absolute_error: (measured - predicted).abs(),
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Worst absolute probability gap over all points.
+    pub fn worst_absolute_error(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|r| r.absolute_error)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite errors"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +453,43 @@ mod tests {
         let degenerate = TandemComparison::against(0.0, 0, 0.0, &stages);
         assert_eq!(degenerate.rows[0].lambda, 0.0);
         assert!(degenerate.reconstruction_error().is_none());
+    }
+
+    #[test]
+    fn shed_comparison_tracks_blocking_probability() {
+        let points = vec![
+            // Model-generated: 1000 offered at ρ = 1 with K = 9 → 100 shed.
+            ShedPoint {
+                rho: 1.0,
+                capacity: 9,
+                offered: 1000,
+                shed: 100,
+            },
+            // Overload point with a deliberate measurement gap.
+            ShedPoint {
+                rho: 2.0,
+                capacity: 1,
+                offered: 100,
+                shed: 80,
+            },
+            // Nothing offered: shed rate is defined as zero.
+            ShedPoint {
+                rho: 0.5,
+                capacity: 4,
+                offered: 0,
+                shed: 0,
+            },
+        ];
+        let cmp = ShedComparison::against(&points);
+        assert!(cmp.rows[0].absolute_error < 1e-12);
+        // ρ = 2, K = 1 → P = ρ/(1+ρ) = 2/3; measured 0.8 → gap 0.1333…
+        assert!((cmp.rows[1].predicted - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.rows[1].absolute_error - (0.8 - 2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(cmp.rows[2].measured, 0.0);
+        assert_eq!(cmp.worst_absolute_error(), Some(cmp.rows[1].absolute_error));
+        assert!(ShedComparison::against(&[])
+            .worst_absolute_error()
+            .is_none());
     }
 
     #[test]

@@ -18,12 +18,12 @@ pub mod sim;
 pub mod tco;
 
 pub use compare::{
-    ComparisonRow, MeasuredPoint, QueueComparison, StageMeasurement, TandemComparison,
-    TandemStageRow,
+    ComparisonRow, MeasuredPoint, QueueComparison, ShedComparison, ShedPoint, ShedRow,
+    StageMeasurement, TandemComparison, TandemStageRow,
 };
 pub use design::{
     design_space, heterogeneous_design, homogeneous_design, query_level_metrics, DesignPoint,
     Objective, QueryClass,
 };
-pub use queue::{throughput_improvement_at_load, Mm1};
+pub use queue::{mm1k_blocking_probability, throughput_improvement_at_load, Mm1};
 pub use tco::{monthly_tco, normalized_dc_tco, ServerConfig, TcoParams};

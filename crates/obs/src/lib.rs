@@ -38,6 +38,6 @@ pub mod registry;
 pub mod stats;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Meter, MeterSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use trace::{CollectingRecorder, NoopRecorder, Recorder, Span, SpanKind};

@@ -10,13 +10,14 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Meter, MeterSnapshot};
 
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    meters: BTreeMap<String, Meter>,
 }
 
 /// A named collection of metrics. Cloning shares the underlying registry;
@@ -66,6 +67,17 @@ impl Registry {
             .clone()
     }
 
+    /// The EWMA meter named `name`, registering it on first use.
+    pub fn meter(&self, name: &str) -> Meter {
+        self.0
+            .lock()
+            .expect("registry lock")
+            .meters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
     /// Captures every registered metric at this instant.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.0.lock().expect("registry lock");
@@ -84,6 +96,11 @@ impl Registry {
                 .histograms
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            meters: inner
+                .meters
+                .iter()
+                .map(|(n, m)| (n.clone(), m.snapshot()))
                 .collect(),
         }
     }
@@ -109,6 +126,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, u64)>,
     /// `(name, contents)` per histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, contents)` per EWMA meter.
+    pub meters: Vec<(String, MeterSnapshot)>,
 }
 
 impl Snapshot {
@@ -125,6 +144,11 @@ impl Snapshot {
     /// The captured contents of a histogram, if it was registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         lookup(&self.histograms, name)
+    }
+
+    /// The captured contents of an EWMA meter, if it was registered.
+    pub fn meter(&self, name: &str) -> Option<&MeterSnapshot> {
+        lookup(&self.meters, name)
     }
 
     /// Renders the snapshot as a JSON object: counters and gauges as plain
@@ -148,6 +172,13 @@ impl Snapshot {
                 h.percentile(50.0),
                 h.percentile(95.0),
                 h.percentile(99.0),
+            ));
+        }
+        for (name, m) in &self.meters {
+            push_entry(&mut out, &mut first);
+            out.push_str(&format!(
+                "  \"{name}\": {{ \"count\": {}, \"mean\": {:.1} }}",
+                m.count, m.mean
             ));
         }
         out.push_str("\n}");
@@ -178,6 +209,10 @@ impl Snapshot {
             }
             out.push_str(&format!("{name}_sum {}\n", h.sum));
             out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        for (name, m) in &self.meters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", m.mean));
         }
         out
     }
@@ -217,11 +252,17 @@ mod tests {
         assert_eq!(r.snapshot().gauge("depth"), Some(5));
         r.histogram("lat_ns").record(100);
         r.histogram("lat_ns").record(300);
+        r.meter("svc_ewma_ns").record(400);
+        r.meter("svc_ewma_ns").record(400);
         let snap = r.snapshot();
         assert_eq!(snap.histogram("lat_ns").unwrap().count, 2);
+        let meter = snap.meter("svc_ewma_ns").unwrap();
+        assert_eq!(meter.count, 2);
+        assert!((meter.mean - 400.0).abs() < f64::EPSILON);
         assert_eq!(snap.counter("missing"), None);
         assert_eq!(snap.gauge("missing"), None);
         assert!(snap.histogram("missing").is_none());
+        assert!(snap.meter("missing").is_none());
     }
 
     #[test]
@@ -242,14 +283,16 @@ mod tests {
         for v in [10u64, 20, 30] {
             h.record(v);
         }
+        r.meter("a.svc_ewma_ns").record(5);
         let json = r.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"a.shed\": 4"));
         assert!(json.contains("\"a.depth\": 2"));
         assert!(json.contains("\"count\": 3"));
         assert!(json.contains("\"sum\": 60"));
-        // One comma between every pair of entries (3 entries -> 2 commas).
-        assert_eq!(json.matches(",\n").count(), 2);
+        assert!(json.contains("\"a.svc_ewma_ns\": { \"count\": 1, \"mean\": 5.0 }"));
+        // One comma between every pair of entries (4 entries -> 3 commas).
+        assert_eq!(json.matches(",\n").count(), 3);
     }
 
     #[test]
@@ -258,7 +301,9 @@ mod tests {
         r.counter("asr.shed").inc();
         r.gauge("asr.queue_depth").set(3);
         r.histogram("asr.service_ns").record(1000);
+        r.meter("asr.service_ewma_ns").record(1000);
         let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE asr_service_ewma_ns gauge\nasr_service_ewma_ns 1000\n"));
         assert!(text.contains("# TYPE asr_shed counter\nasr_shed 1\n"));
         assert!(text.contains("# TYPE asr_queue_depth gauge\nasr_queue_depth 3\n"));
         assert!(text.contains("# TYPE asr_service_ns summary\n"));

@@ -13,18 +13,24 @@
 //! |---|---|---|
 //! | `{stage}.queue_wait_ns` | histogram | time queued in front of the stage |
 //! | `{stage}.service_ns` | histogram | stage handler time |
+//! | `{stage}.service_ewma_ns` | meter | rolling (EWMA) mean service time |
 //! | `{stage}.panics` | counter | requests lost to a caught stage panic |
+//! | `{stage}.expired` | counter | jobs dropped at dequeue (deadline passed) |
 //! | `{stage}.queue_depth` | gauge | queued items at snapshot time |
 //! | `{stage}.queue_capacity` | gauge | bounded queue capacity |
+//! | `{stage}.in_flight` | gauge | jobs a worker is serving right now |
 //! | `admission.accepted` / `admission.shed` | counter | admission control outcomes |
+//! | `admission.shed_deadline` | counter | sheds by the deadline-aware policy |
+//! | `admission.rejected_shutdown` | counter | submits refused mid-shutdown |
 //! | `completed` / `failed` | counter | ticket completions by result |
 //! | `sojourn_ns` | histogram | admission → completion, successful queries |
+//! | `sojourn_failed_ns` | histogram | admission → completion, failed queries |
 //!
 //! [`SiriusServer::metrics_snapshot`]: crate::SiriusServer::metrics_snapshot
 
 use std::sync::Arc;
 
-use sirius_obs::{Counter, Histogram, Registry};
+use sirius_obs::{Counter, Gauge, Histogram, Meter, Registry};
 
 /// The stage names the runtime instruments, in pipeline order.
 pub const STAGES: [&str; 4] = ["asr", "classify", "imm", "qa"];
@@ -36,8 +42,17 @@ pub struct StageObs {
     pub queue_wait: Histogram,
     /// Time the stage handler spent on each job.
     pub service: Histogram,
+    /// Rolling (EWMA) mean of the stage's service time — the admission
+    /// estimator's per-stage service-rate input.
+    pub service_meter: Meter,
     /// Jobs lost to a panic caught at the pool boundary.
     pub panics: Counter,
+    /// Jobs dropped at dequeue because their deadline had already passed;
+    /// they consume no stage service time.
+    pub expired: Counter,
+    /// Jobs a worker of this stage is serving right now (dequeued, handler
+    /// running).
+    pub in_flight: Gauge,
 }
 
 impl StageObs {
@@ -46,7 +61,10 @@ impl StageObs {
         Arc::new(Self {
             queue_wait: registry.histogram(&format!("{stage}.queue_wait_ns")),
             service: registry.histogram(&format!("{stage}.service_ns")),
+            service_meter: registry.meter(&format!("{stage}.service_ewma_ns")),
             panics: registry.counter(&format!("{stage}.panics")),
+            expired: registry.counter(&format!("{stage}.expired")),
+            in_flight: registry.gauge(&format!("{stage}.in_flight")),
         })
     }
 }
@@ -58,14 +76,25 @@ pub struct ServerMetrics {
     registry: Registry,
     /// Queries admitted by `submit`.
     pub accepted: Counter,
-    /// Queries shed at admission (`Overloaded`).
+    /// Queries shed at admission because the ASR queue was full
+    /// (`Overloaded`).
     pub shed: Counter,
+    /// Queries shed at admission because their expected sojourn exceeded the
+    /// caller's deadline (`DeadlineUnmeetable`).
+    pub shed_deadline: Counter,
+    /// Submits refused because the runtime was already shutting down when
+    /// the send raced the queue teardown.
+    pub rejected_shutdown: Counter,
     /// Tickets completed with a response.
     pub completed: Counter,
     /// Tickets completed with an error.
     pub failed: Counter,
     /// Admission → completion time of successful queries.
     pub sojourn: Histogram,
+    /// Admission → completion time of failed queries (expired, panicked,
+    /// shut down mid-flight), so accepted work is always accounted:
+    /// `accepted = sojourn.count + sojourn_failed.count + in flight`.
+    pub sojourn_failed: Histogram,
     /// ASR pool telemetry.
     pub asr: Arc<StageObs>,
     /// Classifier pool telemetry.
@@ -83,9 +112,12 @@ impl ServerMetrics {
         Arc::new(Self {
             accepted: registry.counter("admission.accepted"),
             shed: registry.counter("admission.shed"),
+            shed_deadline: registry.counter("admission.shed_deadline"),
+            rejected_shutdown: registry.counter("admission.rejected_shutdown"),
             completed: registry.counter("completed"),
             failed: registry.counter("failed"),
             sojourn: registry.histogram("sojourn_ns"),
+            sojourn_failed: registry.histogram("sojourn_failed_ns"),
             asr: StageObs::register(&registry, "asr"),
             classify: StageObs::register(&registry, "classify"),
             imm: StageObs::register(&registry, "imm"),
@@ -122,14 +154,22 @@ mod tests {
     fn metrics_are_registered_and_shared() {
         let m = ServerMetrics::new();
         m.asr.queue_wait.record(100);
+        m.asr.service_meter.record(5_000);
         m.shed.inc();
         let snap = m.registry().snapshot();
         assert_eq!(snap.histogram("asr.queue_wait_ns").unwrap().count, 1);
         assert_eq!(snap.counter("admission.shed"), Some(1));
+        assert_eq!(snap.counter("admission.shed_deadline"), Some(0));
+        assert_eq!(snap.counter("admission.rejected_shutdown"), Some(0));
+        assert_eq!(snap.histogram("sojourn_failed_ns").unwrap().count, 0);
+        assert!((snap.meter("asr.service_ewma_ns").unwrap().mean - 5_000.0).abs() < 1e-9);
         for stage in STAGES {
             assert!(m.stage(stage).is_some(), "{stage}");
             assert!(snap.histogram(&format!("{stage}.service_ns")).is_some());
             assert!(snap.counter(&format!("{stage}.panics")).is_some());
+            assert!(snap.counter(&format!("{stage}.expired")).is_some());
+            assert!(snap.gauge(&format!("{stage}.in_flight")).is_some());
+            assert!(snap.meter(&format!("{stage}.service_ewma_ns")).is_some());
         }
         assert!(m.stage("nope").is_none());
     }

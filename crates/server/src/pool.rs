@@ -10,6 +10,13 @@
 //! [`SiriusError::StagePanicked`] and the worker survives to serve the next
 //! job.
 //!
+//! A job may additionally carry a **deadline**. A worker checks it at
+//! dequeue, *before* invoking the handler: a job whose deadline has already
+//! passed is dropped — counted in the stage's `expired` counter and handed
+//! to the `on_expired` callback (which completes the query's ticket with
+//! the typed deadline error) — so stage service time is never spent on work
+//! the client has abandoned.
+//!
 //! Every worker attributes each job's time to the stage's [`StageObs`]
 //! histograms: queue wait (enqueue → dequeue) and service (the `handle`
 //! call). Those records are lock-free atomics. When the optional
@@ -27,8 +34,9 @@ use sirius_par::queue::Receiver;
 
 use crate::metrics::StageObs;
 
-/// One queued unit of work: the per-query context, the stage request, and
-/// when it entered the queue (so the worker can attribute queue wait).
+/// One queued unit of work: the per-query context, the stage request, when
+/// it entered the queue (so the worker can attribute queue wait), and the
+/// query's optional completion deadline.
 #[derive(Debug)]
 pub struct Job<C, Req> {
     /// Per-query context threaded through the stage graph.
@@ -37,15 +45,25 @@ pub struct Job<C, Req> {
     pub req: Req,
     /// When the job was enqueued.
     pub enqueued: Instant,
+    /// Absolute completion deadline. A worker dequeuing the job at or after
+    /// this instant drops it without invoking the stage handler.
+    pub deadline: Option<Instant>,
 }
 
 impl<C, Req> Job<C, Req> {
-    /// A job stamped with the current instant.
+    /// A deadline-free job stamped with the current instant.
     pub fn now(ctx: C, req: Req) -> Self {
+        Self::with_deadline(ctx, req, None)
+    }
+
+    /// A job stamped with the current instant, carrying the query's
+    /// completion deadline across the stage hand-off.
+    pub fn with_deadline(ctx: C, req: Req, deadline: Option<Instant>) -> Self {
         Self {
             ctx,
             req,
             enqueued: Instant::now(),
+            deadline,
         }
     }
 }
@@ -53,20 +71,23 @@ impl<C, Req> Job<C, Req> {
 /// Spawns `workers` named threads (clamped to at least 1) that drain `rx`
 /// through `stage` and hand each result to `route`, recording queue-wait
 /// and service time into `obs` (and into `recorder` when it is enabled).
-/// The threads exit when the queue is closed (every sender dropped) and
-/// drained.
-pub fn spawn_stage_pool<S, C, R>(
+/// Jobs whose deadline already passed at dequeue are dropped unserved and
+/// handed to `on_expired` instead. The threads exit when the queue is
+/// closed (every sender dropped) and drained.
+pub fn spawn_stage_pool<S, C, R, E>(
     stage: Arc<S>,
     workers: usize,
     rx: Receiver<Job<C, S::Req>>,
     obs: Arc<StageObs>,
     recorder: Arc<dyn Recorder>,
     route: R,
+    on_expired: E,
 ) -> Vec<JoinHandle<()>>
 where
     S: Stage + 'static,
     C: Send + 'static,
     R: Fn(C, Result<S::Resp, SiriusError>) + Send + Sync + Clone + 'static,
+    E: Fn(C) + Send + Sync + Clone + 'static,
 {
     (0..workers.max(1))
         .map(|i| {
@@ -75,19 +96,34 @@ where
             let obs = Arc::clone(&obs);
             let recorder = Arc::clone(&recorder);
             let route = route.clone();
+            let on_expired = on_expired.clone();
             std::thread::Builder::new()
                 .name(format!("sirius-{}-{i}", stage.name()))
                 .spawn(move || {
-                    while let Some(Job { ctx, req, enqueued }) = rx.recv() {
+                    while let Some(Job {
+                        ctx,
+                        req,
+                        enqueued,
+                        deadline,
+                    }) = rx.recv()
+                    {
                         let wait = enqueued.elapsed();
                         obs.queue_wait.record_duration(wait);
                         if recorder.enabled() {
                             recorder.record(stage.name(), SpanKind::QueueWait, wait);
                         }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            obs.expired.inc();
+                            on_expired(ctx);
+                            continue;
+                        }
+                        obs.in_flight.inc();
                         let begun = Instant::now();
                         let result = catch_unwind(AssertUnwindSafe(|| stage.handle(req)));
                         let service = begun.elapsed();
+                        obs.in_flight.dec();
                         obs.service.record_duration(service);
+                        obs.service_meter.record_duration(service);
                         if recorder.enabled() {
                             recorder.record(stage.name(), SpanKind::Service, service);
                         }
@@ -149,6 +185,7 @@ mod tests {
             move |id: usize, result| {
                 out_tx.send((id, result)).unwrap();
             },
+            |_id: usize| panic!("no job carries a deadline"),
         );
         let inputs: Vec<u64> = vec![2, 4, 13, 7, 100];
         for (id, req) in inputs.iter().enumerate() {
@@ -189,5 +226,51 @@ mod tests {
                 .count(),
             5
         );
+        assert_eq!(snap.counter("doubler.expired"), Some(0));
+        assert_eq!(snap.gauge("doubler.in_flight"), Some(0), "all drained");
+    }
+
+    #[test]
+    fn expired_jobs_skip_the_handler_entirely() {
+        let registry = Registry::new();
+        let obs = StageObs::register(&registry, "doubler");
+        let (tx, rx) = bounded(16);
+        let (out_tx, out_rx) = mpsc::channel();
+        let expired_tx = out_tx.clone();
+        let workers = spawn_stage_pool(
+            Arc::new(Doubler),
+            1,
+            rx,
+            Arc::clone(&obs),
+            Arc::new(sirius_obs::NoopRecorder),
+            move |id: usize, result| out_tx.send((id, Some(result))).unwrap(),
+            move |id: usize| expired_tx.send((id, None)).unwrap(),
+        );
+        let past = Instant::now();
+        // A deadline in the past, one in the far future, one absent.
+        tx.send(Job::with_deadline(0usize, 2u64, Some(past)))
+            .unwrap();
+        tx.send(Job::with_deadline(
+            1usize,
+            4u64,
+            Instant::now().checked_add(std::time::Duration::from_secs(3600)),
+        ))
+        .unwrap();
+        tx.send(Job::now(2usize, 6u64)).unwrap();
+        drop(tx);
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut results: Vec<_> = out_rx.iter().collect();
+        results.sort_by_key(|(id, _)| *id);
+        assert_eq!(results[0], (0, None), "expired job routed to on_expired");
+        assert_eq!(results[1], (1, Some(Ok(8))));
+        assert_eq!(results[2], (2, Some(Ok(12))));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("doubler.expired"), Some(1));
+        // The expired job waited in the queue but consumed no service time.
+        assert_eq!(snap.histogram("doubler.queue_wait_ns").unwrap().count, 3);
+        assert_eq!(snap.histogram("doubler.service_ns").unwrap().count, 2);
+        assert_eq!(snap.meter("doubler.service_ewma_ns").unwrap().count, 2);
     }
 }

@@ -15,6 +15,16 @@
 //! `try_send` into the ASR queue and sheds with
 //! [`SiriusError::Overloaded`] when it is full — overload surfaces as a
 //! typed rejection the client can retry, instead of unbounded queueing.
+//! [`SiriusServer::submit_with_deadline`] is the deadline-aware policy on
+//! top: it estimates the query's end-to-end sojourn from live queue depths,
+//! in-flight counts and per-stage EWMA service times
+//! ([`SiriusServer::expected_sojourn`]) and sheds with
+//! [`SiriusError::DeadlineUnmeetable`] — carrying a drain-rate-derived
+//! retry hint — the moment the deadline cannot be met, instead of only when
+//! the ASR queue is physically full. Admitted deadlines ride along with the
+//! job; a worker dequeuing an already-expired job drops it unserved
+//! (`{stage}.expired`), so no stage service time is spent on an answer the
+//! client has abandoned.
 //!
 //! **Back-pressure**: interior hand-offs use blocking `send`, so a slow
 //! downstream stage stalls its upstream pool rather than growing a queue
@@ -49,7 +59,7 @@ use sirius_speech::asr::{AcousticModelKind, AsrTiming};
 use sirius_vision::db::ImmTiming;
 use sirius_vision::image::GrayImage;
 
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ServerMetrics, STAGES};
 use crate::pool::{spawn_stage_pool, Job};
 
 /// Sizing of one stage's pool and queue.
@@ -170,12 +180,19 @@ impl Ticket {
     /// [`SiriusError::Timeout`] if no result arrived within `timeout`; any
     /// pipeline error the query itself completed with.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<SiriusResponse, SiriusError> {
-        let deadline = Instant::now() + timeout;
+        // A near-`Duration::MAX` timeout overflows `Instant` arithmetic;
+        // such a deadline can never be reached, so degrade to an untimed
+        // wait instead of panicking.
+        let deadline = Instant::now().checked_add(timeout);
         let mut slot = self.state.slot.lock().expect("ticket lock");
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
+            let Some(deadline) = deadline else {
+                slot = self.state.done.wait(slot).expect("ticket lock");
+                continue;
+            };
             let now = Instant::now();
             if now >= deadline {
                 return Err(SiriusError::Timeout { waited: timeout });
@@ -203,7 +220,10 @@ fn complete(state: &Arc<TicketState>, result: Result<SiriusResponse, SiriusError
 
 /// Completes a ticket and accounts for the outcome: successful queries
 /// record their sojourn (and a `total` span when the recorder is enabled),
-/// failed ones bump the failure counter.
+/// failed ones bump the failure counter and record theirs into the
+/// `sojourn_failed_ns` histogram, so every admitted query's time is
+/// accounted and `accepted = completed + failed + in flight` always
+/// balances.
 fn finish(
     metrics: &ServerMetrics,
     recorder: &dyn Recorder,
@@ -211,18 +231,44 @@ fn finish(
     ticket: &Arc<TicketState>,
     result: Result<SiriusResponse, SiriusError>,
 ) {
+    let sojourn = started.elapsed();
     match &result {
         Ok(_) => {
-            let sojourn = started.elapsed();
             metrics.completed.inc();
             metrics.sojourn.record_duration(sojourn);
             if recorder.enabled() {
                 recorder.record("total", SpanKind::Total, sojourn);
             }
         }
-        Err(_) => metrics.failed.inc(),
+        Err(_) => {
+            metrics.failed.inc();
+            metrics.sojourn_failed.record_duration(sojourn);
+        }
     }
     complete(ticket, result);
+}
+
+/// Completes the ticket of a job that expired in a queue: it already missed
+/// its deadline, so the typed deadline error reports the time it actually
+/// spent (all of it queue wait — no stage served it) and a zero-backlog
+/// retry hint (the client's own abandoned job is gone; the next attempt
+/// faces admission control afresh).
+fn expire(metrics: &ServerMetrics, recorder: &dyn Recorder, ctx: Ctx) {
+    let expected = ctx.started.elapsed();
+    let deadline = ctx
+        .deadline
+        .map_or(Duration::ZERO, |d| d.duration_since(ctx.started));
+    finish(
+        metrics,
+        recorder,
+        ctx.started,
+        &ctx.ticket,
+        Err(SiriusError::DeadlineUnmeetable {
+            expected,
+            deadline,
+            retry_after: expected.saturating_sub(deadline),
+        }),
+    );
 }
 
 /// Per-query state carried alongside stage requests as they move through
@@ -231,6 +277,9 @@ fn finish(
 struct Ctx {
     ticket: Arc<TicketState>,
     started: Instant,
+    /// Absolute completion deadline (admission instant + the caller's SLO),
+    /// `None` for deadline-free submits or unrepresentably far deadlines.
+    deadline: Option<Instant>,
     image: Option<GrayImage>,
     recognized: String,
     asr_timing: AsrTiming,
@@ -267,6 +316,11 @@ impl QueueProbe {
         let (depth, capacity) = (self.read)();
         self.depth.set(depth as u64);
         self.capacity.set(capacity as u64);
+    }
+
+    /// The queue's current depth, read live (not the gauge's last value).
+    fn depth_now(&self) -> usize {
+        (self.read)().0
     }
 }
 
@@ -343,6 +397,11 @@ impl SiriusServer {
                     );
                 }
             },
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
+            },
         ));
 
         // IMM pool: match + rewrite, then forward to QA (blocking send =
@@ -360,11 +419,13 @@ impl SiriusServer {
                     Ok(imm) => {
                         ctx.imm_timing = imm.timing;
                         ctx.matched_venue = imm.matched_venue;
-                        let job = Job::now(
+                        let deadline = ctx.deadline;
+                        let job = Job::with_deadline(
                             ctx,
                             QaRequest {
                                 question: imm.question,
                             },
+                            deadline,
                         );
                         if let Err(sirius_par::queue::SendError(job)) = qa_tx.send(job) {
                             finish(
@@ -384,6 +445,11 @@ impl SiriusServer {
                         Err(err),
                     ),
                 }
+            },
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
             },
         ));
 
@@ -425,7 +491,8 @@ impl SiriusServer {
                         }
                         let question = ctx.recognized.clone();
                         let image = ctx.image.take();
-                        let job = Job::now(ctx, ImmRequest { question, image });
+                        let deadline = ctx.deadline;
+                        let job = Job::with_deadline(ctx, ImmRequest { question, image }, deadline);
                         if let Err(sirius_par::queue::SendError(job)) = imm_tx.send(job) {
                             finish(
                                 &metrics,
@@ -445,6 +512,11 @@ impl SiriusServer {
                     ),
                 }
             },
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
+            },
         ));
 
         // ASR pool: the chain's head, fed by `submit`.
@@ -461,11 +533,13 @@ impl SiriusServer {
                     Ok(asr) => {
                         ctx.recognized = asr.recognized.clone();
                         ctx.asr_timing = asr.timing;
-                        let job = Job::now(
+                        let deadline = ctx.deadline;
+                        let job = Job::with_deadline(
                             ctx,
                             ClassifyRequest {
                                 recognized: asr.recognized,
                             },
+                            deadline,
                         );
                         if let Err(sirius_par::queue::SendError(job)) = cls_tx.send(job) {
                             finish(
@@ -485,6 +559,11 @@ impl SiriusServer {
                         Err(err),
                     ),
                 }
+            },
+            {
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
+                move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
             },
         ));
 
@@ -527,6 +606,42 @@ impl SiriusServer {
         self.submit_tx.as_ref().map_or(0, Sender::len)
     }
 
+    /// Worker threads serving the stage at `STAGES` index `i`.
+    fn stage_workers(&self, i: usize) -> usize {
+        let stage = match i {
+            0 => self.config.asr,
+            1 => self.config.classify,
+            2 => self.config.imm,
+            _ => self.config.qa,
+        };
+        stage.workers.max(1)
+    }
+
+    /// The expected end-to-end sojourn of a query admitted *right now*:
+    /// Σ over stages of `(queue depth + in-flight) / workers + 1` × the
+    /// stage's recent mean service time (EWMA).
+    ///
+    /// Each stage term is the backlog a new arrival queues behind, spread
+    /// over the stage's workers, plus its own service. Stages whose meter
+    /// has not observed a job yet contribute nothing — a cold runtime
+    /// admits everything and the estimate sharpens as the meters warm up.
+    /// This is the deadline-aware admission policy's decision quantity; the
+    /// paper's tail-latency target (Table 8) applied as a runtime check
+    /// instead of an offline provisioning row.
+    pub fn expected_sojourn(&self) -> Duration {
+        let mut total_ns = 0.0f64;
+        for (i, stage) in STAGES.iter().enumerate() {
+            let obs = self.metrics.stage(stage).expect("known stage");
+            let mean_ns = obs.service_meter.mean();
+            if mean_ns <= 0.0 {
+                continue;
+            }
+            let backlog = self.queue_probes[i].depth_now() + obs.in_flight.get() as usize;
+            total_ns += mean_ns * (backlog as f64 / self.stage_workers(i) as f64 + 1.0);
+        }
+        Duration::from_nanos(total_ns as u64)
+    }
+
     /// Admits a query, or sheds it if the admission queue is full.
     ///
     /// # Errors
@@ -534,8 +649,55 @@ impl SiriusServer {
     /// [`SiriusError::Overloaded`] when the ASR queue is at capacity;
     /// [`SiriusError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, input: SiriusInput) -> Result<Ticket, SiriusError> {
+        self.submit_inner(input, None)
+    }
+
+    /// Admits a query only if its deadline looks meetable: sheds up front
+    /// when the [`SiriusServer::expected_sojourn`] estimate already exceeds
+    /// `deadline`, and stamps admitted jobs so workers drop them unserved
+    /// if they expire in a queue anyway (completing the ticket with the
+    /// same typed error).
+    ///
+    /// With an effectively infinite deadline (for example
+    /// `Duration::MAX`) this behaves exactly like [`SiriusServer::submit`]:
+    /// the estimate can never exceed it and the deadline stamp degrades to
+    /// "none", leaving shed-on-full as the only admission policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SiriusError::DeadlineUnmeetable`] when the expected sojourn
+    /// exceeds `deadline` — `retry_after` is the estimate's excess over the
+    /// deadline, i.e. how long the backlog ahead needs to drain at the
+    /// current service rate before the deadline becomes meetable;
+    /// [`SiriusError::Overloaded`] when the ASR queue is at capacity;
+    /// [`SiriusError::ShuttingDown`] after shutdown began.
+    pub fn submit_with_deadline(
+        &self,
+        input: SiriusInput,
+        deadline: Duration,
+    ) -> Result<Ticket, SiriusError> {
+        let expected = self.expected_sojourn();
+        if expected > deadline {
+            self.metrics.shed_deadline.inc();
+            return Err(SiriusError::DeadlineUnmeetable {
+                expected,
+                deadline,
+                retry_after: expected - deadline,
+            });
+        }
+        self.submit_inner(input, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        input: SiriusInput,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SiriusError> {
         let tx = self.submit_tx.as_ref().ok_or(SiriusError::ShuttingDown)?;
         let started = Instant::now();
+        // A deadline too far out to represent as an `Instant` can never
+        // pass; carry it as "none" so workers skip the expiry check.
+        let deadline = deadline.and_then(|d| started.checked_add(d));
         let state = Arc::new(TicketState {
             slot: Mutex::new(None),
             done: Condvar::new(),
@@ -543,6 +705,7 @@ impl SiriusServer {
         let ctx = Ctx {
             ticket: Arc::clone(&state),
             started,
+            deadline,
             image: input.image,
             recognized: String::new(),
             asr_timing: AsrTiming::default(),
@@ -558,6 +721,7 @@ impl SiriusServer {
             ctx,
             req,
             enqueued: started,
+            deadline,
         }) {
             Ok(()) => {
                 self.metrics.accepted.inc();
@@ -570,7 +734,10 @@ impl SiriusServer {
                 self.metrics.shed.inc();
                 Err(SiriusError::Overloaded { stage: "asr" })
             }
-            Err(TrySendError::Disconnected(_)) => Err(SiriusError::ShuttingDown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.rejected_shutdown.inc();
+                Err(SiriusError::ShuttingDown)
+            }
         }
     }
 
@@ -645,6 +812,22 @@ mod tests {
             ticket.wait_timeout(Duration::from_secs(5)),
             Err(SiriusError::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn wait_timeout_near_duration_max_degrades_to_untimed_wait() {
+        // Regression: `Instant::now() + Duration::MAX` panics on overflow;
+        // an unrepresentable deadline must degrade to an untimed wait that
+        // still observes the completion.
+        for timeout in [Duration::MAX, Duration::MAX - Duration::from_nanos(1)] {
+            let (state, ticket) = fresh_ticket();
+            let completer = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                complete(&state, Err(SiriusError::ShuttingDown));
+            });
+            assert_eq!(ticket.wait_timeout(timeout), Err(SiriusError::ShuttingDown));
+            completer.join().unwrap();
+        }
     }
 
     #[test]

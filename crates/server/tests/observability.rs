@@ -7,8 +7,14 @@
 //! 2. Admission counters must mirror the typed submit results.
 //! 3. A caller-supplied `Recorder` must see every span of every query.
 //! 4. Snapshots must export queue gauges and render to JSON/Prometheus.
+//! 5. Queue gauges must be refreshed at snapshot time, not left at their
+//!    last-probed values.
+//! 6. The admission ledger must balance even when deadlines expire jobs:
+//!    accepted = completed + failed, with the sojourn histograms and
+//!    per-stage expiry counters splitting the two sides exactly.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use sirius::error::SiriusError;
 use sirius::pipeline::{Sirius, SiriusConfig, SiriusOutcome};
@@ -158,6 +164,123 @@ fn recorder_sees_every_span_of_every_query() {
         count("qa", SpanKind::Service)
     );
     assert!(recorder.total_for("asr", SpanKind::Service) > std::time::Duration::ZERO);
+}
+
+#[test]
+fn queue_gauges_are_refreshed_at_snapshot_time() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 2718);
+    let server = SiriusServer::start(Arc::clone(&sirius), ServerConfig::default());
+
+    // Pile up a burst, then snapshot while the queue drains. The gauge must
+    // reflect the depth at snapshot time: bracket the snapshot with two
+    // live reads — the queue only drains, so the exported value has to land
+    // between them. A stale gauge (stuck at its value from some earlier
+    // probe, e.g. 0 from startup while `before` is large) fails this.
+    let mut tickets = Vec::new();
+    for _ in 0..3 {
+        for p in prepared.iter() {
+            if let Ok(t) = server.submit(p.input()) {
+                tickets.push(t);
+            }
+        }
+    }
+    let before = server.admission_queue_len() as u64;
+    let snap = server.metrics_snapshot();
+    let after = server.admission_queue_len() as u64;
+    let exported = snap.gauge("asr.queue_depth").expect("gauge exported");
+    assert!(
+        (after..=before).contains(&exported),
+        "snapshot gauge {exported} must lie between live reads {after}..={before}"
+    );
+
+    for t in tickets {
+        t.wait().expect("accepted queries complete");
+    }
+    // Fully drained and idle: a fresh snapshot must say so everywhere.
+    let snap = server.metrics_snapshot();
+    for stage in sirius_server::STAGES {
+        assert_eq!(
+            snap.gauge(&format!("{stage}.queue_depth")),
+            Some(0),
+            "{stage}"
+        );
+        assert_eq!(
+            snap.gauge(&format!("{stage}.in_flight")),
+            Some(0),
+            "{stage}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn admission_ledger_balances_with_expiring_deadlines() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 99);
+    let server = SiriusServer::start(Arc::clone(&sirius), ServerConfig::default());
+
+    // Warm the estimator so tight deadlines are exercised both ways.
+    for p in prepared.iter().take(4) {
+        server.process_sync(p.input()).expect("query served");
+    }
+
+    // A mix of unbounded submits and deadlines barely above the current
+    // estimate: some of the latter are admitted and then expire in queue,
+    // some complete, some are shed — whichever way each one lands, the
+    // ledger below must balance.
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    for _ in 0..3 {
+        for p in prepared.iter() {
+            let slo = server.expected_sojourn() + Duration::from_micros(200);
+            match server.submit_with_deadline(p.input(), slo) {
+                Ok(t) => tickets.push(t),
+                Err(SiriusError::DeadlineUnmeetable { .. }) => shed += 1,
+                Err(SiriusError::Overloaded { .. }) => shed += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            if let Ok(t) = server.submit(p.input()) {
+                tickets.push(t);
+            }
+        }
+    }
+    let mut completed = 0u64;
+    let mut expired = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(SiriusError::DeadlineUnmeetable { .. }) => expired += 1,
+            Err(other) => panic!("unexpected ticket error: {other}"),
+        }
+    }
+    assert!(shed + expired > 0, "tight SLOs must reject some work");
+
+    let snap = server.metrics_snapshot();
+    let accepted = snap.counter("admission.accepted").unwrap();
+    assert_eq!(
+        accepted,
+        snap.counter("completed").unwrap() + snap.counter("failed").unwrap(),
+        "every accepted query must be accounted for"
+    );
+    assert_eq!(snap.counter("completed"), Some(completed + 4));
+    assert_eq!(snap.counter("failed"), Some(expired));
+    assert_eq!(snap.histogram("sojourn_ns").unwrap().count, completed + 4);
+    assert_eq!(snap.histogram("sojourn_failed_ns").unwrap().count, expired);
+    let stage_expired: u64 = sirius_server::STAGES
+        .iter()
+        .map(|s| snap.counter(&format!("{s}.expired")).unwrap())
+        .sum();
+    assert_eq!(
+        stage_expired, expired,
+        "each expiry happens at exactly one stage"
+    );
+    // Every accepted query either received ASR service or expired there.
+    assert_eq!(
+        snap.histogram("asr.service_ns").unwrap().count + snap.counter("asr.expired").unwrap(),
+        accepted
+    );
+    server.shutdown();
 }
 
 #[test]

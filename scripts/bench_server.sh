@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_server.json: the staged-runtime load sweep (open-loop
-# latency-vs-load against the M/M/1 prediction, plus closed-loop saturation
-# throughput). Recipe in EXPERIMENTS.md.
+# latency-vs-load against the M/M/1 prediction, the shed-on-full vs
+# deadline-aware admission-policy head-to-head with its M/M/1/K shed-rate
+# cross-check, plus closed-loop saturation throughput). Recipe in
+# EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
 #   QUERIES  arrivals per load point (default 100)
@@ -14,4 +16,18 @@ WORKERS="${2:-4}"
 
 cargo build --release -p sirius-bench --bin bench_server
 ./target/release/bench_server --queries "$QUERIES" --workers "$WORKERS" > BENCH_server.json
+
+# The bench itself verifies that staged and admitted-query outputs are
+# bit-identical to the serial pipeline; fail loudly if either check, or the
+# policy-sweep accounting identity, regressed.
+python3 - <<'EOF'
+import json
+with open("BENCH_server.json") as f:
+    bench = json.load(f)
+assert bench["saturation"]["outputs_match_serial"] is True, "saturation outputs diverged from serial"
+sweep = bench["policy_sweep"]
+assert sweep["outputs_match_serial"] is True, "policy-sweep outputs diverged from serial"
+assert sweep["accounting_balanced"] is True, "admission ledger did not balance"
+print("==> outputs_match_serial and accounting checks passed")
+EOF
 echo "==> wrote BENCH_server.json"

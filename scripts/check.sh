@@ -25,6 +25,9 @@ cargo test --release -p sirius-obs -q
 echo "==> cargo test --release -p sirius-server -q (concurrency + telemetry gates)"
 cargo test --release -p sirius-server -q
 
+echo "==> cargo test --release -p sirius-server --test admission -q (deadline-aware admission gates)"
+cargo test --release -p sirius-server --test admission -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
