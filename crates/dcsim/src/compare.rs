@@ -123,6 +123,15 @@ impl StageMeasurement {
     }
 }
 
+/// Mean sojourns below this many seconds (0.1 ms) sit at the timer's
+/// effective measurement floor: scheduling noise and timestamp quantization
+/// are the same order as the quantity itself, so a *relative* error on such
+/// a stage is noise amplified by a near-zero denominator (a 0.045 ms
+/// measurement against a 0.017 ms prediction reads as 175% "error" while
+/// being 0.03 ms apart). Stages where both sides are below the floor report
+/// an absolute gap instead and stay out of the mean.
+pub const MEASUREMENT_FLOOR_SECONDS: f64 = 1e-4;
+
 /// One stage's measurement lined up against its own M/M/1 prediction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TandemStageRow {
@@ -137,9 +146,16 @@ pub struct TandemStageRow {
     pub measured: f64,
     /// Predicted mean stage sojourn `1/(μₛ−λₛ)`; infinite at ρₛ ≥ 1.
     pub predicted: f64,
+    /// Whether both measured and predicted sojourns are below
+    /// [`MEASUREMENT_FLOOR_SECONDS`] — too small for a meaningful relative
+    /// comparison.
+    pub below_floor: bool,
     /// |measured − predicted| / predicted, when the prediction is finite
-    /// and positive.
+    /// and positive and the stage is not [`TandemStageRow::below_floor`].
     pub relative_error: Option<f64>,
+    /// |measured − predicted| seconds, when the prediction is finite — the
+    /// honest error statistic for sub-floor stages.
+    pub absolute_error: Option<f64>,
 }
 
 /// Per-stage queueing comparison for a tandem of stage queues, plus the
@@ -190,15 +206,21 @@ impl TandemComparison {
                 } else {
                     (0.0, f64::NAN)
                 };
-                let relative_error = (predicted.is_finite() && predicted > 0.0)
+                let below_floor = predicted.is_finite()
+                    && measured < MEASUREMENT_FLOOR_SECONDS
+                    && predicted < MEASUREMENT_FLOOR_SECONDS;
+                let relative_error = (!below_floor && predicted.is_finite() && predicted > 0.0)
                     .then(|| (measured - predicted).abs() / predicted);
+                let absolute_error = predicted.is_finite().then(|| (measured - predicted).abs());
                 TandemStageRow {
                     stage: s.stage.clone(),
                     lambda,
                     rho,
                     measured,
                     predicted,
+                    below_floor,
                     relative_error,
+                    absolute_error,
                 }
             })
             .collect();
@@ -217,7 +239,8 @@ impl TandemComparison {
     }
 
     /// Mean per-stage relative error over the stable (finite-prediction)
-    /// stages; `None` when no stage is stable.
+    /// stages, excluding sub-floor stages (see
+    /// [`MEASUREMENT_FLOOR_SECONDS`]); `None` when no stage qualifies.
     pub fn mean_relative_error(&self) -> Option<f64> {
         let errors: Vec<f64> = self.rows.iter().filter_map(|r| r.relative_error).collect();
         if errors.is_empty() {
@@ -421,6 +444,44 @@ mod tests {
         assert!((cmp.rows[0].rho - 0.4).abs() < 1e-12);
         assert!(cmp.mean_relative_error().is_some());
         assert!(cmp.worst_relative_error().unwrap() >= cmp.mean_relative_error().unwrap());
+    }
+
+    #[test]
+    fn sub_floor_stages_report_absolute_error_and_stay_out_of_the_mean() {
+        // Regression: a 45 µs classify stage against a 17 µs prediction —
+        // both below the 0.1 ms timer floor — used to contribute a 1.75
+        // relative error and drag the tandem mean from ~0.1 to ~0.49. It
+        // must report the 28 µs absolute gap instead and be excluded.
+        let stages = vec![
+            StageMeasurement {
+                stage: "asr".into(),
+                completions: 100,
+                mean_wait: 0.01,
+                mean_service: 0.04,
+            },
+            StageMeasurement {
+                stage: "classify".into(),
+                completions: 100,
+                mean_wait: 0.0,
+                mean_service: 0.000_045,
+            },
+        ];
+        let cmp = TandemComparison::against(10.0, 100, 0.05, &stages);
+        let asr = &cmp.rows[0];
+        let classify = &cmp.rows[1];
+        assert!(!asr.below_floor);
+        assert!(asr.relative_error.is_some());
+        assert!(asr.absolute_error.is_some());
+        assert!(classify.below_floor, "45 µs sojourn is below the floor");
+        assert!(classify.relative_error.is_none());
+        let gap = classify.absolute_error.expect("finite prediction");
+        assert!(
+            gap < MEASUREMENT_FLOOR_SECONDS,
+            "sub-floor absolute gap {gap}"
+        );
+        // The mean now covers only the ASR stage.
+        assert_eq!(cmp.mean_relative_error(), asr.relative_error);
+        assert_eq!(cmp.worst_relative_error(), asr.relative_error);
     }
 
     #[test]

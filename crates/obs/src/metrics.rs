@@ -106,10 +106,17 @@ impl Gauge {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Lowers the level by one. Callers must keep `inc`/`dec` balanced: a
-    /// `dec` below zero wraps, exactly like an unbalanced semaphore release.
+    /// Lowers the level by one, saturating at zero. An unbalanced `dec`
+    /// used to wrap to ~2^64, which poisoned every consumer of the gauge
+    /// (an `in_flight` read of 2^64 makes sojourn estimates shed every
+    /// deadline submit forever); clamping keeps a bookkeeping bug visible
+    /// as a level stuck at zero instead of an absurd backlog.
     pub fn dec(&self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// Current level.
@@ -433,6 +440,25 @@ mod tests {
         g.dec();
         g.dec();
         assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        // Regression: an unbalanced `dec` wrapped to u64::MAX, which made
+        // in-flight-style gauges report an absurd backlog and (downstream)
+        // admission control reject everything. It must clamp at zero.
+        let g = Gauge::new();
+        g.dec();
+        assert_eq!(g.get(), 0, "dec on an empty gauge must not wrap");
+        g.inc();
+        g.dec();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        // The gauge still works normally afterwards.
+        g.inc();
+        g.inc();
+        assert_eq!(g.get(), 2);
     }
 
     #[test]

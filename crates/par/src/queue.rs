@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -58,6 +59,27 @@ pub enum TrySendError<T> {
 /// value comes back.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Why [`Receiver::try_recv`] returned no value. A batch collector draining
+/// opportunistically needs the distinction: `Empty` means "stop collecting
+/// for now", `Disconnected` means "flush and exit".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain; items may arrive.
+    Empty,
+    /// Every sender is gone and the queue is drained; no item will ever
+    /// arrive again.
+    Disconnected,
+}
+
+/// Why [`Receiver::recv_timeout`] returned no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No item arrived within the timeout; senders remain.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
 
 /// The producing half. Cloneable; the channel closes when the last clone
 /// drops.
@@ -135,14 +157,63 @@ impl<T> Receiver<T> {
     }
 
     /// Dequeues without blocking.
-    pub fn try_recv(&self) -> Option<T> {
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] while the queue is empty but still open;
+    /// [`TryRecvError::Disconnected`] once every sender is gone *and* the
+    /// queue is drained (matching [`Receiver::recv`] returning `None`).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut inner = self.0.inner.lock().expect("channel lock");
-        let value = inner.queue.pop_front();
-        drop(inner);
-        if value.is_some() {
-            self.0.not_full.notify_one();
+        match inner.queue.pop_front() {
+            Some(value) => {
+                drop(inner);
+                self.0.not_full.notify_one();
+                Ok(value)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
         }
-        value
+    }
+
+    /// Dequeues, blocking up to `timeout` while the queue is empty — the
+    /// drain-with-deadline primitive a batch collector needs to honour its
+    /// `max_delay` flush rule.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if no item arrived in time;
+    /// [`RecvTimeoutError::Disconnected`] once the channel is closed (every
+    /// sender dropped) and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut inner = self.0.inner.lock().expect("channel lock");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            // A timeout too far out to represent can never pass; degrade to
+            // an untimed wait instead of overflowing `Instant` arithmetic.
+            let Some(deadline) = deadline else {
+                inner = self.0.not_empty.wait(inner).expect("channel lock");
+                continue;
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel lock");
+            inner = guard;
+        }
     }
 }
 
@@ -199,7 +270,7 @@ mod tests {
         tx.try_send(2).unwrap();
         assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
         assert_eq!(tx.len(), 2);
-        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Ok(1));
         tx.try_send(3).unwrap();
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), Some(3));
@@ -216,7 +287,7 @@ mod tests {
         assert_eq!(rx.recv(), Some("a"));
         assert_eq!(rx.recv(), Some("b"));
         assert_eq!(rx.recv(), None);
-        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]
@@ -291,6 +362,93 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = bounded(4);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(10).unwrap();
+        drop(tx);
+        // Closed but not drained: the queued item still comes out first.
+        assert_eq!(rx.try_recv(), Ok(10));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_item_immediately() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(5).unwrap();
+        let begun = std::time::Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(5));
+        assert!(begun.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_an_open_empty_queue() {
+        let (tx, rx) = bounded::<u32>(2);
+        let begun = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(begun.elapsed() >= Duration::from_millis(30));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_a_late_send() {
+        let (tx, rx) = bounded(2);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(77).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(77));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_observes_close_without_waiting_out_the_timeout() {
+        let (tx, rx) = bounded::<u32>(2);
+        let closer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let begun = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert!(begun.elapsed() < Duration::from_secs(30));
+        closer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_drains_before_reporting_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.try_send("x").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok("x"));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_near_duration_max_degrades_to_untimed_wait() {
+        // Regression guard: `Instant::now() + Duration::MAX` overflows; an
+        // unrepresentable deadline must wait untimed, not panic.
+        let (tx, rx) = bounded(1);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(1u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(1));
+        sender.join().unwrap();
     }
 
     #[test]

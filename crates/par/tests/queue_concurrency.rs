@@ -18,7 +18,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sirius_par::queue::bounded;
+use sirius_par::queue::{bounded, TryRecvError};
 
 #[test]
 fn len_and_capacity_probes_are_safe_under_churn() {
@@ -92,7 +92,11 @@ fn retained_probe_sender_keeps_the_channel_open() {
     // The data sender is gone, but the probe clone holds the channel open:
     // a blocked recv must NOT observe end-of-stream yet.
     assert_eq!(rx.recv(), Some(1));
-    assert_eq!(rx.try_recv(), None, "empty but still open");
+    assert_eq!(
+        rx.try_recv(),
+        Err(TryRecvError::Empty),
+        "empty but still open"
+    );
     assert_eq!(probe.len(), 0);
     assert_eq!(probe.capacity(), 4);
 

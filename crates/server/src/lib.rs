@@ -34,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
 
-pub use metrics::{ServerMetrics, StageObs, STAGES};
+pub use batch::{spawn_batch_collector, BatchHandle, BatchPolicy, BatchedAsrStage};
+pub use metrics::{BatchObs, ServerMetrics, StageObs, STAGES};
 pub use pool::{spawn_stage_pool, Job};
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
 

@@ -19,6 +19,9 @@
 //! | `{stage}.queue_depth` | gauge | queued items at snapshot time |
 //! | `{stage}.queue_capacity` | gauge | bounded queue capacity |
 //! | `{stage}.in_flight` | gauge | jobs a worker is serving right now |
+//! | `{stage}.batch_size` | histogram | blocks coalesced per collector flush |
+//! | `{stage}.batch_flush_full` | counter | flushes at `max_batch` blocks |
+//! | `{stage}.batch_flush_timeout` | counter | partial flushes forced by `max_delay` |
 //! | `admission.accepted` / `admission.shed` | counter | admission control outcomes |
 //! | `admission.shed_deadline` | counter | sheds by the deadline-aware policy |
 //! | `admission.rejected_shutdown` | counter | submits refused mid-shutdown |
@@ -69,6 +72,32 @@ impl StageObs {
     }
 }
 
+/// Batch-collector telemetry for one stage (today only ASR batches).
+///
+/// `size.count == flush_full + flush_timeout` — every flush records its
+/// size exactly once, so the histogram doubles as a flush census.
+#[derive(Debug, Clone)]
+pub struct BatchObs {
+    /// Blocks coalesced into each GEMM flush.
+    pub size: Histogram,
+    /// Flushes triggered by reaching `max_batch` blocks.
+    pub flush_full: Counter,
+    /// Partial flushes forced by the oldest block waiting out `max_delay`
+    /// (includes drain-at-teardown flushes).
+    pub flush_timeout: Counter,
+}
+
+impl BatchObs {
+    /// Registers the collector's metrics under `{stage}.batch_…` names.
+    pub fn register(registry: &Registry, stage: &str) -> Arc<Self> {
+        Arc::new(Self {
+            size: registry.histogram(&format!("{stage}.batch_size")),
+            flush_full: registry.counter(&format!("{stage}.batch_flush_full")),
+            flush_timeout: registry.counter(&format!("{stage}.batch_flush_timeout")),
+        })
+    }
+}
+
 /// Every metric the staged runtime records, pre-registered in one
 /// [`Registry`] (also reachable by name through snapshots).
 #[derive(Debug)]
@@ -103,6 +132,8 @@ pub struct ServerMetrics {
     pub imm: Arc<StageObs>,
     /// Question-answering pool telemetry.
     pub qa: Arc<StageObs>,
+    /// ASR batch-collector telemetry (flat counters when batching is off).
+    pub batch: Arc<BatchObs>,
 }
 
 impl ServerMetrics {
@@ -122,6 +153,7 @@ impl ServerMetrics {
             classify: StageObs::register(&registry, "classify"),
             imm: StageObs::register(&registry, "imm"),
             qa: StageObs::register(&registry, "qa"),
+            batch: BatchObs::register(&registry, "asr"),
             registry,
         })
     }
@@ -172,5 +204,11 @@ mod tests {
             assert!(snap.meter(&format!("{stage}.service_ewma_ns")).is_some());
         }
         assert!(m.stage("nope").is_none());
+        m.batch.size.record(3);
+        m.batch.flush_full.inc();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.histogram("asr.batch_size").unwrap().count, 1);
+        assert_eq!(snap.counter("asr.batch_flush_full"), Some(1));
+        assert_eq!(snap.counter("asr.batch_flush_timeout"), Some(0));
     }
 }

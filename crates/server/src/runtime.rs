@@ -56,9 +56,11 @@ use sirius::stage::{
 use sirius_obs::{Gauge, NoopRecorder, Recorder, Snapshot, SpanKind};
 use sirius_par::queue::{bounded, Sender, TrySendError};
 use sirius_speech::asr::{AcousticModelKind, AsrTiming};
+use sirius_speech::WindowScorer;
 use sirius_vision::db::ImmTiming;
 use sirius_vision::image::GrayImage;
 
+use crate::batch::{spawn_batch_collector, BatchPolicy, BatchedAsrStage, SiriusWindowScorer};
 use crate::metrics::{ServerMetrics, STAGES};
 use crate::pool::{spawn_stage_pool, Job};
 
@@ -94,6 +96,10 @@ pub struct ServerConfig {
     pub qa: StageConfig,
     /// Acoustic model every query is scored with.
     pub acoustic: AcousticModelKind,
+    /// Cross-query dynamic batching of ASR DNN block GEMMs. The default
+    /// (`max_batch == 1`) spawns no collector and serves exactly the
+    /// per-query path; see [`crate::batch`].
+    pub batch: BatchPolicy,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +110,7 @@ impl Default for ServerConfig {
             imm: StageConfig::default(),
             qa: StageConfig::default(),
             acoustic: AcousticModelKind::Gmm,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -117,6 +124,13 @@ impl ServerConfig {
         cfg.imm.workers = workers;
         cfg.qa.workers = workers;
         cfg
+    }
+
+    /// Sets the ASR batch collector's policy. Only DNN-scored queries
+    /// batch; with the default GMM acoustic model the policy is inert.
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Sets every stage's queue depth.
@@ -219,11 +233,16 @@ fn complete(state: &Arc<TicketState>, result: Result<SiriusResponse, SiriusError
 }
 
 /// Completes a ticket and accounts for the outcome: successful queries
-/// record their sojourn (and a `total` span when the recorder is enabled),
-/// failed ones bump the failure counter and record theirs into the
-/// `sojourn_failed_ns` histogram, so every admitted query's time is
-/// accounted and `accepted = completed + failed + in flight` always
-/// balances.
+/// record their sojourn, failed ones bump the failure counter and record
+/// theirs into the `sojourn_failed_ns` histogram, so every admitted
+/// query's time is accounted and `accepted = completed + failed + in
+/// flight` always balances.
+///
+/// *Every* terminating query — successful, errored, or expired — records
+/// exactly one terminal `total` span when the recorder is enabled. The
+/// span used to be recorded only on success, which made recorder-side
+/// ledgers (spans-per-query censuses, trace reconstructions) silently
+/// undercount whenever a query failed.
 fn finish(
     metrics: &ServerMetrics,
     recorder: &dyn Recorder,
@@ -236,14 +255,14 @@ fn finish(
         Ok(_) => {
             metrics.completed.inc();
             metrics.sojourn.record_duration(sojourn);
-            if recorder.enabled() {
-                recorder.record("total", SpanKind::Total, sojourn);
-            }
         }
         Err(_) => {
             metrics.failed.inc();
             metrics.sojourn_failed.record_duration(sojourn);
         }
+    }
+    if recorder.enabled() {
+        recorder.record("total", SpanKind::Total, sojourn);
     }
     complete(ticket, result);
 }
@@ -519,53 +538,84 @@ impl SiriusServer {
             },
         ));
 
-        // ASR pool: the chain's head, fed by `submit`.
-        workers.extend(spawn_stage_pool(
-            Arc::new(AsrStage(Arc::clone(&sirius))),
-            config.asr.workers,
-            asr_rx,
-            Arc::clone(&metrics.asr),
-            Arc::clone(&recorder),
-            {
-                let metrics = Arc::clone(&metrics);
-                let recorder = Arc::clone(&recorder);
-                move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
-                    Ok(asr) => {
-                        ctx.recognized = asr.recognized.clone();
-                        ctx.asr_timing = asr.timing;
-                        let deadline = ctx.deadline;
-                        let job = Job::with_deadline(
-                            ctx,
-                            ClassifyRequest {
-                                recognized: asr.recognized,
-                            },
-                            deadline,
+        // ASR pool: the chain's head, fed by `submit`. Routing and expiry
+        // are identical whether or not the pool scores through the batch
+        // collector, so both closures are built once and moved into
+        // whichever stage variant the batch policy selects.
+        let asr_route = {
+            let metrics = Arc::clone(&metrics);
+            let recorder = Arc::clone(&recorder);
+            move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
+                Ok(asr) => {
+                    ctx.recognized = asr.recognized.clone();
+                    ctx.asr_timing = asr.timing;
+                    let deadline = ctx.deadline;
+                    let job = Job::with_deadline(
+                        ctx,
+                        ClassifyRequest {
+                            recognized: asr.recognized,
+                        },
+                        deadline,
+                    );
+                    if let Err(sirius_par::queue::SendError(job)) = cls_tx.send(job) {
+                        finish(
+                            &metrics,
+                            recorder.as_ref(),
+                            job.ctx.started,
+                            &job.ctx.ticket,
+                            Err(SiriusError::ShuttingDown),
                         );
-                        if let Err(sirius_par::queue::SendError(job)) = cls_tx.send(job) {
-                            finish(
-                                &metrics,
-                                recorder.as_ref(),
-                                job.ctx.started,
-                                &job.ctx.ticket,
-                                Err(SiriusError::ShuttingDown),
-                            );
-                        }
                     }
-                    Err(err) => finish(
-                        &metrics,
-                        recorder.as_ref(),
-                        ctx.started,
-                        &ctx.ticket,
-                        Err(err),
-                    ),
                 }
-            },
-            {
-                let metrics = Arc::clone(&metrics);
-                let recorder = Arc::clone(&recorder);
-                move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
-            },
-        ));
+                Err(err) => finish(
+                    &metrics,
+                    recorder.as_ref(),
+                    ctx.started,
+                    &ctx.ticket,
+                    Err(err),
+                ),
+            }
+        };
+        let asr_expire = {
+            let metrics = Arc::clone(&metrics);
+            let recorder = Arc::clone(&recorder);
+            move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
+        };
+        if config.batch.is_batching() {
+            // Workers hold the collector's handle through their stage, so
+            // the pool exiting is what lets the collector drain and stop;
+            // its join below can never deadlock. Expired jobs are dropped
+            // by the pool at dequeue, before the stage handler runs, so an
+            // abandoned query never occupies a slot in a batch.
+            let scorer: Arc<dyn WindowScorer> =
+                Arc::new(SiriusWindowScorer::new(Arc::clone(&sirius)));
+            let (handle, collector) = spawn_batch_collector(
+                scorer,
+                config.batch,
+                Arc::clone(&metrics.batch),
+                config.asr.workers.max(1),
+            );
+            workers.extend(spawn_stage_pool(
+                Arc::new(BatchedAsrStage::new(Arc::clone(&sirius), handle)),
+                config.asr.workers,
+                asr_rx,
+                Arc::clone(&metrics.asr),
+                Arc::clone(&recorder),
+                asr_route,
+                asr_expire,
+            ));
+            workers.push(collector);
+        } else {
+            workers.extend(spawn_stage_pool(
+                Arc::new(AsrStage(Arc::clone(&sirius))),
+                config.asr.workers,
+                asr_rx,
+                Arc::clone(&metrics.asr),
+                Arc::clone(&recorder),
+                asr_route,
+                asr_expire,
+            ));
+        }
 
         Self {
             sirius,

@@ -156,7 +156,7 @@ fn recorder_sees_every_span_of_every_query() {
     assert_eq!(count("asr", SpanKind::QueueWait), n);
     assert_eq!(count("asr", SpanKind::Service), n);
     assert_eq!(count("classify", SpanKind::Service), n);
-    // Exactly one total span per successful query.
+    // Exactly one terminal total span per query, successful or not.
     assert_eq!(count("total", SpanKind::Total), n);
     // Questions flow through IMM and QA in lockstep.
     assert_eq!(
@@ -164,6 +164,45 @@ fn recorder_sees_every_span_of_every_query() {
         count("qa", SpanKind::Service)
     );
     assert!(recorder.total_for("asr", SpanKind::Service) > std::time::Duration::ZERO);
+}
+
+/// A query that fails (here: expires in queue) must still leave exactly one
+/// terminal `total` span, or recorder-side ledgers undercount — the span
+/// used to be recorded only on success.
+#[test]
+fn failed_queries_still_record_a_terminal_total_span() {
+    let sirius = shared_sirius();
+    let prepared = prepare_input_set(&sirius, 555);
+    let recorder = Arc::new(CollectingRecorder::new());
+    let server = SiriusServer::start_with_recorder(
+        Arc::clone(&sirius),
+        ServerConfig::default(),
+        Arc::<CollectingRecorder>::clone(&recorder),
+    );
+
+    // On a cold server the sojourn estimator reads zero, so a nanosecond
+    // deadline is admitted — and then expires in the ASR queue before any
+    // worker can serve it.
+    let ticket = server
+        .submit_with_deadline(prepared[0].input(), Duration::from_nanos(1))
+        .expect("cold estimator admits everything");
+    let err = ticket.wait().expect_err("deadline must expire in queue");
+    assert!(matches!(err, SiriusError::DeadlineUnmeetable { .. }));
+    server.shutdown();
+
+    let events = recorder.events();
+    let count = |stage: &str, kind: SpanKind| {
+        events
+            .iter()
+            .filter(|(s, k, _)| *s == stage && *k == kind)
+            .count()
+    };
+    assert_eq!(
+        count("total", SpanKind::Total),
+        1,
+        "failed query leaves its terminal span"
+    );
+    assert_eq!(count("asr", SpanKind::Service), 0, "no stage served it");
 }
 
 #[test]

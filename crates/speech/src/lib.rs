@@ -44,4 +44,5 @@ pub mod synth;
 pub mod vad;
 
 pub use asr::{AcousticModelKind, AsrOutput, AsrSystem, AsrTrainConfig, ScoringMode};
+pub use hmm::WindowScorer;
 pub use synth::{SynthConfig, Synthesizer, Utterance};

@@ -2,7 +2,8 @@
 # Regenerates BENCH_server.json: the staged-runtime load sweep (open-loop
 # latency-vs-load against the M/M/1 prediction, the shed-on-full vs
 # deadline-aware admission-policy head-to-head with its M/M/1/K shed-rate
-# cross-check, plus closed-loop saturation throughput). Recipe in
+# cross-check, the cross-query ASR batching policy sweep with its Pareto
+# frontier, plus closed-loop saturation throughput). Recipe in
 # EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
@@ -28,6 +29,11 @@ assert bench["saturation"]["outputs_match_serial"] is True, "saturation outputs 
 sweep = bench["policy_sweep"]
 assert sweep["outputs_match_serial"] is True, "policy-sweep outputs diverged from serial"
 assert sweep["accounting_balanced"] is True, "admission ledger did not balance"
+batch = bench["batch_sweep"]
+assert batch["outputs_match_serial"] is True, "batched outputs diverged from serial DNN"
+assert batch["accounting_balanced"] is True, "batch-sweep accounting did not balance"
+assert any(p["max_batch"] > 1 and p["batch_size_max"] > 1 for p in batch["points"]), \
+    "no cross-query batch ever formed"
 print("==> outputs_match_serial and accounting checks passed")
 EOF
 echo "==> wrote BENCH_server.json"

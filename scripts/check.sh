@@ -28,6 +28,9 @@ cargo test --release -p sirius-server -q
 echo "==> cargo test --release -p sirius-server --test admission -q (deadline-aware admission gates)"
 cargo test --release -p sirius-server --test admission -q
 
+echo "==> cargo test --release -p sirius-server --test batching -q (cross-query batching equivalence gate)"
+cargo test --release -p sirius-server --test batching -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
