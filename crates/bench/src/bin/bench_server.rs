@@ -29,7 +29,17 @@
 //!    distribution; per load, the Pareto frontier over (throughput, p99).
 //!    Every output is checked bit-for-bit against the serial DNN
 //!    references.
-//! 5. **Saturation** — closed-loop clients hammer the runtime with 1 and
+//! 5. **Streaming sweep** — the streaming ASR stage (chunked ingestion at
+//!    0.25× real-time pacing with speculative downstream pipelining) at
+//!    chunk sizes {80, 160, 320} ms and ρ ∈ {0.2, 0.8, 1.1} of the
+//!    measured streaming occupancy capacity. Reported per point:
+//!    time-to-first-partial p50, from-submit p50/p99, and **from-end**
+//!    p50/p99 — sojourn measured from the instant the last audio chunk was
+//!    due — which must fall below the serial sum-of-stages floor at
+//!    ρ ≤ 0.8 (the decode overlapped audio arrival, so only the tail and
+//!    downstream remain). Outputs are checked bit-for-bit against the
+//!    serial references.
+//! 6. **Saturation** — closed-loop clients hammer the runtime with 1 and
 //!    with `--workers` workers per heavy stage; staged outputs are checked
 //!    against the serial references query-by-query.
 //!
@@ -54,8 +64,9 @@ use sirius_dcsim::{
 };
 use sirius_obs::metrics::{bucket_bounds, bucket_index};
 use sirius_obs::{HistogramSnapshot, Snapshot};
-use sirius_server::{BatchPolicy, ServerConfig, SiriusServer, STAGES};
+use sirius_server::{BatchPolicy, ServerConfig, SiriusServer, StreamPolicy, STAGES};
 use sirius_speech::asr::AcousticModelKind;
+use sirius_speech::features::SAMPLE_RATE;
 
 const SWEEP_RHO: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
 /// Offered loads for the admission-policy head-to-head, straddling
@@ -461,6 +472,135 @@ fn batch_run(
     }
 }
 
+/// Offered loads for the streaming sweep, relative to the measured
+/// streaming occupancy capacity (a streaming worker is occupied for the
+/// paced audio-arrival window, not just the decode CPU time).
+const STREAM_RHO: [f64; 3] = [0.2, 0.8, 1.1];
+/// Ingestion chunk sizes swept, in milliseconds of audio.
+const STREAM_CHUNKS_MS: [u64; 3] = [80, 160, 320];
+/// Arrival pacing as a fraction of real time: 0.25× keeps the
+/// decode-overlaps-arrival structure of live capture while the sweep
+/// finishes in seconds rather than minutes.
+const STREAM_PACING: f64 = 0.25;
+
+fn stream_policy(chunk_ms: u64) -> StreamPolicy {
+    StreamPolicy::new(Duration::from_millis(chunk_ms))
+        .with_pacing(STREAM_PACING)
+        .with_speculation()
+}
+
+/// One streaming policy point's showing at one offered load.
+struct StreamOutcome {
+    first_partial_p50_ms: f64,
+    /// Sojourn measured from admission (includes the paced arrival window).
+    from_submit: LatencyStats,
+    /// Sojourn measured from the instant the query's last chunk was due —
+    /// the latency a caller perceives after they stop speaking.
+    from_end: LatencyStats,
+    partials_per_query: f64,
+    /// Confirmed speculations over reconciles (NaN-free: 0 when none ran).
+    spec_hit_rate: f64,
+    outputs_match: bool,
+}
+
+/// Measures the streaming occupancy capacity (queries/sec the pool
+/// sustains) by timing a short closed warmup through a throwaway server
+/// with the same policy: occupancy ≈ paced arrival window + decode tail.
+fn stream_capacity(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    workers: usize,
+    chunk_ms: u64,
+) -> f64 {
+    let server = SiriusServer::start(
+        Arc::clone(sirius),
+        ServerConfig::with_workers(workers).with_stream_policy(stream_policy(chunk_ms)),
+    );
+    let n = inputs.len().min(16);
+    let mut occupancy = Duration::ZERO;
+    for input in inputs.iter().take(n) {
+        let response = server.process_sync(input.clone()).expect("warmup query");
+        occupancy += response.timing.total;
+    }
+    server.shutdown();
+    workers as f64 * n as f64 / occupancy.as_secs_f64()
+}
+
+/// Drives one fresh streaming GMM runtime open-loop at rate `lambda`. The
+/// queue is deep enough that nothing sheds; every output is checked
+/// against the serial reference, and per-query from-end sojourns subtract
+/// the paced arrival window the query itself asked for.
+#[allow(clippy::too_many_arguments)]
+fn stream_run(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    reference: &[(String, String, Option<String>)],
+    lambda: f64,
+    arrivals: usize,
+    workers: usize,
+    chunk_ms: u64,
+    seed: u64,
+) -> StreamOutcome {
+    let mut config = ServerConfig::with_workers(workers)
+        .with_queue_depth(arrivals.max(16))
+        .with_stream_policy(stream_policy(chunk_ms));
+    config.acoustic = AcousticModelKind::Gmm;
+    let server = SiriusServer::start(Arc::clone(sirius), config);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tickets = Vec::with_capacity(arrivals);
+    let begun = Instant::now();
+    let mut next = begun;
+    for i in 0..arrivals {
+        let gap = -(1.0 - rng.gen_range(0.0f64..1.0)).ln() / lambda;
+        next += Duration::from_secs_f64(gap);
+        wait_until(next);
+        let at = i % inputs.len();
+        let ticket = server
+            .submit(inputs[at].clone())
+            .expect("deep queue admits every arrival");
+        tickets.push((at, ticket));
+    }
+    let mut outputs_match = true;
+    let mut from_submit = Vec::new();
+    let mut from_end = Vec::new();
+    for (at, ticket) in tickets {
+        let response = ticket.wait().expect("query served");
+        if payload(&response) != reference[at] {
+            outputs_match = false;
+        }
+        let total = response.timing.total;
+        let arrival_window = Duration::from_secs_f64(
+            STREAM_PACING * inputs[at].audio.len() as f64 / SAMPLE_RATE as f64,
+        );
+        from_submit.push(total);
+        from_end.push(total.saturating_sub(arrival_window));
+    }
+
+    let snap = server.metrics_snapshot();
+    let completed = from_submit.len().max(1) as f64;
+    let partials = snap.counter("asr.partials_emitted").unwrap_or(0) as f64;
+    let hits = snap.counter("asr.spec_hit").unwrap_or(0) as f64;
+    let misses = snap.counter("asr.spec_miss").unwrap_or(0) as f64;
+    let first_partial = snap
+        .histogram("e2e.first_partial_ns")
+        .expect("streaming runtime registers first-partial");
+    server.shutdown();
+
+    StreamOutcome {
+        first_partial_p50_ms: first_partial.percentile(50.0) as f64 / 1e6,
+        from_submit: LatencyStats::from_samples(&from_submit),
+        from_end: LatencyStats::from_samples(&from_end),
+        partials_per_query: partials / completed,
+        spec_hit_rate: if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        },
+        outputs_match,
+    }
+}
+
 /// Closed-loop saturation: `clients` threads process `total` queries as
 /// fast as the runtime admits them. Returns (qps, outputs_match_serial).
 fn saturate(
@@ -697,6 +837,41 @@ fn main() {
     let batch_outputs_match = batch_rows.iter().all(|(.., o)| o.outputs_match);
     let batch_accounting = batch_rows.iter().all(|(.., o)| o.accounting_balanced);
 
+    // Streaming sweep: GMM acoustic with speculative downstream
+    // pipelining, audio paced in at STREAM_PACING× real time. Capacity is
+    // occupancy-bound (a worker holds a query for its whole paced arrival
+    // window), so it is measured per chunk size with a closed warmup.
+    let stream_arrivals = arrivals.min(48);
+    let mut stream_rows = Vec::new();
+    for (ci, &chunk_ms) in STREAM_CHUNKS_MS.iter().enumerate() {
+        let stream_mu = stream_capacity(&sirius, &inputs, workers, chunk_ms);
+        for (ri, &rho) in STREAM_RHO.iter().enumerate() {
+            let lambda = rho * stream_mu;
+            eprintln!(
+                "streaming sweep: chunk={chunk_ms}ms rho={rho:.1} lambda={lambda:.1}/s ({stream_arrivals} arrivals)..."
+            );
+            let outcome = stream_run(
+                &sirius,
+                &inputs,
+                &reference,
+                lambda,
+                stream_arrivals,
+                workers,
+                chunk_ms,
+                seed.wrapping_add(0x57_2EA0 + (ci * STREAM_RHO.len() + ri) as u64),
+            );
+            stream_rows.push((chunk_ms, rho, lambda, outcome));
+        }
+    }
+    let stream_outputs_match = stream_rows.iter().all(|(.., o)| o.outputs_match);
+    // The streaming win: once decode overlaps the paced arrival, the
+    // latency left after the speaker stops must undercut the serial
+    // sum-of-stages floor whenever the pool is not oversubscribed.
+    let stream_below_floor = stream_rows
+        .iter()
+        .filter(|(_, rho, ..)| *rho <= 0.8)
+        .all(|(.., o)| o.from_end.p50 < serial_stats.mean);
+
     let total = (3 * inputs.len()).max(arrivals);
     eprintln!("saturation: 1 worker/stage, {total} queries...");
     let (staged_1w_qps, match_1w) = saturate(&sirius, &inputs, &reference, 1, 2, total);
@@ -838,6 +1013,26 @@ fn main() {
     }
     println!(
         "  ], \"outputs_match_serial\": {batch_outputs_match}, \"accounting_balanced\": {batch_accounting} }},"
+    );
+    println!(
+        "  \"streaming_sweep\": {{ \"acoustic\": \"gmm\", \"workers\": {workers}, \"pacing\": {STREAM_PACING}, \"arrivals_per_point\": {stream_arrivals}, \"serial_floor_ms\": {:.3}, \"note\": \"rho is relative to the measured streaming occupancy capacity; from_end subtracts the paced arrival window\", \"points\": [",
+        ms(serial_stats.mean)
+    );
+    for (i, (chunk_ms, rho, lambda, o)) in stream_rows.iter().enumerate() {
+        let comma = if i + 1 < stream_rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"chunk_ms\": {chunk_ms}, \"rho\": {rho:.2}, \"lambda_qps\": {lambda:.2}, \"first_partial_p50_ms\": {:.3}, \"from_submit_p50_ms\": {:.3}, \"from_submit_p99_ms\": {:.3}, \"from_end_p50_ms\": {:.3}, \"from_end_p99_ms\": {:.3}, \"partials_per_query\": {:.2}, \"spec_hit_rate\": {:.3} }}{comma}",
+            o.first_partial_p50_ms,
+            ms(o.from_submit.p50),
+            ms(o.from_submit.p99),
+            ms(o.from_end.p50),
+            ms(o.from_end.p99),
+            o.partials_per_query,
+            o.spec_hit_rate
+        );
+    }
+    println!(
+        "  ], \"outputs_match_serial\": {stream_outputs_match}, \"from_end_p50_below_serial_floor_at_low_rho\": {stream_below_floor} }},"
     );
     println!(
         "  \"saturation\": {{ \"total_queries\": {total}, \"staged_1worker_qps\": {:.2}, \"staged_qps\": {:.2}, \"speedup_vs_serial\": {:.2}, \"outputs_match_serial\": {} }}",

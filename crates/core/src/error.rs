@@ -46,6 +46,14 @@ pub enum SiriusError {
         /// How long the caller waited before giving up.
         waited: std::time::Duration,
     },
+    /// The request's audio was malformed for streaming ingestion (empty
+    /// chunk, NaN/infinite sample, or a zero-length utterance flush).
+    /// Carries the typed [`sirius_speech::StreamingError`] rendered as
+    /// text so this enum stays `Eq` and wire-friendly.
+    InvalidAudio {
+        /// Human-readable cause (the streaming error's display form).
+        reason: String,
+    },
     /// Deadline-aware admission control shed the request: the expected
     /// end-to-end sojourn (live queue backlog × recent mean service, summed
     /// over the stages) already exceeds the caller's deadline, so admitting
@@ -83,6 +91,9 @@ impl std::fmt::Display for SiriusError {
             SiriusError::Timeout { waited } => {
                 write!(f, "no response after waiting {waited:?}")
             }
+            SiriusError::InvalidAudio { reason } => {
+                write!(f, "invalid audio: {reason}")
+            }
             SiriusError::DeadlineUnmeetable {
                 expected,
                 deadline,
@@ -97,6 +108,14 @@ impl std::fmt::Display for SiriusError {
 }
 
 impl std::error::Error for SiriusError {}
+
+impl From<sirius_speech::StreamingError> for SiriusError {
+    fn from(e: sirius_speech::StreamingError) -> Self {
+        SiriusError::InvalidAudio {
+            reason: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -128,5 +147,17 @@ mod tests {
             text.contains("90") && text.contains("40") && text.contains("50"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn streaming_errors_convert_to_invalid_audio() {
+        let e: SiriusError = sirius_speech::StreamingError::NonFiniteSample { index: 11 }.into();
+        match &e {
+            SiriusError::InvalidAudio { reason } => assert!(reason.contains("index 11")),
+            other => panic!("expected InvalidAudio, got {other:?}"),
+        }
+        assert!(e.to_string().contains("invalid audio"));
+        let e: SiriusError = sirius_speech::StreamingError::EmptyChunk.into();
+        assert!(matches!(e, SiriusError::InvalidAudio { .. }));
     }
 }

@@ -38,11 +38,13 @@ pub mod batch;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
+pub mod stream;
 
 pub use batch::{spawn_batch_collector, BatchHandle, BatchPolicy, BatchedAsrStage};
-pub use metrics::{BatchObs, ServerMetrics, StageObs, STAGES};
+pub use metrics::{BatchObs, ServerMetrics, StageObs, StreamObs, STAGES};
 pub use pool::{spawn_stage_pool, Job};
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
+pub use stream::StreamPolicy;
 
 // The runtime shares one trained `Sirius` across every worker thread; this
 // compile-time assertion is the whole safety argument.

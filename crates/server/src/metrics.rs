@@ -22,6 +22,12 @@
 //! | `{stage}.batch_size` | histogram | blocks coalesced per collector flush |
 //! | `{stage}.batch_flush_full` | counter | flushes at `max_batch` blocks |
 //! | `{stage}.batch_flush_timeout` | counter | partial flushes forced by `max_delay` |
+//! | `asr.partials_emitted` | counter | stable-prefix partial hypotheses emitted |
+//! | `asr.commit_latency_ns` | histogram | chunk arrival → its words committed |
+//! | `asr.spec_dispatched` | counter | speculative downstream jobs dispatched |
+//! | `asr.spec_hit` | counter | speculations confirmed by the final hypothesis |
+//! | `asr.spec_miss` | counter | speculations discarded at reconcile |
+//! | `e2e.first_partial_ns` | histogram | admission → first committed partial |
 //! | `admission.accepted` / `admission.shed` | counter | admission control outcomes |
 //! | `admission.shed_deadline` | counter | sheds by the deadline-aware policy |
 //! | `admission.rejected_shutdown` | counter | submits refused mid-shutdown |
@@ -98,6 +104,41 @@ impl BatchObs {
     }
 }
 
+/// Streaming-ASR telemetry: partial-hypothesis emission and speculative
+/// pipelining outcomes (flat when streaming is off).
+#[derive(Debug, Clone)]
+pub struct StreamObs {
+    /// Stable-prefix partial hypotheses emitted (each commit that grew the
+    /// prefix counts once).
+    pub partials_emitted: Counter,
+    /// Latency from a chunk's arrival at the worker to the commit it
+    /// produced (the decode lag behind the audio edge).
+    pub commit_latency: Histogram,
+    /// Admission → the query's first non-empty committed prefix: the
+    /// time-to-first-partial a barge-in UI would observe.
+    pub first_partial: Histogram,
+    /// Speculative downstream (Classify/IMM/QA) jobs dispatched on partials.
+    pub spec_dispatched: Counter,
+    /// Speculations whose text matched the final hypothesis (reused).
+    pub spec_hit: Counter,
+    /// Speculations discarded at reconcile (prefix was not the final text).
+    pub spec_miss: Counter,
+}
+
+impl StreamObs {
+    /// Registers the streaming metrics under `asr.…` / `e2e.…` names.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            partials_emitted: registry.counter("asr.partials_emitted"),
+            commit_latency: registry.histogram("asr.commit_latency_ns"),
+            first_partial: registry.histogram("e2e.first_partial_ns"),
+            spec_dispatched: registry.counter("asr.spec_dispatched"),
+            spec_hit: registry.counter("asr.spec_hit"),
+            spec_miss: registry.counter("asr.spec_miss"),
+        })
+    }
+}
+
 /// Every metric the staged runtime records, pre-registered in one
 /// [`Registry`] (also reachable by name through snapshots).
 #[derive(Debug)]
@@ -134,6 +175,8 @@ pub struct ServerMetrics {
     pub qa: Arc<StageObs>,
     /// ASR batch-collector telemetry (flat counters when batching is off).
     pub batch: Arc<BatchObs>,
+    /// Streaming-ASR telemetry (flat when streaming is off).
+    pub stream: Arc<StreamObs>,
 }
 
 impl ServerMetrics {
@@ -154,6 +197,7 @@ impl ServerMetrics {
             imm: StageObs::register(&registry, "imm"),
             qa: StageObs::register(&registry, "qa"),
             batch: BatchObs::register(&registry, "asr"),
+            stream: StreamObs::register(&registry),
             registry,
         })
     }
@@ -210,5 +254,31 @@ mod tests {
         assert_eq!(snap.histogram("asr.batch_size").unwrap().count, 1);
         assert_eq!(snap.counter("asr.batch_flush_full"), Some(1));
         assert_eq!(snap.counter("asr.batch_flush_timeout"), Some(0));
+    }
+
+    #[test]
+    fn streaming_metrics_are_registered_and_exported() {
+        let m = ServerMetrics::new();
+        m.stream.partials_emitted.inc();
+        m.stream.commit_latency.record(1_000);
+        m.stream.first_partial.record(2_000);
+        m.stream.spec_dispatched.inc();
+        m.stream.spec_hit.inc();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("asr.partials_emitted"), Some(1));
+        assert_eq!(snap.histogram("asr.commit_latency_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("e2e.first_partial_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("asr.spec_dispatched"), Some(1));
+        assert_eq!(snap.counter("asr.spec_hit"), Some(1));
+        assert_eq!(snap.counter("asr.spec_miss"), Some(0));
+        let prom = snap.to_prometheus();
+        for name in [
+            "asr_partials_emitted",
+            "asr_commit_latency_ns",
+            "e2e_first_partial_ns",
+            "asr_spec_dispatched",
+        ] {
+            assert!(prom.contains(name), "{name} missing from Prometheus export");
+        }
     }
 }

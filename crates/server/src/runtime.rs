@@ -63,6 +63,7 @@ use sirius_vision::image::GrayImage;
 use crate::batch::{spawn_batch_collector, BatchPolicy, BatchedAsrStage, SiriusWindowScorer};
 use crate::metrics::{ServerMetrics, STAGES};
 use crate::pool::{spawn_stage_pool, Job};
+use crate::stream::{spawn_streaming_stages, StreamPolicy};
 
 /// Sizing of one stage's pool and queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +84,7 @@ impl Default for StageConfig {
 }
 
 /// Configuration of the staged runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
     /// ASR pool/queue sizing. Its queue is the admission-control queue.
     pub asr: StageConfig,
@@ -100,6 +101,10 @@ pub struct ServerConfig {
     /// (`max_batch == 1`) spawns no collector and serves exactly the
     /// per-query path; see [`crate::batch`].
     pub batch: BatchPolicy,
+    /// Streaming ASR ingestion and speculative downstream pipelining. The
+    /// default (`chunk == 0`) serves whole utterances; see
+    /// [`crate::stream`].
+    pub stream: StreamPolicy,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +116,7 @@ impl Default for ServerConfig {
             qa: StageConfig::default(),
             acoustic: AcousticModelKind::Gmm,
             batch: BatchPolicy::default(),
+            stream: StreamPolicy::default(),
         }
     }
 }
@@ -133,6 +139,13 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the streaming ASR policy. With the default (non-streaming)
+    /// policy the runtime serves whole utterances exactly as before.
+    pub fn with_stream_policy(mut self, stream: StreamPolicy) -> Self {
+        self.stream = stream;
+        self
+    }
+
     /// Sets every stage's queue depth.
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.asr.queue_depth = depth;
@@ -142,16 +155,23 @@ impl ServerConfig {
         self
     }
 
-    /// Total worker threads the runtime will spawn.
+    /// Total worker threads the runtime will spawn (the streaming
+    /// speculation pool, when enabled, matches the ASR pool's size).
     pub fn total_workers(&self) -> usize {
+        let spec = if self.stream.is_streaming() && self.stream.speculate {
+            self.asr.workers.max(1)
+        } else {
+            0
+        };
         self.asr.workers.max(1)
             + self.classify.workers.max(1)
             + self.imm.workers.max(1)
             + self.qa.workers.max(1)
+            + spec
     }
 }
 
-struct TicketState {
+pub(crate) struct TicketState {
     slot: Mutex<Option<Result<SiriusResponse, SiriusError>>>,
     done: Condvar,
 }
@@ -243,7 +263,7 @@ fn complete(state: &Arc<TicketState>, result: Result<SiriusResponse, SiriusError
 /// span used to be recorded only on success, which made recorder-side
 /// ledgers (spans-per-query censuses, trace reconstructions) silently
 /// undercount whenever a query failed.
-fn finish(
+pub(crate) fn finish(
     metrics: &ServerMetrics,
     recorder: &dyn Recorder,
     started: Instant,
@@ -293,18 +313,18 @@ fn expire(metrics: &ServerMetrics, recorder: &dyn Recorder, ctx: Ctx) {
 /// Per-query state carried alongside stage requests as they move through
 /// the queues. Grows monotonically: each stage adds what the final response
 /// assembly needs.
-struct Ctx {
-    ticket: Arc<TicketState>,
-    started: Instant,
+pub(crate) struct Ctx {
+    pub(crate) ticket: Arc<TicketState>,
+    pub(crate) started: Instant,
     /// Absolute completion deadline (admission instant + the caller's SLO),
     /// `None` for deadline-free submits or unrepresentably far deadlines.
-    deadline: Option<Instant>,
-    image: Option<GrayImage>,
-    recognized: String,
-    asr_timing: AsrTiming,
-    classify: Duration,
-    imm_timing: Option<ImmTiming>,
-    matched_venue: Option<String>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) image: Option<GrayImage>,
+    pub(crate) recognized: String,
+    pub(crate) asr_timing: AsrTiming,
+    pub(crate) classify: Duration,
+    pub(crate) imm_timing: Option<ImmTiming>,
+    pub(crate) matched_venue: Option<String>,
 }
 
 /// A retained handle onto one stage's queue that refreshes its depth and
@@ -581,7 +601,36 @@ impl SiriusServer {
             let recorder = Arc::clone(&recorder);
             move |ctx: Ctx| expire(&metrics, recorder.as_ref(), ctx)
         };
-        if config.batch.is_batching() {
+        if config.stream.is_streaming() {
+            // Streaming ASR workers decode paced chunks in place; when the
+            // batch policy also calls for a collector, DNN block GEMMs are
+            // still coalesced across queries — the streaming recognizer
+            // scores through the same collector handle.
+            let remote = if config.batch.is_batching() {
+                let scorer: Arc<dyn WindowScorer> =
+                    Arc::new(SiriusWindowScorer::new(Arc::clone(&sirius)));
+                let (handle, collector) = spawn_batch_collector(
+                    scorer,
+                    config.batch,
+                    Arc::clone(&metrics.batch),
+                    config.asr.workers.max(1),
+                );
+                workers.push(collector);
+                Some(handle)
+            } else {
+                None
+            };
+            workers.extend(spawn_streaming_stages(
+                Arc::clone(&sirius),
+                &config,
+                asr_rx,
+                Arc::clone(&metrics),
+                Arc::clone(&recorder),
+                remote,
+                asr_route,
+                asr_expire,
+            ));
+        } else if config.batch.is_batching() {
             // Workers hold the collector's handle through their stage, so
             // the pool exiting is what lets the collector drain and stop;
             // its join below can never deadlock. Expired jobs are dropped

@@ -384,6 +384,25 @@ impl AsrSystem {
         }
     }
 
+    /// Starts a streaming recognition session with the selected acoustic
+    /// model (see [`crate::streaming::StreamingRecognizer`]). Feeding the
+    /// same audio chunk by chunk and finishing yields output bit-identical
+    /// to [`AsrSystem::recognize`] over the concatenated samples.
+    pub fn streaming(&self, kind: AcousticModelKind) -> crate::streaming::StreamingRecognizer<'_> {
+        crate::streaming::StreamingRecognizer::new(self, kind)
+    }
+
+    /// Starts a streaming DNN recognition session whose block GEMMs are
+    /// delegated to `remote` (the serving layer's cross-query batch
+    /// collector), bit-identical to
+    /// [`AsrSystem::recognize_with_window_scorer`].
+    pub fn streaming_with_window_scorer<'a>(
+        &'a self,
+        remote: &'a dyn WindowScorer,
+    ) -> crate::streaming::StreamingRecognizer<'a> {
+        crate::streaming::StreamingRecognizer::with_remote(self, remote)
+    }
+
     /// Recognizes audio with the DNN acoustic model, delegating the block
     /// GEMMs to `remote` — the hook a serving layer uses to coalesce frame
     /// blocks from several in-flight queries into one forward pass.

@@ -569,6 +569,11 @@ impl DnnScorer {
         &self.dnn
     }
 
+    /// Number of context frames on each side of the scored frame.
+    pub fn context(&self) -> usize {
+        self.context
+    }
+
     /// Sets the execution policy used by [`AcousticScorer::score_utterance`].
     pub fn set_policy(&mut self, policy: ExecPolicy) {
         self.policy = policy;
@@ -979,196 +984,217 @@ impl Decoder {
         if t_max == 0 {
             return None;
         }
+        let mut st = BeamState::new(self);
+        self.beam_init(&mut st, scores, lm);
+        for t in 1..t_max {
+            if !self.beam_step(&mut st, scores, lm, t) {
+                return None;
+            }
+        }
+        self.beam_finish(&st, lexicon)
+    }
+
+    /// Consumes frame 0: silence or any word start.
+    fn beam_init<S: FrameScores>(&self, st: &mut BeamState, scores: &mut S, lm: &BigramLm) {
+        let wip = self.config.word_insertion_penalty;
+        let lmw = self.config.lm_weight;
+        scores.begin_frame(0);
+        if S::WANTS_ACTIVE_SET {
+            st.needed.push(self.entries[self.sil_first].emission);
+            st.needed_epoch += 1;
+            st.needed_stamp[self.entries[self.sil_first].emission as usize] = st.needed_epoch;
+            for w in 0..self.num_words {
+                let em = self.entries[self.word_first[w]].emission;
+                if st.needed_stamp[em as usize] != st.needed_epoch {
+                    st.needed_stamp[em as usize] = st.needed_epoch;
+                    st.needed.push(em);
+                }
+            }
+            scores.prepare(&st.needed);
+        }
+        st.cur[self.sil_first] = scores.get(self.entries[self.sil_first].emission as usize);
+        for w in 0..self.num_words {
+            let e = self.word_first[w];
+            st.arena.push((w as u32, ROOT));
+            st.cur[e] = lmw * lm.log_start(w) + wip + scores.get(self.entries[e].emission as usize);
+            st.cur_hist[e] = (st.arena.len() - 1) as u32;
+        }
+    }
+
+    /// Advances the beam through frame `t` (t >= 1). Returns `false` and
+    /// marks the state dead if no token survives (a batch decode would
+    /// return `None`).
+    fn beam_step<S: FrameScores>(
+        &self,
+        st: &mut BeamState,
+        scores: &mut S,
+        lm: &BigramLm,
+        t: usize,
+    ) -> bool {
         let n = self.entries.len();
         let log_self = self.config.self_loop.ln();
         let log_adv = (1.0 - self.config.self_loop).ln();
         let wip = self.config.word_insertion_penalty;
         let lmw = self.config.lm_weight;
-
         let neg = f32::NEG_INFINITY;
-        let mut cur = vec![neg; n];
-        let mut cur_hist = vec![ROOT; n];
-        let mut nxt = vec![neg; n];
-        let mut nxt_hist = vec![ROOT; n];
-        // History arena: (word, previous entry index).
-        let mut arena: Vec<(u32, u32)> = Vec::with_capacity(1024);
-        let mut tokens_expanded = 0usize;
+        let BeamState {
+            cur,
+            cur_hist,
+            nxt,
+            nxt_hist,
+            arena,
+            lm_rows,
+            exit_best,
+            exit_hist,
+            needed,
+            needed_stamp,
+            needed_epoch,
+            tokens_expanded,
+            dead,
+        } = st;
 
-        // Memoized scaled LM rows: lm_rows[p + 1][w] = lm_weight *
-        // log_bigram(p, w), row 0 for the start distribution. log_bigram
-        // does an f64 divide + ln per call, which the word-exit loop would
-        // otherwise repeat for every (source, target) pair every frame.
-        let mut lm_rows: Vec<Option<Box<[f32]>>> = vec![None; self.num_words + 1];
-        // Per-frame best word exit: highest (exit_score + scaled LM) per
-        // target word, so each improved target pushes one arena entry per
-        // frame instead of one per improving source.
-        let mut exit_best = vec![neg; self.num_words];
-        let mut exit_hist = vec![ROOT; self.num_words];
-        // Deduplicated emission states reachable this frame, for
-        // `FrameScores::prepare` (only collected when the provider asks).
-        let mut needed: Vec<u16> = Vec::with_capacity(NUM_STATES);
-        let mut needed_stamp = [0u32; NUM_STATES];
-        let mut needed_epoch = 0u32;
-
-        // Initialization at t = 0: silence or any word start.
-        scores.begin_frame(0);
+        nxt.fill(neg);
+        let best = cur.iter().copied().fold(neg, f32::max);
+        if best == neg {
+            *dead = true;
+            return false;
+        }
+        let threshold = best - self.config.beam;
+        scores.begin_frame(t);
         if S::WANTS_ACTIVE_SET {
-            needed.push(self.entries[self.sil_first].emission);
-            needed_epoch += 1;
-            needed_stamp[self.entries[self.sil_first].emission as usize] = needed_epoch;
-            for w in 0..self.num_words {
-                let em = self.entries[self.word_first[w]].emission;
-                if needed_stamp[em as usize] != needed_epoch {
-                    needed_stamp[em as usize] = needed_epoch;
+            // Collection pass: emissions of every relax target reachable
+            // from a beam-surviving source, deduplicated by epoch stamp.
+            needed.clear();
+            *needed_epoch = needed_epoch.wrapping_add(1);
+            let epoch = *needed_epoch;
+            let mut mark = |em: u16, needed: &mut Vec<u16>| {
+                if needed_stamp[em as usize] != epoch {
+                    needed_stamp[em as usize] = epoch;
                     needed.push(em);
                 }
-            }
-            scores.prepare(&needed);
-        }
-        cur[self.sil_first] = scores.get(self.entries[self.sil_first].emission as usize);
-        for w in 0..self.num_words {
-            let e = self.word_first[w];
-            arena.push((w as u32, ROOT));
-            cur[e] = lmw * lm.log_start(w) + wip + scores.get(self.entries[e].emission as usize);
-            cur_hist[e] = (arena.len() - 1) as u32;
-        }
-
-        for t in 1..t_max {
-            nxt.fill(neg);
-            let best = cur.iter().copied().fold(neg, f32::max);
-            if best == neg {
-                return None;
-            }
-            let threshold = best - self.config.beam;
-            scores.begin_frame(t);
-            if S::WANTS_ACTIVE_SET {
-                // Collection pass: emissions of every relax target reachable
-                // from a beam-surviving source, deduplicated by epoch stamp.
-                needed.clear();
-                needed_epoch = needed_epoch.wrapping_add(1);
-                let mut mark = |em: u16, needed: &mut Vec<u16>| {
-                    if needed_stamp[em as usize] != needed_epoch {
-                        needed_stamp[em as usize] = needed_epoch;
-                        needed.push(em);
-                    }
-                };
-                let mut any_exit = false;
-                let mut any_word_end = false;
-                for e in 0..n {
-                    if cur[e] < threshold {
-                        continue;
-                    }
-                    let st = self.entries[e];
-                    mark(st.emission, &mut needed);
-                    let is_word_end = st.word != u32::MAX && e == self.word_last[st.word as usize];
-                    if !is_word_end && e != self.sil_last {
-                        mark(self.entries[e + 1].emission, &mut needed);
-                    }
-                    any_word_end |= is_word_end;
-                    any_exit |= is_word_end || e >= self.sil_first;
-                }
-                if any_word_end {
-                    mark(self.entries[self.sil_first].emission, &mut needed);
-                }
-                if any_exit {
-                    for w in 0..self.num_words {
-                        mark(self.entries[self.word_first[w]].emission, &mut needed);
-                    }
-                }
-                scores.prepare(&needed);
-            }
+            };
             let mut any_exit = false;
-            exit_best.fill(neg);
+            let mut any_word_end = false;
             for e in 0..n {
-                let s = cur[e];
-                if s < threshold {
+                if cur[e] < threshold {
                     continue;
                 }
-                tokens_expanded += 1;
-                let hist = cur_hist[e];
                 let st = self.entries[e];
-                // Self loop.
-                let cand = s + log_self + scores.get(st.emission as usize);
-                if cand > nxt[e] {
-                    nxt[e] = cand;
-                    nxt_hist[e] = hist;
-                }
+                mark(st.emission, &mut *needed);
                 let is_word_end = st.word != u32::MAX && e == self.word_last[st.word as usize];
-                let in_sil = e >= self.sil_first;
                 if !is_word_end && e != self.sil_last {
-                    // Advance within the chain.
-                    let target = e + 1;
-                    let cand = s + log_adv + scores.get(self.entries[target].emission as usize);
-                    if cand > nxt[target] {
-                        nxt[target] = cand;
-                        nxt_hist[target] = hist;
-                    }
+                    mark(self.entries[e + 1].emission, &mut *needed);
                 }
-                if !is_word_end && !in_sil {
-                    continue;
-                }
-                // Exits: into silence (word ends only) and into new words.
-                // Silence is modelled with a flexible duration: any silence
-                // state may exit into a word, so short pauses do not require
-                // traversing the full 3-state chain.
-                let exit_score = s + log_adv;
-                if is_word_end {
-                    let cand =
-                        exit_score + scores.get(self.entries[self.sil_first].emission as usize);
-                    if cand > nxt[self.sil_first] {
-                        nxt[self.sil_first] = cand;
-                        nxt_hist[self.sil_first] = hist;
-                    }
-                }
-                any_exit = true;
-                let prev_word = if hist == ROOT {
-                    None
-                } else {
-                    Some(arena[hist as usize].0 as usize)
-                };
-                let row_idx = prev_word.map_or(0, |p| p + 1);
-                if lm_rows[row_idx].is_none() {
-                    lm_rows[row_idx] = Some(
-                        (0..self.num_words)
-                            .map(|w| {
-                                lmw * match prev_word {
-                                    Some(p) => lm.log_bigram(p, w),
-                                    None => lm.log_start(w),
-                                }
-                            })
-                            .collect(),
-                    );
-                }
-                let row = lm_rows[row_idx].as_deref().expect("row just built");
-                for (w, &lm_scaled) in row.iter().enumerate() {
-                    // Same association as the direct form: ((exit + lmw*lm)
-                    // + wip) + emission, so the winning score is bit-equal.
-                    let part = exit_score + lm_scaled;
-                    if part > exit_best[w] {
-                        exit_best[w] = part;
-                        exit_hist[w] = hist;
-                    }
-                }
+                any_word_end |= is_word_end;
+                any_exit |= is_word_end || e >= self.sil_first;
+            }
+            if any_word_end {
+                mark(self.entries[self.sil_first].emission, &mut *needed);
             }
             if any_exit {
                 for w in 0..self.num_words {
-                    if exit_best[w] == neg {
-                        continue;
-                    }
-                    let target = self.word_first[w];
-                    let cand =
-                        exit_best[w] + wip + scores.get(self.entries[target].emission as usize);
-                    if cand > nxt[target] {
-                        arena.push((w as u32, exit_hist[w]));
-                        nxt[target] = cand;
-                        nxt_hist[target] = (arena.len() - 1) as u32;
-                    }
+                    mark(self.entries[self.word_first[w]].emission, &mut *needed);
                 }
             }
-            std::mem::swap(&mut cur, &mut nxt);
-            std::mem::swap(&mut cur_hist, &mut nxt_hist);
+            scores.prepare(needed);
         }
+        let mut any_exit = false;
+        exit_best.fill(neg);
+        for e in 0..n {
+            let s = cur[e];
+            if s < threshold {
+                continue;
+            }
+            *tokens_expanded += 1;
+            let hist = cur_hist[e];
+            let st = self.entries[e];
+            // Self loop.
+            let cand = s + log_self + scores.get(st.emission as usize);
+            if cand > nxt[e] {
+                nxt[e] = cand;
+                nxt_hist[e] = hist;
+            }
+            let is_word_end = st.word != u32::MAX && e == self.word_last[st.word as usize];
+            let in_sil = e >= self.sil_first;
+            if !is_word_end && e != self.sil_last {
+                // Advance within the chain.
+                let target = e + 1;
+                let cand = s + log_adv + scores.get(self.entries[target].emission as usize);
+                if cand > nxt[target] {
+                    nxt[target] = cand;
+                    nxt_hist[target] = hist;
+                }
+            }
+            if !is_word_end && !in_sil {
+                continue;
+            }
+            // Exits: into silence (word ends only) and into new words.
+            // Silence is modelled with a flexible duration: any silence
+            // state may exit into a word, so short pauses do not require
+            // traversing the full 3-state chain.
+            let exit_score = s + log_adv;
+            if is_word_end {
+                let cand = exit_score + scores.get(self.entries[self.sil_first].emission as usize);
+                if cand > nxt[self.sil_first] {
+                    nxt[self.sil_first] = cand;
+                    nxt_hist[self.sil_first] = hist;
+                }
+            }
+            any_exit = true;
+            let prev_word = if hist == ROOT {
+                None
+            } else {
+                Some(arena[hist as usize].0 as usize)
+            };
+            let row_idx = prev_word.map_or(0, |p| p + 1);
+            if lm_rows[row_idx].is_none() {
+                lm_rows[row_idx] = Some(
+                    (0..self.num_words)
+                        .map(|w| {
+                            lmw * match prev_word {
+                                Some(p) => lm.log_bigram(p, w),
+                                None => lm.log_start(w),
+                            }
+                        })
+                        .collect(),
+                );
+            }
+            let row = lm_rows[row_idx].as_deref().expect("row just built");
+            for (w, &lm_scaled) in row.iter().enumerate() {
+                // Same association as the direct form: ((exit + lmw*lm)
+                // + wip) + emission, so the winning score is bit-equal.
+                let part = exit_score + lm_scaled;
+                if part > exit_best[w] {
+                    exit_best[w] = part;
+                    exit_hist[w] = hist;
+                }
+            }
+        }
+        if any_exit {
+            for w in 0..self.num_words {
+                if exit_best[w] == neg {
+                    continue;
+                }
+                let target = self.word_first[w];
+                let cand = exit_best[w] + wip + scores.get(self.entries[target].emission as usize);
+                if cand > nxt[target] {
+                    arena.push((w as u32, exit_hist[w]));
+                    nxt[target] = cand;
+                    nxt_hist[target] = (arena.len() - 1) as u32;
+                }
+            }
+        }
+        std::mem::swap(cur, nxt);
+        std::mem::swap(cur_hist, nxt_hist);
+        true
+    }
 
+    /// Acceptance scan + backtrace over the final beam front.
+    fn beam_finish(&self, st: &BeamState, lexicon: &Lexicon) -> Option<DecodeResult> {
+        let neg = f32::NEG_INFINITY;
+        let n = self.entries.len();
+        let cur = &st.cur;
+        let cur_hist = &st.cur_hist;
         // Accept at word ends or anywhere in the (flexible-length) silence.
         let mut best: Option<(f32, u32)> = None;
         let mut accept: Vec<(f32, u32)> = Vec::new();
@@ -1212,7 +1238,7 @@ impl Decoder {
         let mut hist = best_hist;
         let mut words_rev = Vec::new();
         while hist != ROOT {
-            let (w, prev) = arena[hist as usize];
+            let (w, prev) = st.arena[hist as usize];
             words_rev.push(lexicon.word(w as usize).to_owned());
             hist = prev;
         }
@@ -1222,8 +1248,206 @@ impl Decoder {
             score,
             runner_up_score,
             complete,
-            tokens_expanded,
+            tokens_expanded: st.tokens_expanded,
         })
+    }
+
+    /// The stable committed word prefix of the live beam: the longest
+    /// word-history prefix shared by every surviving token. Any future
+    /// hypothesis descends from some live token, every live token's
+    /// history starts with this prefix, and histories only ever append —
+    /// so the prefix is monotone (never retracted) and is always a prefix
+    /// of the final backtrace.
+    fn committed_words(&self, st: &BeamState) -> Vec<u32> {
+        let neg = f32::NEG_INFINITY;
+        let mut hists: Vec<u32> = (0..self.entries.len())
+            .filter(|&e| st.cur[e] > neg)
+            .map(|e| st.cur_hist[e])
+            .collect();
+        hists.sort_unstable();
+        hists.dedup();
+        let mut chains: Vec<Vec<u32>> = Vec::with_capacity(hists.len());
+        for &h in &hists {
+            let mut chain = Vec::new();
+            let mut hist = h;
+            while hist != ROOT {
+                let (w, prev) = st.arena[hist as usize];
+                chain.push(w);
+                hist = prev;
+            }
+            chain.reverse();
+            chains.push(chain);
+        }
+        let Some((first, rest)) = chains.split_first() else {
+            return Vec::new();
+        };
+        let mut prefix_len = first.len();
+        for chain in rest {
+            let common = first
+                .iter()
+                .zip(chain.iter())
+                .take(prefix_len)
+                .take_while(|(a, b)| a == b)
+                .count();
+            prefix_len = prefix_len.min(common);
+        }
+        first[..prefix_len].to_vec()
+    }
+}
+
+/// Per-utterance Viterbi beam state: the token front, history arena and
+/// scratch buffers that [`Decoder::decode_lazy`] threads through its frame
+/// loop, lifted into a struct so [`StreamingDecoder`] can suspend and
+/// resume the identical computation between frame chunks.
+#[derive(Debug)]
+struct BeamState {
+    cur: Vec<f32>,
+    cur_hist: Vec<u32>,
+    nxt: Vec<f32>,
+    nxt_hist: Vec<u32>,
+    /// History arena: (word, previous entry index).
+    arena: Vec<(u32, u32)>,
+    /// Memoized scaled LM rows: lm_rows[p + 1][w] = lm_weight *
+    /// log_bigram(p, w), row 0 for the start distribution. log_bigram
+    /// does an f64 divide + ln per call, which the word-exit loop would
+    /// otherwise repeat for every (source, target) pair every frame.
+    lm_rows: Vec<Option<Box<[f32]>>>,
+    /// Per-frame best word exit: highest (exit_score + scaled LM) per
+    /// target word, so each improved target pushes one arena entry per
+    /// frame instead of one per improving source.
+    exit_best: Vec<f32>,
+    exit_hist: Vec<u32>,
+    /// Deduplicated emission states reachable this frame, for
+    /// `FrameScores::prepare` (only collected when the provider asks).
+    needed: Vec<u16>,
+    needed_stamp: [u32; NUM_STATES],
+    needed_epoch: u32,
+    tokens_expanded: usize,
+    /// Set when no token survived some frame (batch decode returns `None`).
+    dead: bool,
+}
+
+impl BeamState {
+    fn new(decoder: &Decoder) -> Self {
+        let n = decoder.entries.len();
+        let neg = f32::NEG_INFINITY;
+        BeamState {
+            cur: vec![neg; n],
+            cur_hist: vec![ROOT; n],
+            nxt: vec![neg; n],
+            nxt_hist: vec![ROOT; n],
+            arena: Vec::with_capacity(1024),
+            lm_rows: vec![None; decoder.num_words + 1],
+            exit_best: vec![neg; decoder.num_words],
+            exit_hist: vec![ROOT; decoder.num_words],
+            needed: Vec::with_capacity(NUM_STATES),
+            needed_stamp: [0u32; NUM_STATES],
+            needed_epoch: 0,
+            tokens_expanded: 0,
+            dead: false,
+        }
+    }
+}
+
+/// Resumable beam decoder over incrementally arriving feature frames.
+///
+/// [`StreamingDecoder::advance`] consumes frames up to a caller-chosen
+/// horizon from a [`FrameScores`] provider and advances the beam exactly
+/// as [`Decoder::decode_lazy`] would; [`StreamingDecoder::committed`]
+/// reports the stable word prefix — the unique-ancestor portion of the
+/// live beam, which only ever grows and is always a prefix of the final
+/// hypothesis; [`StreamingDecoder::finish`] runs the identical acceptance
+/// scan and backtrace, so the final result is bit-identical to a batch
+/// decode of the same frames.
+///
+/// The provider handed to `advance` must index frames exactly as a batch
+/// decode over the full utterance would: utterance frame `t` is provider
+/// frame `t`. A fresh provider over a growing frame prefix satisfies
+/// this.
+#[derive(Debug)]
+pub struct StreamingDecoder<'a> {
+    decoder: &'a Decoder,
+    lm: &'a BigramLm,
+    state: BeamState,
+    next_t: usize,
+    committed: Vec<u32>,
+}
+
+impl<'a> StreamingDecoder<'a> {
+    /// Starts a streaming decode over `decoder`'s word-loop graph.
+    pub fn new(decoder: &'a Decoder, lm: &'a BigramLm) -> Self {
+        StreamingDecoder {
+            state: BeamState::new(decoder),
+            decoder,
+            lm,
+            next_t: 0,
+            committed: Vec::new(),
+        }
+    }
+
+    /// Number of feature frames consumed so far.
+    pub fn frames_consumed(&self) -> usize {
+        self.next_t
+    }
+
+    /// Whether the beam died (no token survived some frame).
+    ///
+    /// A dead beam corresponds to `decode_lazy` returning `None`; it can
+    /// only happen with non-finite emission scores.
+    pub fn is_dead(&self) -> bool {
+        self.state.dead
+    }
+
+    /// Tokens expanded so far (matches `DecodeResult::tokens_expanded`
+    /// after the final frame).
+    pub fn tokens_expanded(&self) -> usize {
+        self.state.tokens_expanded
+    }
+
+    /// Advances the beam through frames `[frames_consumed(), horizon)`.
+    ///
+    /// `horizon` is clamped to `scores.num_frames()`. Returns `false` if
+    /// the beam died (a batch decode would return `None`).
+    pub fn advance<S: FrameScores>(&mut self, scores: &mut S, horizon: usize) -> bool {
+        let horizon = horizon.min(scores.num_frames());
+        while self.next_t < horizon && !self.state.dead {
+            if self.next_t == 0 {
+                self.decoder.beam_init(&mut self.state, scores, self.lm);
+            } else {
+                self.decoder
+                    .beam_step(&mut self.state, scores, self.lm, self.next_t);
+            }
+            self.next_t += 1;
+        }
+        !self.state.dead
+    }
+
+    /// The stable committed word prefix (lexicon word ids).
+    ///
+    /// Recomputed from the live beam; the result only ever extends the
+    /// previously returned prefix and the final hypothesis starts with it.
+    pub fn committed(&mut self) -> &[u32] {
+        if self.next_t > 0 && !self.state.dead {
+            let fresh = self.decoder.committed_words(&self.state);
+            debug_assert!(
+                fresh.len() >= self.committed.len()
+                    && fresh[..self.committed.len()] == self.committed[..],
+                "committed prefix retracted"
+            );
+            self.committed = fresh;
+        }
+        &self.committed
+    }
+
+    /// Finalizes the decode: acceptance scan + backtrace, exactly the
+    /// tail of [`Decoder::decode_lazy`].
+    ///
+    /// Returns `None` if no frames were consumed or the beam died.
+    pub fn finish(&self, lexicon: &Lexicon) -> Option<DecodeResult> {
+        if self.next_t == 0 || self.state.dead {
+            return None;
+        }
+        self.decoder.beam_finish(&self.state, lexicon)
     }
 }
 
@@ -1365,6 +1589,65 @@ mod tests {
         .decode_scores(&emis, &lm, &lex)
         .expect("narrow decode");
         assert!(narrow.tokens_expanded <= wide.tokens_expanded);
+    }
+
+    /// Chunked streaming decodes must match the batch decode bit-for-bit
+    /// and never retract a committed word, for any chunk size.
+    #[test]
+    fn streaming_decoder_matches_batch_and_never_retracts() {
+        let lex = tiny_lexicon();
+        let lm = BigramLm::train(["go on", "no go"], &lex);
+        let dec = Decoder::new(&lex, DecoderConfig::default());
+        let sil = NUM_PHONES - 1;
+        let mut phones: Vec<(usize, usize)> = Vec::new();
+        for c in "go".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        for s in 0..3 {
+            phones.push((sil, s));
+        }
+        for c in "on".chars() {
+            for s in 0..3 {
+                phones.push((phone_id(c), s));
+            }
+        }
+        let emis = emissions_for(&phones, 3);
+        let batch = dec.decode_scores(&emis, &lm, &lex).expect("batch decode");
+
+        for chunk in [1usize, 3, 7, emis.len()] {
+            let mut sdec = StreamingDecoder::new(&dec, &lm);
+            let mut committed: Vec<u32> = Vec::new();
+            let mut horizon = 0usize;
+            while horizon < emis.len() {
+                horizon = (horizon + chunk).min(emis.len());
+                // A fresh provider over the frame prefix models chunked
+                // arrival; frame indices match the batch pass exactly.
+                let mut scores = EagerScores::new(&emis[..horizon]);
+                assert!(sdec.advance(&mut scores, horizon), "beam died");
+                let now = sdec.committed();
+                assert!(
+                    now.len() >= committed.len() && now[..committed.len()] == committed[..],
+                    "chunk {chunk}: committed prefix retracted"
+                );
+                committed = now.to_vec();
+            }
+            let out = sdec.finish(&lex).expect("streaming decode");
+            assert_eq!(out.words, batch.words, "chunk {chunk}");
+            assert_eq!(out.score.to_bits(), batch.score.to_bits(), "chunk {chunk}");
+            assert_eq!(out.tokens_expanded, batch.tokens_expanded, "chunk {chunk}");
+            assert_eq!(out.complete, batch.complete, "chunk {chunk}");
+            let final_words: Vec<u32> = committed.clone();
+            let spelled: Vec<String> = final_words
+                .iter()
+                .map(|&w| lex.word(w as usize).to_owned())
+                .collect();
+            assert!(
+                out.words.starts_with(&spelled[..]),
+                "chunk {chunk}: committed not a prefix of final"
+            );
+        }
     }
 }
 

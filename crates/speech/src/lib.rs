@@ -40,9 +40,11 @@ pub mod hmm;
 pub mod lexicon;
 pub mod lm;
 pub mod nbest;
+pub mod streaming;
 pub mod synth;
 pub mod vad;
 
 pub use asr::{AcousticModelKind, AsrOutput, AsrSystem, AsrTrainConfig, ScoringMode};
-pub use hmm::WindowScorer;
+pub use hmm::{StreamingDecoder, WindowScorer};
+pub use streaming::{StreamProgress, StreamingError, StreamingRecognizer};
 pub use synth::{SynthConfig, Synthesizer, Utterance};

@@ -3,8 +3,8 @@
 # latency-vs-load against the M/M/1 prediction, the shed-on-full vs
 # deadline-aware admission-policy head-to-head with its M/M/1/K shed-rate
 # cross-check, the cross-query ASR batching policy sweep with its Pareto
-# frontier, plus closed-loop saturation throughput). Recipe in
-# EXPERIMENTS.md.
+# frontier, the streaming-ASR sweep over chunk size x offered load, plus
+# closed-loop saturation throughput). Recipe in EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
 #   QUERIES  arrivals per load point (default 100)
@@ -34,6 +34,12 @@ assert batch["outputs_match_serial"] is True, "batched outputs diverged from ser
 assert batch["accounting_balanced"] is True, "batch-sweep accounting did not balance"
 assert any(p["max_batch"] > 1 and p["batch_size_max"] > 1 for p in batch["points"]), \
     "no cross-query batch ever formed"
+stream = bench["streaming_sweep"]
+assert stream["outputs_match_serial"] is True, "streaming outputs diverged from serial"
+assert stream["from_end_p50_below_serial_floor_at_low_rho"] is True, \
+    "streaming from-end p50 did not beat the serial sum-of-stages floor at rho <= 0.8"
+assert all(p["partials_per_query"] > 0 for p in stream["points"]), \
+    "a streaming point emitted no partial hypotheses"
 print("==> outputs_match_serial and accounting checks passed")
 EOF
 echo "==> wrote BENCH_server.json"

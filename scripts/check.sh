@@ -31,6 +31,12 @@ cargo test --release -p sirius-server --test admission -q
 echo "==> cargo test --release -p sirius-server --test batching -q (cross-query batching equivalence gate)"
 cargo test --release -p sirius-server --test batching -q
 
+echo "==> cargo test --release -p sirius-speech --test streaming_equivalence -q (streaming ASR bit-identity + stable-prefix gates)"
+cargo test --release -p sirius-speech --test streaming_equivalence -q
+
+echo "==> cargo test --release -p sirius-server --test streaming -q (streaming serving equivalence + telemetry gates)"
+cargo test --release -p sirius-server --test streaming -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
