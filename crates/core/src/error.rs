@@ -109,6 +109,54 @@ impl std::fmt::Display for SiriusError {
 
 impl std::error::Error for SiriusError {}
 
+/// Why a cluster front-end could not serve (or be built for) a query.
+///
+/// The routing layer (`sirius-server`'s `SiriusCluster`) sits in front of N
+/// replica runtimes; its failures are either configuration errors (no
+/// replicas, impossible shard counts) or a replica-level [`SiriusError`]
+/// annotated with *which* replica produced it, so a load harness can tell a
+/// router bug from an overloaded backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The cluster was configured with zero replicas.
+    NoReplicas,
+    /// The requested shard count cannot partition the data planes.
+    InvalidShardCount {
+        /// The shard count asked for.
+        requested: u32,
+    },
+    /// A replica failed to serve the routed query.
+    Replica {
+        /// Index of the replica the query was routed to.
+        replica: usize,
+        /// The replica's own error.
+        source: SiriusError,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoReplicas => f.write_str("cluster has no replicas"),
+            ClusterError::InvalidShardCount { requested } => {
+                write!(f, "invalid shard count {requested}")
+            }
+            ClusterError::Replica { replica, source } => {
+                write!(f, "replica {replica}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Replica { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 impl From<sirius_speech::StreamingError> for SiriusError {
     fn from(e: sirius_speech::StreamingError) -> Self {
         SiriusError::InvalidAudio {
@@ -147,6 +195,23 @@ mod tests {
             text.contains("90") && text.contains("40") && text.contains("50"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn cluster_errors_display_and_chain() {
+        assert!(ClusterError::NoReplicas.to_string().contains("no replicas"));
+        assert!(ClusterError::InvalidShardCount { requested: 0 }
+            .to_string()
+            .contains('0'));
+        let e = ClusterError::Replica {
+            replica: 2,
+            source: SiriusError::Overloaded { stage: "asr" },
+        };
+        let text = e.to_string();
+        assert!(text.contains("replica 2") && text.contains("asr"), "{text}");
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(ClusterError::NoReplicas.source().is_none());
     }
 
     #[test]

@@ -42,9 +42,11 @@ pub mod stage;
 pub mod taxonomy;
 
 pub use classifier::{DeviceAction, QueryClassifier};
-pub use error::SiriusError;
+pub use error::{ClusterError, SiriusError};
 pub use inputset::{prepare_input_set, PreparedQuery};
-pub use pipeline::{Sirius, SiriusConfig, SiriusInput, SiriusOutcome, SiriusResponse};
+pub use pipeline::{
+    ShardDirectory, Sirius, SiriusConfig, SiriusInput, SiriusOutcome, SiriusResponse,
+};
 pub use profile::Profiler;
 pub use stage::Stage;
 pub use taxonomy::{input_set, QueryKind, QuerySpec};

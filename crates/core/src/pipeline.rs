@@ -7,6 +7,7 @@
 //! reproduces the paper's latency figures (7b, 8a) and cycle breakdowns
 //! (Figure 9).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sirius_nlp::crf::{Crf, TrainConfig};
@@ -23,7 +24,7 @@ use sirius_vision::surf::SurfConfig;
 use sirius_vision::synth as vsynth;
 
 use crate::classifier::{DeviceAction, QueryClass, QueryClassifier};
-use crate::error::SiriusError;
+use crate::error::{ClusterError, SiriusError};
 use crate::stage::{
     AsrRequest, AsrResponse, ClassifyRequest, ClassifyResponse, ImmRequest, ImmResponse, QaRequest,
     QaResponse,
@@ -116,6 +117,30 @@ pub struct SiriusInput {
     pub image: Option<GrayImage>,
 }
 
+/// The shared data plane of a sharded cluster: every shard of the retrieval
+/// index and of the image database, in shard order.
+///
+/// Replicas hold this behind an [`Arc`]; a replica's QA retrieval and IMM
+/// candidate search *scatter* across all entries and merge deterministically
+/// (`sirius_search::merge_hits`, [`ImageDatabase::merge_partials`]), while
+/// everything else in the pipeline runs on the replica's own engines. In a
+/// real deployment each entry would live on a different machine; in this
+/// single-box cluster the fan-out is an in-memory call, which keeps the
+/// merge semantics — the part the paper's provisioning math cares about —
+/// real and measurable.
+#[derive(Debug)]
+pub struct ShardDirectory {
+    search: Vec<SearchEngine>,
+    imm: Vec<ImageDatabase>,
+}
+
+impl ShardDirectory {
+    /// Number of shards the data planes are partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.search.len()
+    }
+}
+
 /// The end-to-end intelligent personal assistant.
 pub struct Sirius {
     asr: AsrSystem,
@@ -124,6 +149,9 @@ pub struct Sirius {
     imm: ImageDatabase,
     venues: Vec<String>,
     config: SiriusConfig,
+    /// `Some` on a cluster replica: this instance's QA/IMM engines hold one
+    /// shard, and queries scatter-gather across the shared directory.
+    shards: Option<(u32, Arc<ShardDirectory>)>,
 }
 
 impl std::fmt::Debug for Sirius {
@@ -179,7 +207,57 @@ impl Sirius {
             imm,
             venues,
             config,
+            shards: None,
         }
+    }
+
+    /// Builds `num_shards` cluster replicas from this instance.
+    ///
+    /// Each replica carries the full ASR models and classifier (queries
+    /// arrive whole; speech is not shardable data) but only *one shard* of
+    /// the QA retrieval index ([`QaEngine::shard`]) and of the IMM
+    /// descriptor index ([`ImageDatabase::shard`]). All replicas share one
+    /// [`ShardDirectory`] holding every shard, so any replica can serve any
+    /// query: retrieval and descriptor search scatter across the directory
+    /// and merge under the shared deterministic orders, making every
+    /// replica's response to a given query identical — and identical to
+    /// this unsharded instance's, which the cluster equivalence gate
+    /// asserts over the full 42-query input set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidShardCount`] if `num_shards` is zero.
+    pub fn shard_replicas(&self, num_shards: u32) -> Result<Vec<Sirius>, ClusterError> {
+        if num_shards == 0 {
+            return Err(ClusterError::InvalidShardCount { requested: 0 });
+        }
+        let directory = Arc::new(ShardDirectory {
+            search: (0..num_shards)
+                .map(|i| self.qa.search_engine().shard(i, num_shards))
+                .collect(),
+            imm: (0..num_shards)
+                .map(|i| self.imm.shard(i, num_shards))
+                .collect(),
+        });
+        Ok((0..num_shards)
+            .map(|i| Sirius {
+                asr: self.asr.clone(),
+                classifier: QueryClassifier::new(),
+                qa: self.qa.shard(i, num_shards),
+                imm: self.imm.shard(i, num_shards),
+                venues: self.venues.clone(),
+                config: self.config.clone(),
+                shards: Some((i, Arc::clone(&directory))),
+            })
+            .collect())
+    }
+
+    /// `Some((shard_index, num_shards))` on a cluster replica built by
+    /// [`Sirius::shard_replicas`], `None` on an unsharded instance.
+    pub fn shard_id(&self) -> Option<(u32, u32)> {
+        self.shards
+            .as_ref()
+            .map(|(i, dir)| (*i, dir.num_shards() as u32))
     }
 
     fn venue_scene_seed(seed: u64, venue_index: usize) -> u64 {
@@ -307,6 +385,7 @@ impl Sirius {
             imm,
             venues,
             config,
+            shards: None,
         })
     }
 
@@ -435,7 +514,21 @@ impl Sirius {
         let mut timing = None;
         let mut matched_venue = None;
         if let Some(image) = &image {
-            let result = self.imm.match_image(image);
+            let result = match &self.shards {
+                // Unsharded: one budgeted ANN search over the whole index.
+                None => self.imm.match_image(image),
+                // Replica: extract features once, scatter the candidate
+                // search across every shard, merge deterministically.
+                Some((_, directory)) => {
+                    let features = self.imm.extract_query(image);
+                    let partials: Vec<_> = directory
+                        .imm
+                        .iter()
+                        .map(|shard| shard.match_partial(&features))
+                        .collect();
+                    self.imm.merge_partials(&features, &partials)
+                }
+            };
             timing = Some(result.timing);
             if let Some(id) = result.best {
                 let venue = self
@@ -459,7 +552,20 @@ impl Sirius {
 
     /// Stage 4: question answering.
     pub fn stage_qa(&self, req: QaRequest) -> Result<QaResponse, SiriusError> {
-        let result = self.qa.answer(&req.question);
+        let result = match &self.shards {
+            // Unsharded: retrieval runs on the local full index.
+            None => self.qa.answer(&req.question),
+            // Replica: analysis, filters and extraction run locally, but
+            // retrieval scatters to every shard's posting lists and merges
+            // under the shared (score, doc) total order — bit-identical to
+            // the unsharded search at any shard count.
+            Some((_, directory)) => self.qa.answer_with_retrieval(&req.question, |query, k| {
+                sirius_search::merge_hits(
+                    directory.search.iter().map(|shard| shard.search(query, k)),
+                    k,
+                )
+            }),
+        };
         Ok(QaResponse {
             answer: result.answer,
             breakdown: result.breakdown,

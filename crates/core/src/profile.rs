@@ -22,7 +22,11 @@ use crate::taxonomy::QueryKind;
 pub type ComponentBreakdown = Vec<(&'static str, f64)>;
 
 /// Latency statistics for one query kind.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Retains its ascending-sorted sample set privately so two populations
+/// [`merge`](Self::merge) exactly — cluster-level p50/p95/p99 from
+/// per-replica statistics without callers re-sorting concatenations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
     /// Number of queries observed.
     pub count: usize,
@@ -39,13 +43,22 @@ pub struct LatencyStats {
     /// 99th-percentile latency (nearest rank). Tail latency is the paper's
     /// datacenter design constraint, and the quantity a load harness sweeps.
     pub p99: Duration,
+    sorted: Vec<Duration>,
 }
 
 impl LatencyStats {
     /// Computes full statistics (mean/min/max and p50/p95/p99) over a set
     /// of samples. Zero durations for an empty set.
     pub fn from_samples(samples: &[Duration]) -> Self {
-        if samples.is_empty() {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Self::from_sorted(sorted)
+    }
+
+    /// Computes statistics over an already ascending-sorted sample vector.
+    fn from_sorted(sorted: Vec<Duration>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        if sorted.is_empty() {
             return Self {
                 count: 0,
                 mean: Duration::ZERO,
@@ -54,10 +67,9 @@ impl LatencyStats {
                 p50: Duration::ZERO,
                 p95: Duration::ZERO,
                 p99: Duration::ZERO,
+                sorted,
             };
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
         let sum: Duration = sorted.iter().sum();
         Self {
             count: sorted.len(),
@@ -67,7 +79,24 @@ impl LatencyStats {
             p50: percentile_of_sorted(&sorted, 50.0),
             p95: percentile_of_sorted(&sorted, 95.0),
             p99: percentile_of_sorted(&sorted, 99.0),
+            sorted,
         }
+    }
+
+    /// Combines two sample populations into the exact statistics of their
+    /// union. The retained sorted runs merge in O(n + m) via
+    /// [`sirius_obs::stats::merge_sorted`] — the merge step of merge sort —
+    /// so per-replica latency statistics roll up to cluster level without
+    /// re-sorting a concatenated raw vector, and
+    /// `a.merge(&b) == LatencyStats::from_samples(&[a's samples, b's
+    /// samples].concat())` exactly, percentiles included.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self::from_sorted(sirius_obs::stats::merge_sorted(&self.sorted, &other.sorted))
+    }
+
+    /// The retained samples, ascending.
+    pub fn samples(&self) -> &[Duration] {
+        &self.sorted
     }
 }
 
@@ -369,6 +398,39 @@ mod tests {
         assert_eq!(snap.counter("asr.hmm_search_ns"), Some(3_000_000));
         assert_eq!(snap.counter("qa.filter_extract_ns"), Some(2_000_000));
         assert_eq!(snap.histogram("qa.latency_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn merge_equals_stats_of_concatenated_samples() {
+        let a: Vec<Duration> = [5u64, 1, 9, 9, 3].map(Duration::from_millis).to_vec();
+        let b: Vec<Duration> = (0..150)
+            .map(|i| Duration::from_millis(i * 7 % 43))
+            .collect();
+        let merged = LatencyStats::from_samples(&a).merge(&LatencyStats::from_samples(&b));
+        let concat: Vec<Duration> = a.iter().chain(&b).copied().collect();
+        assert_eq!(merged, LatencyStats::from_samples(&concat));
+        // Commutative, and empty is the identity.
+        assert_eq!(
+            merged,
+            LatencyStats::from_samples(&b).merge(&LatencyStats::from_samples(&a))
+        );
+        let empty = LatencyStats::from_samples(&[]);
+        assert_eq!(empty.merge(&merged), merged);
+        assert_eq!(merged.merge(&empty), merged);
+        assert_eq!(empty.merge(&empty).count, 0);
+    }
+
+    #[test]
+    fn merged_samples_stay_sorted_for_further_merges() {
+        let a = LatencyStats::from_samples(&[3u64, 1].map(Duration::from_secs));
+        let b = LatencyStats::from_samples(&[2u64, 4].map(Duration::from_secs));
+        let c = LatencyStats::from_samples(&[5u64].map(Duration::from_secs));
+        let all = a.merge(&b).merge(&c);
+        assert_eq!(
+            all.samples(),
+            (1..=5).map(Duration::from_secs).collect::<Vec<_>>()
+        );
+        assert_eq!(all.p50, Duration::from_secs(3));
     }
 
     #[test]

@@ -111,6 +111,14 @@ fn aggregate<F: Fn(ServiceKind) -> f64>(f: F) -> f64 {
     product.powf(1.0 / ServiceKind::ALL.len() as f64)
 }
 
+/// Geometric-mean throughput improvement of a homogeneous `platform`
+/// datacenter across the four services — Table 8's capacity angle: how
+/// many query-parallel CMP replicas one accelerated machine substitutes
+/// for. The multicore platform is the baseline and scores 1.
+pub fn homogeneous_throughput_improvement(platform: PlatformKind) -> f64 {
+    aggregate(|s| throughput_improvement(s, platform))
+}
+
 /// Picks the single best platform for a homogeneous datacenter (Table 8):
 /// one configuration shared by all services, scored by the geometric mean
 /// across services.
@@ -324,6 +332,19 @@ mod tests {
         let space = design_space(&params());
         assert_eq!(space.len(), 16);
         assert!(space.iter().all(|p| p.latency_improvement > 0.0));
+    }
+
+    #[test]
+    fn homogeneous_throughput_improvement_is_anchored_at_multicore() {
+        // The CMP baseline scores exactly 1; accelerated designs beat it
+        // (the geomean includes QA, whose acceleration is modest, so the
+        // aggregate sits well below the best single-service speedup).
+        let cmp = homogeneous_throughput_improvement(PlatformKind::Multicore);
+        assert!((cmp - 1.0).abs() < 1e-12);
+        let gpu = homogeneous_throughput_improvement(PlatformKind::Gpu);
+        let fpga = homogeneous_throughput_improvement(PlatformKind::Fpga);
+        assert!(gpu > 1.0, "GPU aggregate {gpu:.2}");
+        assert!(fpga > gpu, "FPGA {fpga:.2} must beat GPU {gpu:.2}");
     }
 
     #[test]

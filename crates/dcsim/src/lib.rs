@@ -18,12 +18,12 @@ pub mod sim;
 pub mod tco;
 
 pub use compare::{
-    ComparisonRow, MeasuredPoint, QueueComparison, ShedComparison, ShedPoint, ShedRow,
-    StageMeasurement, TandemComparison, TandemStageRow,
+    ClusterComparison, ClusterPoint, ClusterRow, ComparisonRow, MeasuredPoint, QueueComparison,
+    ShedComparison, ShedPoint, ShedRow, StageMeasurement, TandemComparison, TandemStageRow,
 };
 pub use design::{
-    design_space, heterogeneous_design, homogeneous_design, query_level_metrics, DesignPoint,
-    Objective, QueryClass,
+    design_space, heterogeneous_design, homogeneous_design, homogeneous_throughput_improvement,
+    query_level_metrics, DesignPoint, Objective, QueryClass,
 };
 pub use queue::{mm1k_blocking_probability, throughput_improvement_at_load, Mm1};
 pub use tco::{monthly_tco, normalized_dc_tco, ServerConfig, TcoParams};

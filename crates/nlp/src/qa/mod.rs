@@ -15,7 +15,7 @@ pub mod question;
 
 use std::time::{Duration, Instant};
 
-use sirius_search::{DocId, SearchEngine};
+use sirius_search::{DocId, SearchEngine, SearchHit};
 
 use crate::crf::Crf;
 use filters::{standard_filters, DocumentFilter};
@@ -117,6 +117,28 @@ impl QaEngine {
         &self.search
     }
 
+    /// Builds shard `shard` of `num_shards` of this engine: the retrieval
+    /// index is sharded ([`SearchEngine::shard`] — postings partitioned,
+    /// document store and global statistics carried whole) while the CRF
+    /// tagger, filters and configuration are replicated. A shard can
+    /// therefore run the full answer pipeline; only its *retrieval* is
+    /// partial, and [`answer_with_retrieval`](Self::answer_with_retrieval)
+    /// with a `sirius_search::merge_hits` scatter-gather over all shards is
+    /// bit-identical to the unsharded [`answer`](Self::answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `shard >= num_shards`.
+    pub fn shard(&self, shard: u32, num_shards: u32) -> QaEngine {
+        QaEngine {
+            search: self.search.shard(shard, num_shards),
+            analyzer: QuestionAnalyzer::new(self.analyzer.crf().clone()),
+            filters: standard_filters(),
+            config: self.config,
+            exec: self.exec,
+        }
+    }
+
     /// Applies a multicore execution policy to the per-document kernels
     /// (filters + CRF tagging). Results are bit-identical to the serial
     /// path at every thread count and strategy.
@@ -152,6 +174,25 @@ impl QaEngine {
 
     /// Answers a natural-language question.
     pub fn answer(&self, question_text: &str) -> QaResult {
+        self.answer_with_retrieval(question_text, |query, k| self.search.search(query, k))
+    }
+
+    /// Answers a question with a caller-supplied retrieval stage.
+    ///
+    /// `retrieve` receives the generated keyword query and the configured
+    /// `top_k` and must return ranked [`SearchHit`]s over *this engine's*
+    /// document id space. [`answer`](Self::answer) is exactly this with
+    /// [`SearchEngine::search`] plugged in; a sharded cluster instead plugs
+    /// in a scatter-gather (`sirius_search::merge_hits` over per-shard
+    /// searches), which returns bit-identical hits — so every downstream
+    /// stage (filters, CRF tagging, extraction) is bit-identical too.
+    /// Everything except the retrieval call runs on this engine, which must
+    /// therefore hold the full document store and global collection
+    /// statistics (a shard built by [`SearchEngine::shard`] does).
+    pub fn answer_with_retrieval<F>(&self, question_text: &str, retrieve: F) -> QaResult
+    where
+        F: FnOnce(&str, usize) -> Vec<SearchHit>,
+    {
         let t_total = Instant::now();
         let mut breakdown = QaBreakdown::default();
 
@@ -171,7 +212,7 @@ impl QaEngine {
         // Stage 2: retrieval.
         let t = Instant::now();
         let query = analysis.keywords.join(" ");
-        let hits = self.search.search(&query, self.config.top_k);
+        let hits = retrieve(&query, self.config.top_k);
         breakdown.search = t.elapsed();
         breakdown.docs_considered = hits.len();
 
@@ -386,6 +427,42 @@ mod tests {
                         "{q} threads {threads}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scatter_gather_answers_are_bit_identical() {
+        let (qa, _) = engine();
+        let questions = [
+            "What is the capital of Italy?",
+            "Who is the author of Harry Potter?",
+            "When does Luigi Trattoria close?",
+            "Where is Las Vegas?",
+        ];
+        for q in questions {
+            let expect = qa.answer(q);
+            for n in [1u32, 2, 4, 8] {
+                let shards: Vec<QaEngine> = (0..n).map(|i| qa.shard(i, n)).collect();
+                // The "home" shard runs the pipeline; retrieval fans out to
+                // every shard and merges under the shared total order.
+                let got = shards[0].answer_with_retrieval(q, |query, k| {
+                    sirius_search::merge_hits(
+                        shards.iter().map(|s| s.search_engine().search(query, k)),
+                        k,
+                    )
+                });
+                assert_eq!(got.answer, expect.answer, "{q} shards {n}");
+                assert_eq!(got.candidates, expect.candidates, "{q} shards {n}");
+                assert_eq!(got.supporting, expect.supporting, "{q} shards {n}");
+                assert_eq!(
+                    got.breakdown.filter_hits, expect.breakdown.filter_hits,
+                    "{q} shards {n}"
+                );
+                assert_eq!(
+                    got.breakdown.docs_considered, expect.breakdown.docs_considered,
+                    "{q} shards {n}"
+                );
             }
         }
     }

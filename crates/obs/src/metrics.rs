@@ -377,6 +377,30 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Merges two snapshots into the snapshot of the combined population.
+    ///
+    /// The merge is *exact at bucket granularity* — identical to snapshotting
+    /// one histogram that observed both populations: bucket counts sum by
+    /// index ([`crate::stats::merge_bucket_counts`]), `count`/`sum` add,
+    /// `min` is the min of the non-empty sides and `max` the max. This is
+    /// how per-replica latency histograms combine into a cluster-level
+    /// distribution without access to raw samples.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets: crate::stats::merge_bucket_counts(&self.buckets, &other.buckets),
+        }
+    }
+
     /// Mean in milliseconds, for nanosecond-valued histograms.
     pub fn mean_ms(&self) -> f64 {
         self.mean() / 1e6
@@ -421,6 +445,34 @@ mod tests {
             let (lo, hi) = bucket_bounds(bucket_index(v));
             assert!(lo <= v && v <= hi, "{v}");
         }
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_equals_combined_population() {
+        // Merging two snapshots must be indistinguishable from one histogram
+        // that observed both sample sets.
+        let combined = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 9, 9, 1_000, 250_000, 7] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 9, 40_000, 40_001, 2] {
+            b.record(v);
+            combined.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+        for pct in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(pct), combined.snapshot().percentile(pct));
+        }
+        // Merge is commutative and empty sides are identity.
+        assert_eq!(merged, b.snapshot().merge(&a.snapshot()));
+        let empty = Histogram::new().snapshot();
+        assert_eq!(a.snapshot().merge(&empty), a.snapshot());
+        assert_eq!(empty.merge(&a.snapshot()), a.snapshot());
+        assert_eq!(empty.merge(&empty).count, 0);
     }
 
     #[test]

@@ -29,6 +29,56 @@ pub fn percentile_of_sorted<T: Copy>(sorted: &[T], pct: f64) -> Option<T> {
     (rank > 0).then(|| sorted[rank - 1])
 }
 
+/// Merges two sparse `(bucket_index, count)` tables, each ascending by
+/// bucket index, summing the counts of shared buckets. This is the exact
+/// union of the two underlying populations at bucket granularity — the
+/// primitive that lets per-replica histogram snapshots combine into a
+/// cluster-level distribution without access to raw samples.
+pub fn merge_bucket_counts(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merges two ascending-sorted sample runs into one ascending-sorted vector
+/// in O(n + m) — the merge step of merge sort, so callers combining
+/// per-replica sample sets never pay a full re-sort of the concatenation.
+pub fn merge_sorted<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +97,26 @@ mod tests {
         // Out-of-range percentiles clamp instead of panicking.
         assert_eq!(nearest_rank(10, -5.0), 1);
         assert_eq!(nearest_rank(10, 250.0), 10);
+    }
+
+    #[test]
+    fn merge_bucket_counts_sums_shared_buckets_in_order() {
+        let a = [(1u32, 2u64), (4, 1), (9, 5)];
+        let b = [(0u32, 3u64), (4, 4), (12, 1)];
+        let merged = merge_bucket_counts(&a, &b);
+        assert_eq!(merged, vec![(0, 3), (1, 2), (4, 5), (9, 5), (12, 1)]);
+        assert_eq!(merge_bucket_counts(&a, &[]), a.to_vec());
+        assert_eq!(merge_bucket_counts(&[], &b), b.to_vec());
+        assert!(merge_bucket_counts(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_is_the_merge_step_of_merge_sort() {
+        let a = [1u64, 3, 3, 7];
+        let b = [2u64, 3, 8];
+        assert_eq!(merge_sorted(&a, &b), vec![1, 2, 3, 3, 3, 7, 8]);
+        assert_eq!(merge_sorted(&a, &[]), a.to_vec());
+        assert_eq!(merge_sorted::<u64>(&[], &[]), Vec::<u64>::new());
     }
 
     #[test]

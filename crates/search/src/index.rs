@@ -49,6 +49,31 @@ impl Default for Bm25Params {
     }
 }
 
+/// Global collection statistics a shard scores against.
+///
+/// BM25 is a *collection-relative* model: idf depends on how many documents
+/// in the whole corpus contain a term. A shard that only sees its own
+/// postings would compute different idfs and its partial scores could not be
+/// merged with its siblings'. Capturing the full-index document frequencies
+/// here and injecting them into every shard makes each shard's per-document
+/// score bit-identical to the score the unsharded index would produce.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectionStats {
+    doc_freqs: HashMap<String, usize>,
+}
+
+impl CollectionStats {
+    /// Global document frequency of `term` (0 for unknown terms).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.doc_freqs.get(term).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct terms in the full collection.
+    pub fn num_terms(&self) -> usize {
+        self.doc_freqs.len()
+    }
+}
+
 /// An inverted index over a set of documents with BM25 scoring.
 ///
 /// Build with [`InvertedIndex::add_document`] then call
@@ -61,6 +86,9 @@ pub struct InvertedIndex {
     avg_doc_len: f64,
     params: Bm25Params,
     finalized: bool,
+    /// `Some` on a shard: global document frequencies override the local
+    /// posting-list lengths so idf matches the unsharded index exactly.
+    global: Option<CollectionStats>,
 }
 
 impl InvertedIndex {
@@ -132,8 +160,69 @@ impl InvertedIndex {
     }
 
     /// Document frequency of `term` (number of documents containing it).
+    ///
+    /// On a [`shard`](Self::shard) this is the *global* frequency captured
+    /// at shard time, not the length of the shard's filtered posting list —
+    /// idf must be collection-relative for partial scores to merge exactly.
     pub fn doc_freq(&self, term: &str) -> usize {
-        self.postings.get(term).map_or(0, Vec::len)
+        match &self.global {
+            Some(stats) => stats.doc_freq(term),
+            None => self.postings.get(term).map_or(0, Vec::len),
+        }
+    }
+
+    /// Snapshot of the collection statistics every shard must score against.
+    pub fn collection_stats(&self) -> CollectionStats {
+        match &self.global {
+            Some(stats) => stats.clone(),
+            None => CollectionStats {
+                doc_freqs: self
+                    .postings
+                    .iter()
+                    .map(|(term, postings)| (term.clone(), postings.len()))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Builds shard `shard` of `num_shards`: postings are partitioned by
+    /// `doc.0 % num_shards` while the document store, document lengths and
+    /// global statistics ([`CollectionStats`], `avg_doc_len`, document
+    /// count) are carried whole. Each document therefore scores on exactly
+    /// one shard, and scores it produces are bit-identical to the unsharded
+    /// index's — the same idf, the same length normalization, the same
+    /// query-term accumulation order — so [`merge_hits`] over per-shard
+    /// result lists reproduces [`search`](Self::search) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `shard >= num_shards`.
+    pub fn shard(&self, shard: u32, num_shards: u32) -> InvertedIndex {
+        assert!(
+            num_shards > 0 && shard < num_shards,
+            "invalid shard {shard}/{num_shards}"
+        );
+        let postings: HashMap<String, Vec<Posting>> = self
+            .postings
+            .iter()
+            .filter_map(|(term, postings)| {
+                let kept: Vec<Posting> = postings
+                    .iter()
+                    .copied()
+                    .filter(|p| p.doc.0 % num_shards == shard)
+                    .collect();
+                (!kept.is_empty()).then(|| (term.clone(), kept))
+            })
+            .collect();
+        InvertedIndex {
+            postings,
+            documents: self.documents.clone(),
+            doc_lengths: self.doc_lengths.clone(),
+            avg_doc_len: self.avg_doc_len,
+            params: self.params,
+            finalized: true,
+            global: Some(self.collection_stats()),
+        }
     }
 
     /// BM25 inverse document frequency of `term`.
@@ -184,15 +273,38 @@ impl InvertedIndex {
             .into_iter()
             .map(|(doc, score)| SearchHit { doc, score })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        hits.sort_by(hit_order);
         hits.truncate(k);
         hits
     }
+}
+
+/// The one result ordering: score descending, ties broken by ascending
+/// document id. Total over hits with distinct documents, so any hit set has
+/// exactly one sorted arrangement — the property scatter-gather merging
+/// depends on.
+fn hit_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.doc.cmp(&b.doc))
+}
+
+/// Merges per-shard top-`k` result lists into the global top-`k`, best
+/// first, using the same [`hit_order`] comparator
+/// [`InvertedIndex::search`] sorts with.
+///
+/// Because every document scores on exactly one shard (bit-identically to
+/// the unsharded index, see [`InvertedIndex::shard`]) and each shard
+/// returns its own top-`k`, the union of the inputs contains the global
+/// top-`k`; re-sorting under the shared total order and truncating
+/// reproduces the unsharded [`InvertedIndex::search`] output exactly,
+/// order and score bits included.
+pub fn merge_hits(lists: impl IntoIterator<Item = Vec<SearchHit>>, k: usize) -> Vec<SearchHit> {
+    let mut hits: Vec<SearchHit> = lists.into_iter().flatten().collect();
+    hits.sort_by(hit_order);
+    hits.truncate(k);
+    hits
 }
 
 #[cfg(test)]
@@ -262,5 +374,66 @@ mod tests {
     fn num_terms_counts_vocabulary() {
         let idx = small_index();
         assert!(idx.num_terms() >= 10);
+    }
+
+    /// An index whose duplicate documents force exact BM25 score ties, so
+    /// the merge's doc-id tie-break is actually exercised.
+    fn tie_heavy_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        for _ in 0..4 {
+            idx.add_document("the quick brown fox jumps over the lazy dog");
+            idx.add_document("a quick reference to rust programming");
+            idx.add_document("the dog barks at the brown cat");
+        }
+        idx.add_document("brown brown brown");
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn shard_keeps_global_statistics() {
+        let idx = tie_heavy_index();
+        for n in [1u32, 2, 3, 4, 8] {
+            for i in 0..n {
+                let s = idx.shard(i, n);
+                assert_eq!(s.num_documents(), idx.num_documents());
+                for term in ["quick", "brown", "rust", "the", "zebra"] {
+                    assert_eq!(s.doc_freq(term), idx.doc_freq(term), "df({term})");
+                    assert_eq!(s.idf(term).to_bits(), idx.idf(term).to_bits());
+                }
+                assert_eq!(s.document(DocId(5)), idx.document(DocId(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_shard_results_are_bit_identical_to_unsharded_search() {
+        let idx = tie_heavy_index();
+        for query in ["brown dog", "quick rust", "the", "fox cat programming"] {
+            for k in [1usize, 3, 5, 64] {
+                let global = idx.search(query, k);
+                for n in [1u32, 2, 3, 4, 8] {
+                    let merged = merge_hits((0..n).map(|i| idx.shard(i, n).search(query, k)), k);
+                    assert_eq!(merged, global, "query={query:?} k={k} shards={n}");
+                    for (m, g) in merged.iter().zip(&global) {
+                        assert_eq!(m.score.to_bits(), g.score.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_shard_round_trips_collection_stats() {
+        let idx = tie_heavy_index();
+        let stats = idx.collection_stats();
+        let s = idx.shard(0, 2);
+        assert_eq!(s.collection_stats(), stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn shard_index_out_of_range_panics() {
+        let _ = small_index().shard(2, 2);
     }
 }

@@ -32,7 +32,7 @@ pub mod index;
 pub mod tokenize;
 
 pub use corpus::{CorpusConfig, Fact, FactCorpus, FactKind};
-pub use index::{DocId, InvertedIndex, SearchHit};
+pub use index::{merge_hits, CollectionStats, DocId, InvertedIndex, SearchHit};
 
 /// A ready-to-query search engine over a document collection.
 ///
@@ -84,6 +84,26 @@ impl SearchEngine {
     /// Access to the underlying inverted index.
     pub fn index(&self) -> &InvertedIndex {
         &self.index
+    }
+
+    /// Builds shard `shard` of `num_shards` of this engine: the posting
+    /// lists are partitioned by document id while the document store and
+    /// global collection statistics are carried whole, so per-shard search
+    /// results [`merge_hits`] back into exactly the unsharded results. See
+    /// [`InvertedIndex::shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `shard >= num_shards`.
+    pub fn shard(&self, shard: u32, num_shards: u32) -> SearchEngine {
+        SearchEngine {
+            index: self.index.shard(shard, num_shards),
+        }
+    }
+
+    /// Snapshot of the global collection statistics shards score against.
+    pub fn collection_stats(&self) -> CollectionStats {
+        self.index.collection_stats()
     }
 
     /// Serializes the engine (the document collection; the inverted index

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cluster;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
 pub mod stream;
 
 pub use batch::{spawn_batch_collector, BatchHandle, BatchPolicy, BatchedAsrStage};
+pub use cluster::{ClusterConfig, ClusterTicket, RoutePolicy, SiriusCluster};
 pub use metrics::{BatchObs, ServerMetrics, StageObs, StreamObs, STAGES};
 pub use pool::{spawn_stage_pool, Job};
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};

@@ -35,6 +35,11 @@
 //! | `sojourn_ns` | histogram | admission → completion, successful queries |
 //! | `sojourn_failed_ns` | histogram | admission → completion, failed queries |
 //!
+//! When several servers share one registry — the cluster front-end's
+//! layout — every name above additionally carries the instance's prefix:
+//! `replica0.asr.queue_depth`, `replica1.sojourn_ns`, and so on
+//! ([`ServerMetrics::in_registry`]).
+//!
 //! [`SiriusServer::metrics_snapshot`]: crate::SiriusServer::metrics_snapshot
 
 use std::sync::Arc;
@@ -126,24 +131,35 @@ pub struct StreamObs {
 }
 
 impl StreamObs {
-    /// Registers the streaming metrics under `asr.…` / `e2e.…` names.
-    pub fn register(registry: &Registry) -> Arc<Self> {
+    /// Registers the streaming metrics under `{prefix}asr.…` /
+    /// `{prefix}e2e.…` names (empty prefix for a server that owns its
+    /// registry).
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<Self> {
         Arc::new(Self {
-            partials_emitted: registry.counter("asr.partials_emitted"),
-            commit_latency: registry.histogram("asr.commit_latency_ns"),
-            first_partial: registry.histogram("e2e.first_partial_ns"),
-            spec_dispatched: registry.counter("asr.spec_dispatched"),
-            spec_hit: registry.counter("asr.spec_hit"),
-            spec_miss: registry.counter("asr.spec_miss"),
+            partials_emitted: registry.counter(&format!("{prefix}asr.partials_emitted")),
+            commit_latency: registry.histogram(&format!("{prefix}asr.commit_latency_ns")),
+            first_partial: registry.histogram(&format!("{prefix}e2e.first_partial_ns")),
+            spec_dispatched: registry.counter(&format!("{prefix}asr.spec_dispatched")),
+            spec_hit: registry.counter(&format!("{prefix}asr.spec_hit")),
+            spec_miss: registry.counter(&format!("{prefix}asr.spec_miss")),
         })
     }
 }
 
 /// Every metric the staged runtime records, pre-registered in one
 /// [`Registry`] (also reachable by name through snapshots).
+///
+/// A server normally owns its registry ([`ServerMetrics::new`]); a cluster
+/// front-end instead registers each replica's metrics into one **shared**
+/// registry under a distinct name prefix ([`ServerMetrics::in_registry`]
+/// with e.g. `"replica0."`), so N replicas export side by side without
+/// aliasing each other's counters.
 #[derive(Debug)]
 pub struct ServerMetrics {
     registry: Registry,
+    /// Name prefix every metric was registered under (empty for a server
+    /// that owns its registry).
+    prefix: String,
     /// Queries admitted by `submit`.
     pub accepted: Counter,
     /// Queries shed at admission because the ASR queue was full
@@ -180,26 +196,50 @@ pub struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// A fresh registry with every runtime metric registered.
+    /// A fresh registry with every runtime metric registered under its
+    /// plain (unprefixed) name.
     pub fn new() -> Arc<Self> {
-        let registry = Registry::new();
+        Self::in_registry(Registry::new(), "")
+    }
+
+    /// Registers every runtime metric into a caller-supplied — possibly
+    /// shared — registry, each name prepended with `prefix` verbatim
+    /// (`"replica0."` yields `replica0.asr.queue_depth` and friends). Two
+    /// servers wired into the same registry with distinct prefixes never
+    /// alias a metric; an empty prefix reproduces [`ServerMetrics::new`]'s
+    /// naming exactly.
+    pub fn in_registry(registry: Registry, prefix: &str) -> Arc<Self> {
+        let scoped = |name: &str| format!("{prefix}{name}");
         Arc::new(Self {
-            accepted: registry.counter("admission.accepted"),
-            shed: registry.counter("admission.shed"),
-            shed_deadline: registry.counter("admission.shed_deadline"),
-            rejected_shutdown: registry.counter("admission.rejected_shutdown"),
-            completed: registry.counter("completed"),
-            failed: registry.counter("failed"),
-            sojourn: registry.histogram("sojourn_ns"),
-            sojourn_failed: registry.histogram("sojourn_failed_ns"),
-            asr: StageObs::register(&registry, "asr"),
-            classify: StageObs::register(&registry, "classify"),
-            imm: StageObs::register(&registry, "imm"),
-            qa: StageObs::register(&registry, "qa"),
-            batch: BatchObs::register(&registry, "asr"),
-            stream: StreamObs::register(&registry),
+            accepted: registry.counter(&scoped("admission.accepted")),
+            shed: registry.counter(&scoped("admission.shed")),
+            shed_deadline: registry.counter(&scoped("admission.shed_deadline")),
+            rejected_shutdown: registry.counter(&scoped("admission.rejected_shutdown")),
+            completed: registry.counter(&scoped("completed")),
+            failed: registry.counter(&scoped("failed")),
+            sojourn: registry.histogram(&scoped("sojourn_ns")),
+            sojourn_failed: registry.histogram(&scoped("sojourn_failed_ns")),
+            asr: StageObs::register(&registry, &scoped("asr")),
+            classify: StageObs::register(&registry, &scoped("classify")),
+            imm: StageObs::register(&registry, &scoped("imm")),
+            qa: StageObs::register(&registry, &scoped("qa")),
+            batch: BatchObs::register(&registry, &scoped("asr")),
+            stream: StreamObs::register(&registry, prefix),
+            prefix: prefix.to_owned(),
             registry,
         })
+    }
+
+    /// The prefix every metric name was registered under (empty unless the
+    /// metrics live in a shared registry).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// `name` with this instance's registration prefix applied — how the
+    /// metric appears in snapshots of the backing registry.
+    pub fn scoped(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
     }
 
     /// The backing registry (snapshot it via
@@ -254,6 +294,37 @@ mod tests {
         assert_eq!(snap.histogram("asr.batch_size").unwrap().count, 1);
         assert_eq!(snap.counter("asr.batch_flush_full"), Some(1));
         assert_eq!(snap.counter("asr.batch_flush_timeout"), Some(0));
+    }
+
+    #[test]
+    fn prefixed_instances_in_one_registry_do_not_alias() {
+        let registry = Registry::new();
+        let a = ServerMetrics::in_registry(registry.clone(), "replica0.");
+        let b = ServerMetrics::in_registry(registry.clone(), "replica1.");
+        assert_eq!(a.prefix(), "replica0.");
+        assert_eq!(a.scoped("sojourn_ns"), "replica0.sojourn_ns");
+        a.completed.inc();
+        a.asr.queue_wait.record(100);
+        a.stream.partials_emitted.inc();
+        b.shed.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("replica0.completed"), Some(1));
+        assert_eq!(snap.counter("replica1.completed"), Some(0));
+        assert_eq!(snap.counter("replica0.admission.shed"), Some(0));
+        assert_eq!(snap.counter("replica1.admission.shed"), Some(1));
+        assert_eq!(
+            snap.histogram("replica0.asr.queue_wait_ns").unwrap().count,
+            1
+        );
+        assert_eq!(
+            snap.histogram("replica1.asr.queue_wait_ns").unwrap().count,
+            0
+        );
+        assert_eq!(snap.counter("replica0.asr.partials_emitted"), Some(1));
+        assert_eq!(snap.counter("replica1.asr.partials_emitted"), Some(0));
+        // The unprefixed names must not exist in a prefixed layout.
+        assert_eq!(snap.counter("completed"), None);
+        assert!(snap.histogram("asr.queue_wait_ns").is_none());
     }
 
     #[test]

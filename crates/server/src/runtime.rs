@@ -340,8 +340,12 @@ struct QueueProbe {
 impl QueueProbe {
     fn new<T: Send + 'static>(metrics: &ServerMetrics, stage: &str, tx: &Sender<T>) -> Self {
         let probe = Self {
-            depth: metrics.registry().gauge(&format!("{stage}.queue_depth")),
-            capacity: metrics.registry().gauge(&format!("{stage}.queue_capacity")),
+            depth: metrics
+                .registry()
+                .gauge(&metrics.scoped(&format!("{stage}.queue_depth"))),
+            capacity: metrics
+                .registry()
+                .gauge(&metrics.scoped(&format!("{stage}.queue_capacity"))),
             read: {
                 let tx = tx.clone();
                 Box::new(move || (tx.len(), tx.capacity()))
@@ -389,7 +393,20 @@ impl SiriusServer {
         config: ServerConfig,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
-        let metrics = ServerMetrics::new();
+        Self::start_with_metrics(sirius, config, recorder, ServerMetrics::new())
+    }
+
+    /// Starts the runtime recording into caller-supplied metrics — the
+    /// cluster front-end's hook for wiring every replica into one shared
+    /// registry under per-replica prefixes
+    /// ([`ServerMetrics::in_registry`]). The queue gauges inherit the
+    /// metrics' prefix, so nothing aliases between replicas.
+    pub fn start_with_metrics(
+        sirius: Arc<Sirius>,
+        config: ServerConfig,
+        recorder: Arc<dyn Recorder>,
+        metrics: Arc<ServerMetrics>,
+    ) -> Self {
         let (asr_tx, asr_rx) = bounded::<Job<Ctx, AsrRequest>>(config.asr.queue_depth);
         let (cls_tx, cls_rx) = bounded::<Job<Ctx, ClassifyRequest>>(config.classify.queue_depth);
         let (imm_tx, imm_rx) = bounded::<Job<Ctx, ImmRequest>>(config.imm.queue_depth);

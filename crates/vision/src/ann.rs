@@ -194,6 +194,67 @@ impl KdTree {
         self.nearest2(query, budget).0
     }
 
+    /// Finds the two smallest neighbours of `query` under the *total*
+    /// [`neighbor_order`] — distance first, payload breaking exact ties.
+    ///
+    /// Unlike [`nearest2`](Self::nearest2) with [`SearchBudget::Exact`]
+    /// (where equal-distance winners depend on leaf visit order, i.e. on
+    /// tree shape), this answer is a pure function of the indexed point
+    /// *set*: the far half-space is pruned only when every point there is
+    /// *strictly* farther than the retained worst, so equal-distance
+    /// candidates elsewhere in the tree are always visited and the payload
+    /// tie-break applies. That makes per-shard best-2 candidates merge into
+    /// exactly the whole-tree answer at any shard count — the property the
+    /// scatter-gather image match is gated on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest2_deterministic(&self, query: &[f32]) -> (Neighbor, Option<Neighbor>) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut state = DetState {
+            best: [None, None],
+            worst: f32::INFINITY,
+        };
+        self.search_det(&self.root, query, &mut state);
+        let best = state.best[0].expect("tree is non-empty");
+        (best, state.best[1])
+    }
+
+    fn search_det(&self, node: &Node, query: &[f32], state: &mut DetState) {
+        match node {
+            Node::Leaf { points } => {
+                for &i in points {
+                    let e = &self.entries[i as usize];
+                    state.offer(Neighbor {
+                        distance_sq: dist_sq(&e.vector, query),
+                        payload: e.payload,
+                    });
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*dim] - value;
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.search_det(near, query, state);
+                // Prune only when the far half-space is *strictly* beyond
+                // the retained worst: a point at exactly `worst` distance
+                // may still win on the payload tie-break.
+                if diff * diff <= state.worst {
+                    self.search_det(far, query, state);
+                }
+            }
+        }
+    }
+
     fn search_node(&self, node: &Node, query: &[f32], state: &mut SearchState) {
         match node {
             Node::Leaf { points } => {
@@ -233,6 +294,49 @@ impl KdTree {
                 }
             }
         }
+    }
+}
+
+/// The deterministic neighbour ordering: squared distance first
+/// (`total_cmp`), payload ascending as the tie-break. A total order, so any
+/// candidate set has exactly one sorted arrangement — what
+/// [`KdTree::nearest2_deterministic`] returns the first two of, and what a
+/// scatter-gather merge of per-shard candidates must sort by to reproduce
+/// the unsharded answer.
+pub fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.distance_sq
+        .total_cmp(&b.distance_sq)
+        .then(a.payload.cmp(&b.payload))
+}
+
+/// Best-2 state for the deterministic search: like `SearchState` but
+/// unbudgeted and ordered by [`neighbor_order`] instead of raw distance.
+struct DetState {
+    best: [Option<Neighbor>; 2],
+    /// Pruning bound: distance of the worst retained neighbour. Pruning
+    /// decisions only ever fire once both slots are full (every split child
+    /// holds more than one point), so the bound is always the second-best
+    /// distance when it matters.
+    worst: f32,
+}
+
+impl DetState {
+    fn offer(&mut self, n: Neighbor) {
+        match self.best[0] {
+            None => self.best[0] = Some(n),
+            Some(b0) if neighbor_order(&n, &b0).is_lt() => {
+                self.best[1] = self.best[0];
+                self.best[0] = Some(n);
+            }
+            Some(_) => match self.best[1] {
+                None => self.best[1] = Some(n),
+                Some(b1) if neighbor_order(&n, &b1).is_lt() => self.best[1] = Some(n),
+                Some(_) => return,
+            },
+        }
+        self.worst = self.best[1]
+            .or(self.best[0])
+            .map_or(f32::INFINITY, |x| x.distance_sq);
     }
 }
 
@@ -365,6 +469,90 @@ mod tests {
         let tree = KdTree::build(pts);
         let n = tree.nearest(&[1.0, 1.0], SearchBudget::Exact);
         assert_eq!(n.distance_sq, 0.0);
+    }
+
+    /// Oracle: the first two candidates under [`neighbor_order`] by full
+    /// linear scan.
+    fn det_oracle(points: &[(Vec<f32>, u32)], query: &[f32]) -> (Neighbor, Option<Neighbor>) {
+        let mut all: Vec<Neighbor> = points
+            .iter()
+            .map(|(v, p)| Neighbor {
+                distance_sq: dist_sq(v, query),
+                payload: *p,
+            })
+            .collect();
+        all.sort_by(neighbor_order);
+        (all[0], all.get(1).copied())
+    }
+
+    #[test]
+    fn deterministic_search_matches_lexicographic_oracle() {
+        let pts = random_points(500, 8, 11);
+        let tree = KdTree::build(pts.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..60 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let (b, s) = tree.nearest2_deterministic(&q);
+            let (eb, es) = det_oracle(&pts, &q);
+            assert_eq!(
+                (b.payload, b.distance_sq.to_bits()),
+                (eb.payload, eb.distance_sq.to_bits())
+            );
+            assert_eq!(
+                s.map(|n| (n.payload, n.distance_sq.to_bits())),
+                es.map(|n| (n.payload, n.distance_sq.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_search_breaks_exact_ties_by_payload() {
+        // Three copies of the query point under different payloads, buried
+        // among enough filler that the tree actually splits.
+        let mut pts = random_points(100, 4, 13);
+        for (i, payload) in [(0usize, 9u32), (40, 2), (80, 5)] {
+            pts[i] = (vec![0.25, 0.25, 0.25, 0.25], payload);
+        }
+        let tree = KdTree::build(pts);
+        let (b, s) = tree.nearest2_deterministic(&[0.25, 0.25, 0.25, 0.25]);
+        assert_eq!((b.distance_sq, b.payload), (0.0, 2));
+        let s = s.expect("second");
+        assert_eq!((s.distance_sq, s.payload), (0.0, 5));
+    }
+
+    #[test]
+    fn deterministic_search_is_shard_invariant() {
+        // Partitioning the point set across sub-trees and merging each
+        // shard's best-2 under `neighbor_order` reproduces the whole-tree
+        // answer, for every shard count.
+        let pts = random_points(400, 6, 14);
+        let full = KdTree::build(pts.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        for n in [1u32, 2, 3, 4, 8] {
+            let shards: Vec<KdTree> = (0..n)
+                .map(|i| {
+                    KdTree::build(
+                        pts.iter()
+                            .filter(|(_, p)| p % n == i)
+                            .cloned()
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            for _ in 0..20 {
+                let q: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let mut candidates: Vec<Neighbor> = Vec::new();
+                for shard in &shards {
+                    let (b, s) = shard.nearest2_deterministic(&q);
+                    candidates.push(b);
+                    candidates.extend(s);
+                }
+                candidates.sort_by(neighbor_order);
+                let (b, s) = full.nearest2_deterministic(&q);
+                assert_eq!(candidates[0], b, "shards={n}");
+                assert_eq!(candidates.get(1).copied(), s, "shards={n}");
+            }
+        }
     }
 
     #[test]

@@ -7,10 +7,10 @@
 
 use std::time::{Duration, Instant};
 
-use crate::ann::{KdTree, SearchBudget};
+use crate::ann::{neighbor_order, KdTree, Neighbor, SearchBudget};
 use crate::image::GrayImage;
 use crate::integral::IntegralImage;
-use crate::surf::{self, SurfConfig};
+use crate::surf::{self, Descriptor, KeyPoint, SurfConfig};
 use crate::verify::{ransac_similarity, Correspondence, RansacConfig, Verification};
 
 /// Identifier of a database image.
@@ -49,6 +49,43 @@ pub struct ImmTiming {
     pub ann_search: Duration,
     /// Total wall-clock.
     pub total: Duration,
+}
+
+/// SURF features extracted from one query image, reusable across shard
+/// probes: the scatter-gather match extracts once and sends the same
+/// features to every database shard instead of re-detecting per shard.
+#[derive(Debug, Clone)]
+pub struct QueryFeatures {
+    keypoints: Vec<KeyPoint>,
+    descriptors: Vec<Descriptor>,
+    feature_extraction: Duration,
+    feature_description: Duration,
+}
+
+impl QueryFeatures {
+    /// Number of query keypoints.
+    pub fn len(&self) -> usize {
+        self.keypoints.len()
+    }
+
+    /// Whether the query produced no keypoints.
+    pub fn is_empty(&self) -> bool {
+        self.keypoints.is_empty()
+    }
+}
+
+/// One shard's contribution to a scatter-gather match: for every query
+/// keypoint, the shard's best two database descriptors under the
+/// deterministic [`neighbor_order`] (distance, then global descriptor id).
+/// Payloads are *global* descriptor indices, so candidates from different
+/// shards merge under the same total order the unsharded deterministic
+/// search uses.
+#[derive(Debug, Clone)]
+pub struct PartialMatch {
+    candidates: Vec<[Option<Neighbor>; 2]>,
+    /// Time this shard spent in ANN search (shards run concurrently in a
+    /// cluster; the merged timing charges the slowest shard).
+    pub ann_search: Duration,
 }
 
 /// The result of matching a query image against the database.
@@ -287,6 +324,162 @@ impl ImageDatabase {
         self.config.surf.exec = policy;
     }
 
+    /// Builds shard `shard` of `num_shards`: the descriptor index is
+    /// partitioned by enrolled image (`image_id % num_shards`), so each
+    /// database image's descriptors live on exactly one shard, while the
+    /// global descriptor→image and descriptor→position tables (and the
+    /// image count) are carried whole. Tree payloads stay *global*
+    /// descriptor indices, which keeps the deterministic
+    /// (distance, payload) candidate order consistent across shards — the
+    /// property [`merge_partials`](Self::merge_partials) needs to
+    /// reproduce the whole-database answer exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `shard >= num_shards`.
+    pub fn shard(&self, shard: u32, num_shards: u32) -> ImageDatabase {
+        assert!(
+            num_shards > 0 && shard < num_shards,
+            "invalid shard {shard}/{num_shards}"
+        );
+        let points: Vec<(Vec<f32>, u32)> = self
+            .tree
+            .iter()
+            .flat_map(KdTree::iter_points)
+            .filter(|&(_, p)| self.desc_image[p as usize] % num_shards == shard)
+            .map(|(v, p)| (v.to_vec(), p))
+            .collect();
+        let descriptor_count = points.len();
+        ImageDatabase {
+            config: self.config,
+            tree: if points.is_empty() {
+                None
+            } else {
+                Some(KdTree::build(points))
+            },
+            num_images: self.num_images,
+            descriptor_count,
+            desc_image: self.desc_image.clone(),
+            desc_pos: self.desc_pos.clone(),
+        }
+    }
+
+    /// Extracts query-side SURF features once, for reuse across shard
+    /// probes ([`match_partial`](Self::match_partial)); detector and
+    /// descriptor timings are carried into the merged result.
+    pub fn extract_query(&self, query: &GrayImage) -> QueryFeatures {
+        let t = Instant::now();
+        let ii = IntegralImage::new(query);
+        let keypoints = surf::detect_on_integral(&ii, &self.config.surf);
+        let feature_extraction = t.elapsed();
+        let t = Instant::now();
+        let (_, descriptors) = surf::describe_on_integral(&ii, &keypoints, &self.config.surf);
+        let feature_description = t.elapsed();
+        QueryFeatures {
+            keypoints,
+            descriptors,
+            feature_extraction,
+            feature_description,
+        }
+    }
+
+    /// Runs this shard's half of a scatter-gather match: for every query
+    /// keypoint, the shard's best two descriptors under the deterministic
+    /// exact search ([`KdTree::nearest2_deterministic`]). Exactness is what
+    /// makes the merge shard-count invariant: the union of per-shard best-2
+    /// always contains the global best-2.
+    pub fn match_partial(&self, features: &QueryFeatures) -> PartialMatch {
+        let t = Instant::now();
+        let candidates = match &self.tree {
+            None => vec![[None, None]; features.descriptors.len()],
+            Some(tree) => self
+                .config
+                .surf
+                .exec
+                .map_collect(features.descriptors.len(), |i| {
+                    let (best, second) = tree.nearest2_deterministic(&features.descriptors[i].0);
+                    [Some(best), second]
+                }),
+        };
+        PartialMatch {
+            candidates,
+            ann_search: t.elapsed(),
+        }
+    }
+
+    /// Merges per-shard [`PartialMatch`]es into a [`MatchResult`]: each
+    /// keypoint's global best-2 is the first two of the candidate union
+    /// under [`neighbor_order`], then the same ratio test and
+    /// vote-count/image-id ordering as [`match_image`](Self::match_image)
+    /// decide the winner. The output is a pure function of the query and
+    /// the *union* of the shards' descriptors — identical for every shard
+    /// count, including one. Geometric verification is not performed
+    /// (`verification` is `None`); the merged `ann_search` timing charges
+    /// the slowest shard (shards run concurrently in a cluster) plus the
+    /// merge itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a partial was produced from different query features.
+    pub fn merge_partials(
+        &self,
+        features: &QueryFeatures,
+        partials: &[PartialMatch],
+    ) -> MatchResult {
+        let t_merge = Instant::now();
+        let shard_time = partials
+            .iter()
+            .map(|p| p.ann_search)
+            .max()
+            .unwrap_or_default();
+        let mut counts = vec![0usize; self.num_images as usize];
+        for i in 0..features.keypoints.len() {
+            let mut union: Vec<Neighbor> = Vec::with_capacity(2 * partials.len());
+            for partial in partials {
+                assert_eq!(
+                    partial.candidates.len(),
+                    features.keypoints.len(),
+                    "partial match from different query features"
+                );
+                union.extend(partial.candidates[i].into_iter().flatten());
+            }
+            union.sort_by(neighbor_order);
+            let Some(&best) = union.first() else { continue };
+            let best_image = self.desc_image[best.payload as usize];
+            let passes = match union.get(1) {
+                Some(s) if self.desc_image[s.payload as usize] != best_image => {
+                    best.distance_sq < self.config.ratio * self.config.ratio * s.distance_sq
+                }
+                // Second neighbour from the same image (or absent) means
+                // the match is unambiguous between images.
+                _ => true,
+            };
+            if passes {
+                counts[best_image as usize] += 1;
+            }
+        }
+        let mut votes: Vec<(ImageId, usize)> = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (ImageId(i as u32), c))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let ann_search = shard_time + t_merge.elapsed();
+        MatchResult {
+            best: votes.first().map(|&(id, _)| id),
+            votes,
+            query_keypoints: features.keypoints.len(),
+            verification: None,
+            timing: ImmTiming {
+                feature_extraction: features.feature_extraction,
+                feature_description: features.feature_description,
+                ann_search,
+                total: features.feature_extraction + features.feature_description + ann_search,
+            },
+        }
+    }
+
     /// Matches a query image, reporting votes and per-stage timing.
     pub fn match_image(&self, query: &GrayImage) -> MatchResult {
         self.match_internal(query, false)
@@ -456,6 +649,77 @@ mod tests {
         for pair in r.votes.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }
+    }
+
+    #[test]
+    fn scatter_gather_match_is_shard_count_invariant() {
+        let (db, scenes) = build_db(6);
+        for (qi, scene) in scenes.iter().enumerate() {
+            let query = synth::random_view(scene, 7000 + qi as u64);
+            let features = db.extract_query(&query);
+            let reference = db.merge_partials(&features, &[db.match_partial(&features)]);
+            for n in [2u32, 3, 4, 8] {
+                let partials: Vec<PartialMatch> = (0..n)
+                    .map(|i| db.shard(i, n).match_partial(&features))
+                    .collect();
+                let merged = db.merge_partials(&features, &partials);
+                assert_eq!(merged.best, reference.best, "query {qi} shards {n}");
+                assert_eq!(merged.votes, reference.votes, "query {qi} shards {n}");
+                assert_eq!(merged.query_keypoints, reference.query_keypoints);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_agrees_with_direct_match_on_source_views() {
+        // The merged path is exact where `match_image` is budgeted, so vote
+        // counts may differ — but the winning image must agree on views of
+        // the enrolled scenes (the pipeline-level quantity).
+        let (db, scenes) = build_db(6);
+        for (qi, scene) in scenes.iter().enumerate() {
+            let query = synth::random_view(scene, 8000 + qi as u64);
+            let features = db.extract_query(&query);
+            let partials: Vec<PartialMatch> = (0..3u32)
+                .map(|i| db.shard(i, 3).match_partial(&features))
+                .collect();
+            let merged = db.merge_partials(&features, &partials);
+            assert_eq!(merged.best, db.match_image(&query).best, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_descriptors_and_keep_global_tables() {
+        let (db, _) = build_db(5);
+        let n = 3u32;
+        let shards: Vec<ImageDatabase> = (0..n).map(|i| db.shard(i, n)).collect();
+        let total: usize = shards.iter().map(ImageDatabase::num_descriptors).sum();
+        assert_eq!(total, db.num_descriptors());
+        for s in &shards {
+            assert_eq!(s.num_images(), db.num_images());
+            assert_eq!(s.desc_image, db.desc_image);
+        }
+    }
+
+    #[test]
+    fn empty_shard_contributes_no_candidates() {
+        // One image, two shards: one shard holds everything, the other is
+        // empty and must merge as a no-op.
+        let (db, scenes) = build_db(1);
+        let features = db.extract_query(&scenes[0]);
+        let partials: Vec<PartialMatch> = (0..2u32)
+            .map(|i| db.shard(i, 2).match_partial(&features))
+            .collect();
+        let merged = db.merge_partials(&features, &partials);
+        let reference = db.merge_partials(&features, &[db.match_partial(&features)]);
+        assert_eq!(merged.best, reference.best);
+        assert_eq!(merged.votes, reference.votes);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn shard_index_out_of_range_panics() {
+        let (db, _) = build_db(1);
+        let _ = db.shard(3, 3);
     }
 }
 

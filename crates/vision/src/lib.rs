@@ -38,6 +38,6 @@ pub mod surf;
 pub mod synth;
 pub mod verify;
 
-pub use db::{ImageDatabase, ImageId, MatchConfig, MatchResult};
+pub use db::{ImageDatabase, ImageId, MatchConfig, MatchResult, PartialMatch, QueryFeatures};
 pub use image::GrayImage;
 pub use surf::{Descriptor, KeyPoint, SurfConfig};

@@ -3,7 +3,8 @@
 # latency-vs-load against the M/M/1 prediction, the shed-on-full vs
 # deadline-aware admission-policy head-to-head with its M/M/1/K shed-rate
 # cross-check, the cross-query ASR batching policy sweep with its Pareto
-# frontier, the streaming-ASR sweep over chunk size x offered load, plus
+# frontier, the streaming-ASR sweep over chunk size x offered load, the
+# sharded-cluster sweep over replica count x routing policy, plus
 # closed-loop saturation throughput). Recipe in EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
@@ -40,6 +41,13 @@ assert stream["from_end_p50_below_serial_floor_at_low_rho"] is True, \
     "streaming from-end p50 did not beat the serial sum-of-stages floor at rho <= 0.8"
 assert all(p["partials_per_query"] > 0 for p in stream["points"]), \
     "a streaming point emitted no partial hypotheses"
+cluster = bench["cluster_sweep"]
+assert cluster["outputs_match_serial"] is True, \
+    "sharded cluster outputs diverged from serial"
+assert cluster["accounting_balanced"] is True, \
+    "merged cluster telemetry did not account for every query exactly once"
+assert cluster["least_sojourn_p99_le_round_robin_at_peak"] is True, \
+    "least-sojourn p99 exceeded the round-robin noise bound at the peak routing load"
 print("==> outputs_match_serial and accounting checks passed")
 EOF
 echo "==> wrote BENCH_server.json"

@@ -37,6 +37,12 @@ cargo test --release -p sirius-speech --test streaming_equivalence -q
 echo "==> cargo test --release -p sirius-server --test streaming -q (streaming serving equivalence + telemetry gates)"
 cargo test --release -p sirius-server --test streaming -q
 
+echo "==> cargo test --release -p sirius --test cluster_equivalence -q (sharded scatter-gather bit-identity gates)"
+cargo test --release -p sirius --test cluster_equivalence -q
+
+echo "==> cargo test --release -p sirius-server --test cluster -q (cluster routing equivalence + shared-registry gates)"
+cargo test --release -p sirius-server --test cluster -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
