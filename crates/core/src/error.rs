@@ -64,13 +64,27 @@ pub enum SiriusError {
     DeadlineUnmeetable {
         /// The expected (or, for an expired job, already elapsed) sojourn.
         expected: std::time::Duration,
-        /// The deadline the caller asked for.
+        /// The deadline the caller asked for (a tenant class's SLO when the
+        /// query entered through classed admission).
         deadline: std::time::Duration,
         /// Retry hint: how long until the backlog ahead of the query drains
-        /// enough that the deadline becomes meetable, assuming the pipeline
-        /// keeps draining at its current service rate and no new queries are
-        /// admitted in between.
+        /// enough that admission succeeds, assuming the pipeline keeps
+        /// draining at its current service rate and no new queries are
+        /// admitted in between. For a plain deadline submit this is
+        /// `expected − deadline`; for classed admission it is `expected −
+        /// budget(class)` — the backlog must drain to the class's
+        /// *weighted* admission budget (`slo × weight / max_weight`), so a
+        /// low-weight class's hint is strictly longer than the raw-SLO hint
+        /// and its retries don't undershoot while premium traffic still
+        /// holds the larger share of the backlog.
         retry_after: std::time::Duration,
+    },
+    /// A classed submit named a tenant class the server was not configured
+    /// with. Carries the offending name so multi-tenant clients can log
+    /// exactly which tier was mis-addressed.
+    UnknownTenantClass {
+        /// The class name the submit asked for.
+        class: String,
     },
 }
 
@@ -103,6 +117,9 @@ impl std::fmt::Display for SiriusError {
                 "deadline unmeetable: expected sojourn {expected:?} exceeds deadline \
                  {deadline:?}; retry after {retry_after:?}"
             ),
+            SiriusError::UnknownTenantClass { class } => {
+                write!(f, "unknown tenant class {class:?}")
+            }
         }
     }
 }

@@ -158,12 +158,13 @@ impl Snapshot {
         let mut first = true;
         for (name, value) in self.counters.iter().chain(&self.gauges) {
             push_entry(&mut out, &mut first);
-            out.push_str(&format!("  \"{name}\": {value}"));
+            out.push_str(&format!("  \"{}\": {value}", json_escape(name)));
         }
         for (name, h) in &self.histograms {
             push_entry(&mut out, &mut first);
             out.push_str(&format!(
-                "  \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                "  \"{}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                json_escape(name),
                 h.count,
                 h.sum,
                 h.min,
@@ -177,8 +178,10 @@ impl Snapshot {
         for (name, m) in &self.meters {
             push_entry(&mut out, &mut first);
             out.push_str(&format!(
-                "  \"{name}\": {{ \"count\": {}, \"mean\": {:.1} }}",
-                m.count, m.mean
+                "  \"{}\": {{ \"count\": {}, \"mean\": {:.1} }}",
+                json_escape(name),
+                m.count,
+                m.mean
             ));
         }
         out.push_str("\n}");
@@ -232,10 +235,37 @@ fn push_entry(out: &mut String, first: &mut bool) {
     *first = false;
 }
 
+/// Maps an arbitrary registry name onto a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Every disallowed character — including the
+/// newlines and braces an adversarial tenant-class label could smuggle in —
+/// collapses to `_`, and names that are empty or start with a digit get a
+/// leading `_` so the result always matches the grammar.
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    let mut out = String::with_capacity(name.len() + 1);
+    if matches!(name.chars().next(), None | Some('0'..='9')) {
+        out.push('_');
+    }
+    out.extend(
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+    );
+    out
+}
+
+/// Escapes a registry name for use inside a JSON string literal, so hostile
+/// names (quotes, backslashes, control characters) cannot break the
+/// rendered document.
+fn json_escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -293,6 +323,59 @@ mod tests {
         assert!(json.contains("\"a.svc_ewma_ns\": { \"count\": 1, \"mean\": 5.0 }"));
         // One comma between every pair of entries (4 entries -> 3 commas).
         assert_eq!(json.matches(",\n").count(), 3);
+    }
+
+    /// A tenant-class label chosen to break both renderers: it leads with a
+    /// digit (invalid Prometheus name start), and carries a newline, braces,
+    /// a quote and a backslash (exposition-line and JSON injection vectors).
+    #[test]
+    fn hostile_metric_names_cannot_break_rendering() {
+        let hostile = "tenant.9premium{evil=\"x\"}\ninjected_metric 42\\";
+        let r = Registry::new();
+        r.counter(&format!("{hostile}.shed")).add(3);
+        r.counter(&format!("1{hostile}")).inc();
+        r.histogram(&format!("{hostile}.sojourn_ns")).record(1000);
+
+        let text = r.snapshot().to_prometheus();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Every sample line must be exactly `name value` (the summary
+            // quantile label is emitted by us, after sanitization).
+            let (name, value) = line.split_once(' ').expect("name SP value");
+            let bare = name.split('{').next().unwrap();
+            let mut chars = bare.chars();
+            let head = chars.next().expect("non-empty name");
+            assert!(
+                head.is_ascii_alphabetic() || head == '_',
+                "bad name start in {line:?}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad name char in {line:?}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+        assert!(
+            !text.contains("injected_metric 42"),
+            "newline injection must not survive as its own line: {text}"
+        );
+
+        let json = r.snapshot().to_json();
+        // No raw quote/backslash/newline from the name survives unescaped:
+        // strip the escaped forms and the document structure must still
+        // balance quotes (an even count) and parse shape-wise.
+        let flat = json
+            .replace("\\\\", "")
+            .replace("\\\"", "")
+            .replace("\\u", "");
+        assert_eq!(
+            flat.matches('"').count() % 2,
+            0,
+            "unbalanced quotes: {json}"
+        );
+        assert!(!json.contains("}\ninjected"), "raw newline in name: {json}");
     }
 
     #[test]

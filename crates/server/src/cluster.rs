@@ -109,7 +109,7 @@ impl std::fmt::Display for RoutePolicy {
 }
 
 /// Sizing and routing of a [`SiriusCluster`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Replica runtimes to start (each holds one data shard).
     pub replicas: u32,
@@ -226,7 +226,7 @@ impl SiriusCluster {
                 let metrics = ServerMetrics::in_registry(registry.clone(), &format!("replica{i}."));
                 SiriusServer::start_with_metrics(
                     Arc::new(shard),
-                    config.server,
+                    config.server.clone(),
                     Arc::clone(&recorder),
                     metrics,
                 )
@@ -342,6 +342,32 @@ impl SiriusCluster {
             .map_err(|source| ClusterError::Replica { replica, source })
     }
 
+    /// Routes a query, then applies the chosen replica's **classed**
+    /// weighted-fair admission
+    /// ([`SiriusServer::submit_classed`](crate::SiriusServer::submit_classed)):
+    /// the router picks the replica — consistent hashing keeps repeated
+    /// inputs on one replica, concentrating result-cache hits there — and
+    /// the replica's live sojourn estimate against the class's weighted
+    /// budget decides admission.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Replica`] wrapping
+    /// [`UnknownTenantClass`](sirius::error::SiriusError::UnknownTenantClass),
+    /// [`DeadlineUnmeetable`](sirius::error::SiriusError::DeadlineUnmeetable)
+    /// (with the per-class retry hint) or any admission error.
+    pub fn submit_classed(
+        &self,
+        input: SiriusInput,
+        class: &str,
+    ) -> Result<ClusterTicket, ClusterError> {
+        let replica = self.route(&input);
+        self.replicas[replica]
+            .submit_classed(input, class)
+            .map(|ticket| ClusterTicket { replica, ticket })
+            .map_err(|source| ClusterError::Replica { replica, source })
+    }
+
     /// Submits and waits: the one-call synchronous client of the cluster.
     ///
     /// # Errors
@@ -349,6 +375,24 @@ impl SiriusCluster {
     /// Any [`ClusterError`] from admission or the serving replica.
     pub fn process_sync(&self, input: SiriusInput) -> Result<SiriusResponse, ClusterError> {
         self.submit(input)?.wait()
+    }
+
+    /// Invalidates every replica's result caches (no-op when caching is
+    /// off).
+    pub fn invalidate_result_caches(&self) {
+        for replica in &self.replicas {
+            replica.invalidate_result_caches();
+        }
+    }
+
+    /// Cluster-wide result-cache hits and lookups, summed over both caches
+    /// of every replica (`replica{i}.cache.{qa,imm}.{hit,miss}`).
+    pub fn cache_totals(&self, snapshot: &Snapshot) -> (u64, u64) {
+        let hits = self.merged_counter(snapshot, "cache.qa.hit")
+            + self.merged_counter(snapshot, "cache.imm.hit");
+        let misses = self.merged_counter(snapshot, "cache.qa.miss")
+            + self.merged_counter(snapshot, "cache.imm.miss");
+        (hits, hits + misses)
     }
 
     /// The smallest live expected sojourn across the replicas — what a

@@ -38,6 +38,7 @@ pub mod batch;
 pub mod cluster;
 pub mod metrics;
 pub mod pool;
+pub mod qos;
 pub mod runtime;
 pub mod stream;
 
@@ -45,6 +46,9 @@ pub use batch::{spawn_batch_collector, BatchHandle, BatchPolicy, BatchedAsrStage
 pub use cluster::{ClusterConfig, ClusterTicket, RoutePolicy, SiriusCluster};
 pub use metrics::{BatchObs, ServerMetrics, StageObs, StreamObs, STAGES};
 pub use pool::{spawn_stage_pool, Job};
+pub use qos::{
+    CacheKey, CachePolicy, CachedAnswer, ImageSignature, ResultCaches, TenantClass, TenantObs,
+};
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
 pub use stream::StreamPolicy;
 

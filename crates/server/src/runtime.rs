@@ -63,6 +63,9 @@ use sirius_vision::image::GrayImage;
 use crate::batch::{spawn_batch_collector, BatchPolicy, BatchedAsrStage, SiriusWindowScorer};
 use crate::metrics::{ServerMetrics, STAGES};
 use crate::pool::{spawn_stage_pool, Job};
+use crate::qos::{
+    CacheKey, CachePolicy, CachedAnswer, ResultCaches, TenantClass, TenantObs, TenantTable,
+};
 use crate::stream::{spawn_streaming_stages, StreamPolicy};
 
 /// Sizing of one stage's pool and queue.
@@ -84,7 +87,7 @@ impl Default for StageConfig {
 }
 
 /// Configuration of the staged runtime.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// ASR pool/queue sizing. Its queue is the admission-control queue.
     pub asr: StageConfig,
@@ -105,6 +108,12 @@ pub struct ServerConfig {
     /// default (`chunk == 0`) serves whole utterances; see
     /// [`crate::stream`].
     pub stream: StreamPolicy,
+    /// Tenant traffic classes served by [`SiriusServer::submit_classed`].
+    /// Empty (the default) leaves only the class-less submit paths.
+    pub tenants: Vec<TenantClass>,
+    /// The post-ASR result caches. Disabled (the default), the serving
+    /// path is exactly the uncached runtime; see [`crate::qos`].
+    pub cache: CachePolicy,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +126,8 @@ impl Default for ServerConfig {
             acoustic: AcousticModelKind::Gmm,
             batch: BatchPolicy::default(),
             stream: StreamPolicy::default(),
+            tenants: Vec::new(),
+            cache: CachePolicy::default(),
         }
     }
 }
@@ -143,6 +154,19 @@ impl ServerConfig {
     /// policy the runtime serves whole utterances exactly as before.
     pub fn with_stream_policy(mut self, stream: StreamPolicy) -> Self {
         self.stream = stream;
+        self
+    }
+
+    /// Sets the tenant traffic classes [`SiriusServer::submit_classed`]
+    /// serves.
+    pub fn with_tenant_classes(mut self, tenants: Vec<TenantClass>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Sets the result-cache policy.
+    pub fn with_cache_policy(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -267,6 +291,7 @@ pub(crate) fn finish(
     metrics: &ServerMetrics,
     recorder: &dyn Recorder,
     started: Instant,
+    tenant: Option<&TenantObs>,
     ticket: &Arc<TicketState>,
     result: Result<SiriusResponse, SiriusError>,
 ) {
@@ -275,11 +300,21 @@ pub(crate) fn finish(
         Ok(_) => {
             metrics.completed.inc();
             metrics.sojourn.record_duration(sojourn);
+            if let Some(tenant) = tenant {
+                tenant.completed.inc();
+                tenant.sojourn.record_duration(sojourn);
+            }
         }
         Err(_) => {
             metrics.failed.inc();
             metrics.sojourn_failed.record_duration(sojourn);
+            if let Some(tenant) = tenant {
+                tenant.failed.inc();
+            }
         }
+    }
+    if let Some(tenant) = tenant {
+        tenant.in_flight.dec();
     }
     if recorder.enabled() {
         recorder.record("total", SpanKind::Total, sojourn);
@@ -301,6 +336,7 @@ fn expire(metrics: &ServerMetrics, recorder: &dyn Recorder, ctx: Ctx) {
         metrics,
         recorder,
         ctx.started,
+        ctx.tenant.as_deref(),
         &ctx.ticket,
         Err(SiriusError::DeadlineUnmeetable {
             expected,
@@ -325,6 +361,12 @@ pub(crate) struct Ctx {
     pub(crate) classify: Duration,
     pub(crate) imm_timing: Option<ImmTiming>,
     pub(crate) matched_venue: Option<String>,
+    /// The tenant class's telemetry when the query entered through
+    /// [`SiriusServer::submit_classed`].
+    pub(crate) tenant: Option<Arc<TenantObs>>,
+    /// The result-cache key this query missed on (set at the ASR-commit
+    /// consult); completion fills the cache under it.
+    pub(crate) cache_key: Option<CacheKey>,
 }
 
 /// A retained handle onto one stage's queue that refreshes its depth and
@@ -373,6 +415,8 @@ pub struct SiriusServer {
     sirius: Arc<Sirius>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    tenants: TenantTable,
+    caches: Option<Arc<ResultCaches>>,
     submit_tx: Option<Sender<Job<Ctx, AsrRequest>>>,
     queue_probes: Vec<QueueProbe>,
     workers: Vec<JoinHandle<()>>,
@@ -412,6 +456,12 @@ impl SiriusServer {
         let (imm_tx, imm_rx) = bounded::<Job<Ctx, ImmRequest>>(config.imm.queue_depth);
         let (qa_tx, qa_rx) = bounded::<Job<Ctx, QaRequest>>(config.qa.queue_depth);
 
+        let tenants = TenantTable::build(&config.tenants, &metrics);
+        let caches = config
+            .cache
+            .enabled
+            .then(|| Arc::new(ResultCaches::register(config.cache, &metrics)));
+
         let queue_probes = vec![
             QueueProbe::new(&metrics, "asr", &asr_tx),
             QueueProbe::new(&metrics, "classify", &cls_tx),
@@ -431,7 +481,9 @@ impl SiriusServer {
             {
                 let metrics = Arc::clone(&metrics);
                 let recorder = Arc::clone(&recorder);
-                move |ctx: Ctx, result| {
+                let caches = caches.clone();
+                move |mut ctx: Ctx, result| {
+                    let cache_key = ctx.cache_key.take();
                     let response = result.map(|qa| SiriusResponse {
                         recognized: ctx.recognized,
                         outcome: SiriusOutcome::Answer(qa.answer),
@@ -444,10 +496,16 @@ impl SiriusServer {
                             total: ctx.started.elapsed(),
                         },
                     });
+                    if let (Some(caches), Some(key), Ok(response)) =
+                        (caches.as_deref(), cache_key, &response)
+                    {
+                        caches.fill(key, CachedAnswer::of(response));
+                    }
                     finish(
                         &metrics,
                         recorder.as_ref(),
                         ctx.started,
+                        ctx.tenant.as_deref(),
                         &ctx.ticket,
                         response,
                     );
@@ -488,6 +546,7 @@ impl SiriusServer {
                                 &metrics,
                                 recorder.as_ref(),
                                 job.ctx.started,
+                                job.ctx.tenant.as_deref(),
                                 &job.ctx.ticket,
                                 Err(SiriusError::ShuttingDown),
                             );
@@ -497,6 +556,7 @@ impl SiriusServer {
                         &metrics,
                         recorder.as_ref(),
                         ctx.started,
+                        ctx.tenant.as_deref(),
                         &ctx.ticket,
                         Err(err),
                     ),
@@ -520,10 +580,12 @@ impl SiriusServer {
             {
                 let metrics = Arc::clone(&metrics);
                 let recorder = Arc::clone(&recorder);
+                let caches = caches.clone();
                 move |mut ctx: Ctx, result| match result {
                     Ok(cls) => {
                         ctx.classify = cls.elapsed;
                         if let Some(action) = cls.action {
+                            let cache_key = ctx.cache_key.take();
                             let response = SiriusResponse {
                                 recognized: ctx.recognized,
                                 outcome: SiriusOutcome::Action(action),
@@ -536,10 +598,14 @@ impl SiriusServer {
                                     total: ctx.started.elapsed(),
                                 },
                             };
+                            if let (Some(caches), Some(key)) = (caches.as_deref(), cache_key) {
+                                caches.fill(key, CachedAnswer::of(&response));
+                            }
                             finish(
                                 &metrics,
                                 recorder.as_ref(),
                                 ctx.started,
+                                ctx.tenant.as_deref(),
                                 &ctx.ticket,
                                 Ok(response),
                             );
@@ -554,6 +620,7 @@ impl SiriusServer {
                                 &metrics,
                                 recorder.as_ref(),
                                 job.ctx.started,
+                                job.ctx.tenant.as_deref(),
                                 &job.ctx.ticket,
                                 Err(SiriusError::ShuttingDown),
                             );
@@ -563,6 +630,7 @@ impl SiriusServer {
                         &metrics,
                         recorder.as_ref(),
                         ctx.started,
+                        ctx.tenant.as_deref(),
                         &ctx.ticket,
                         Err(err),
                     ),
@@ -582,10 +650,46 @@ impl SiriusServer {
         let asr_route = {
             let metrics = Arc::clone(&metrics);
             let recorder = Arc::clone(&recorder);
+            let caches = caches.clone();
             move |mut ctx: Ctx, result: Result<AsrResponse, SiriusError>| match result {
                 Ok(asr) => {
                     ctx.recognized = asr.recognized.clone();
                     ctx.asr_timing = asr.timing;
+                    // The post-ASR-commit cache consult: a verified hit
+                    // serves the cached outcome with this query's own fresh
+                    // ASR text/timing and never touches Classify/IMM/QA. A
+                    // miss stamps the key on the context so completion
+                    // fills the cache.
+                    if let Some(caches) = caches.as_deref() {
+                        let key = CacheKey::of(&asr.recognized, ctx.image.as_ref());
+                        if let Some(cached) = caches.lookup(&key, &asr.recognized) {
+                            if let Some(tenant) = &ctx.tenant {
+                                tenant.cache_hit.inc();
+                            }
+                            let response = SiriusResponse {
+                                recognized: asr.recognized,
+                                outcome: cached.outcome,
+                                matched_venue: cached.matched_venue,
+                                timing: StageTiming {
+                                    asr: asr.timing,
+                                    classify: Duration::ZERO,
+                                    qa: None,
+                                    imm: None,
+                                    total: ctx.started.elapsed(),
+                                },
+                            };
+                            finish(
+                                &metrics,
+                                recorder.as_ref(),
+                                ctx.started,
+                                ctx.tenant.as_deref(),
+                                &ctx.ticket,
+                                Ok(response),
+                            );
+                            return;
+                        }
+                        ctx.cache_key = Some(key);
+                    }
                     let deadline = ctx.deadline;
                     let job = Job::with_deadline(
                         ctx,
@@ -599,6 +703,7 @@ impl SiriusServer {
                             &metrics,
                             recorder.as_ref(),
                             job.ctx.started,
+                            job.ctx.tenant.as_deref(),
                             &job.ctx.ticket,
                             Err(SiriusError::ShuttingDown),
                         );
@@ -608,6 +713,7 @@ impl SiriusServer {
                     &metrics,
                     recorder.as_ref(),
                     ctx.started,
+                    ctx.tenant.as_deref(),
                     &ctx.ticket,
                     Err(err),
                 ),
@@ -644,6 +750,7 @@ impl SiriusServer {
                 Arc::clone(&metrics),
                 Arc::clone(&recorder),
                 remote,
+                caches.clone(),
                 asr_route,
                 asr_expire,
             ));
@@ -687,6 +794,8 @@ impl SiriusServer {
             sirius,
             config,
             metrics,
+            tenants,
+            caches,
             submit_tx: Some(asr_tx),
             queue_probes,
             workers,
@@ -765,7 +874,64 @@ impl SiriusServer {
     /// [`SiriusError::Overloaded`] when the ASR queue is at capacity;
     /// [`SiriusError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, input: SiriusInput) -> Result<Ticket, SiriusError> {
-        self.submit_inner(input, None)
+        self.submit_inner(input, None, None)
+    }
+
+    /// Admits a query under a tenant traffic class: weighted-fair,
+    /// deadline-aware admission. The class's SLO becomes the query's
+    /// deadline, but admission is gated on the class's **effective budget**
+    /// `slo × weight / max_weight` — so as the expected sojourn grows,
+    /// low-weight classes shed first and high-weight classes keep
+    /// admitting until the estimate exceeds their full SLO. See
+    /// [`crate::qos`] for the rule and the per-class `retry_after`
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`SiriusError::UnknownTenantClass`] when `class` is not in
+    /// [`ServerConfig::tenants`];
+    /// [`SiriusError::DeadlineUnmeetable`] when the expected sojourn
+    /// exceeds the class budget — `retry_after` is `expected − budget`,
+    /// the drain the *class* needs before it admits again (longer than the
+    /// raw-SLO hint for every class below max weight);
+    /// [`SiriusError::Overloaded`] / [`SiriusError::ShuttingDown`] as for
+    /// [`SiriusServer::submit`].
+    pub fn submit_classed(&self, input: SiriusInput, class: &str) -> Result<Ticket, SiriusError> {
+        let (class, obs) =
+            self.tenants
+                .lookup(class)
+                .ok_or_else(|| SiriusError::UnknownTenantClass {
+                    class: class.to_owned(),
+                })?;
+        let expected = self.expected_sojourn();
+        let budget = self.tenants.budget(class);
+        if expected > budget {
+            self.metrics.shed_deadline.inc();
+            obs.shed_deadline.inc();
+            return Err(SiriusError::DeadlineUnmeetable {
+                expected,
+                deadline: class.slo,
+                // The hint drains the backlog to the *class* budget, not to
+                // the raw SLO: a low-weight class must wait out the extra
+                // `slo − budget` of backlog its weight denies it.
+                retry_after: expected - budget,
+            });
+        }
+        self.submit_inner(input, Some(class.slo), Some(Arc::clone(obs)))
+    }
+
+    /// The result caches, when [`ServerConfig::cache`] enabled them.
+    pub fn caches(&self) -> Option<&Arc<ResultCaches>> {
+        self.caches.as_ref()
+    }
+
+    /// Invalidates both result caches in O(1) (no-op when caching is off).
+    /// Pre-bump entries can never be served again; they are lazily removed
+    /// (counted `cache.{qa,imm}.stale`) as lookups touch them.
+    pub fn invalidate_result_caches(&self) {
+        if let Some(caches) = &self.caches {
+            caches.invalidate_all();
+        }
     }
 
     /// Admits a query only if its deadline looks meetable: sheds up front
@@ -801,13 +967,14 @@ impl SiriusServer {
                 retry_after: expected - deadline,
             });
         }
-        self.submit_inner(input, Some(deadline))
+        self.submit_inner(input, Some(deadline), None)
     }
 
     fn submit_inner(
         &self,
         input: SiriusInput,
         deadline: Option<Duration>,
+        tenant: Option<Arc<TenantObs>>,
     ) -> Result<Ticket, SiriusError> {
         let tx = self.submit_tx.as_ref().ok_or(SiriusError::ShuttingDown)?;
         let started = Instant::now();
@@ -828,6 +995,8 @@ impl SiriusServer {
             classify: Duration::ZERO,
             imm_timing: None,
             matched_venue: None,
+            tenant: tenant.clone(),
+            cache_key: None,
         };
         let req = AsrRequest {
             audio: input.audio,
@@ -841,6 +1010,10 @@ impl SiriusServer {
         }) {
             Ok(()) => {
                 self.metrics.accepted.inc();
+                if let Some(tenant) = &tenant {
+                    tenant.accepted.inc();
+                    tenant.in_flight.inc();
+                }
                 Ok(Ticket {
                     state,
                     submitted: started,

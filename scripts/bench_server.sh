@@ -4,8 +4,10 @@
 # deadline-aware admission-policy head-to-head with its M/M/1/K shed-rate
 # cross-check, the cross-query ASR batching policy sweep with its Pareto
 # frontier, the streaming-ASR sweep over chunk size x offered load, the
-# sharded-cluster sweep over replica count x routing policy, plus
-# closed-loop saturation throughput). Recipe in EXPERIMENTS.md.
+# sharded-cluster sweep over replica count x routing policy, the
+# multi-tenant cache sweep over offered load x result-cache capacity with
+# its consistent-hash affinity head-to-head, plus closed-loop saturation
+# throughput). Recipe in EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
 #   QUERIES  arrivals per load point (default 100)
@@ -48,6 +50,22 @@ assert cluster["accounting_balanced"] is True, \
     "merged cluster telemetry did not account for every query exactly once"
 assert cluster["least_sojourn_p99_le_round_robin_at_peak"] is True, \
     "least-sojourn p99 exceeded the round-robin noise bound at the peak routing load"
+cache = bench["cache_sweep"]
+assert cache["outputs_match_serial"] is True, \
+    "cache-sweep outputs diverged from serial (a cache hit changed an answer)"
+assert cache["accounting_balanced"] is True, \
+    "per-tenant admission ledger did not balance"
+assert cache["throughput_increases_with_hit_ratio"] is True, \
+    "throughput did not rise with the measured hit ratio at rho >= 1.1"
+assert cache["premium_protected_under_overload"] is True, \
+    "premium p99 or shed ordering broke under rho = 1.5 overload"
+assert any(p["capacity"] > 0 and p["hit_ratio"] > 0 for p in cache["points"]), \
+    "no cache-enabled point ever hit"
+affinity = bench["cache_affinity"]
+assert affinity["outputs_match_serial"] is True, \
+    "cache-affinity outputs diverged from serial"
+assert affinity["hash_beats_round_robin"] is True, \
+    "consistent-hash affinity did not beat round-robin aggregate hit ratio"
 print("==> outputs_match_serial and accounting checks passed")
 EOF
 echo "==> wrote BENCH_server.json"

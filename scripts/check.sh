@@ -22,6 +22,9 @@ cargo build --release -p sirius-bench --bin bench_server --bin bench_obs
 echo "==> cargo test --release -p sirius-obs -q (observability unit gates)"
 cargo test --release -p sirius-obs -q
 
+echo "==> cargo test --release -p sirius-cache -q (keyed result-cache unit gates)"
+cargo test --release -p sirius-cache -q
+
 echo "==> cargo test --release -p sirius-server -q (concurrency + telemetry gates)"
 cargo test --release -p sirius-server -q
 
@@ -42,6 +45,9 @@ cargo test --release -p sirius --test cluster_equivalence -q
 
 echo "==> cargo test --release -p sirius-server --test cluster -q (cluster routing equivalence + shared-registry gates)"
 cargo test --release -p sirius-server --test cluster -q
+
+echo "==> cargo test --release -p sirius-server --test qos -q (tenant-class admission + result-cache bit-identity gates)"
+cargo test --release -p sirius-server --test qos -q
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run
