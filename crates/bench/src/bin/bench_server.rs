@@ -89,8 +89,8 @@ use sirius_dcsim::{
 use sirius_obs::metrics::{bucket_bounds, bucket_index};
 use sirius_obs::{HistogramSnapshot, Snapshot};
 use sirius_server::{
-    BatchPolicy, CachePolicy, ClusterConfig, RoutePolicy, ServerConfig, SiriusCluster,
-    SiriusServer, StreamPolicy, TenantClass, STAGES,
+    BatchPolicy, CachePolicy, ClusterConfig, NetClient, NetConfig, NetServer, RoutePolicy,
+    ServerConfig, SiriusCluster, SiriusServer, StreamPolicy, TenantClass, STAGES,
 };
 use sirius_speech::asr::AcousticModelKind;
 use sirius_speech::features::SAMPLE_RATE;
@@ -1060,14 +1060,38 @@ fn cache_run(
     let mut accounting_balanced = true;
     for (i, (name, ..)) in TENANT_SPEC.iter().enumerate() {
         let counter = |leaf: &str| snap.counter(&format!("tenant.{name}.{leaf}"));
-        accounting_balanced &= counter("accepted") == Some(classes[i].admitted)
-            && counter("shed_deadline") == Some(classes[i].shed_deadline)
-            && counter("completed") == Some(classes[i].completed)
-            && counter("failed") == Some(classes[i].expired)
-            && snap.gauge(&format!("tenant.{name}.in_flight")) == Some(0);
+        let expected: [(&str, Option<u64>, u64); 4] = [
+            ("accepted", counter("accepted"), classes[i].admitted),
+            (
+                "shed_deadline",
+                counter("shed_deadline"),
+                classes[i].shed_deadline,
+            ),
+            ("completed", counter("completed"), classes[i].completed),
+            ("failed", counter("failed"), classes[i].expired),
+        ];
+        for (leaf, got, want) in expected {
+            if got != Some(want) {
+                eprintln!(
+                    "cache accounting: tenant.{name}.{leaf} = {got:?}, harness counted {want}"
+                );
+                accounting_balanced = false;
+            }
+        }
+        let in_flight = snap.gauge(&format!("tenant.{name}.in_flight"));
+        if in_flight != Some(0) {
+            eprintln!("cache accounting: tenant.{name}.in_flight = {in_flight:?}, expected 0");
+            accounting_balanced = false;
+        }
     }
     let completed_total: u64 = classes.iter().map(|c| c.completed).sum();
-    accounting_balanced &= snap.counter("completed") == Some(completed_total + warm);
+    let global = snap.counter("completed");
+    if global != Some(completed_total + warm) {
+        eprintln!(
+            "cache accounting: completed = {global:?}, harness counted {completed_total} + {warm} warm"
+        );
+        accounting_balanced = false;
+    }
     let (hits, lookups) = server.caches().map_or((0, 0), |c| c.totals());
     let (hits, lookups) = (hits - base_hits, lookups - base_lookups);
     let all: Vec<Duration> = sojourns.into_iter().flatten().collect();
@@ -1158,6 +1182,135 @@ fn affinity_run(
         },
         outputs_match,
     )
+}
+
+/// Closed-loop client counts for the loopback network sweep.
+const NET_CLIENTS: [usize; 4] = [1, 2, 4, 8];
+/// Replicas behind the network front-end.
+const NET_REPLICAS: u32 = 2;
+/// Tenant classes the loopback clients rotate through.
+const NET_TENANTS: [&str; 3] = ["premium", "standard", "best_effort"];
+
+/// One closed-loop loopback point against the TCP front-end.
+struct NetPoint {
+    clients: usize,
+    qps: f64,
+    stats: LatencyStats,
+    /// Every remote answer matched the serial reference bit-for-bit.
+    outputs_match: bool,
+    /// `net.frames_in == net.frames_out == queries` and no protocol
+    /// errors or handler panics.
+    frames_balanced: bool,
+    /// Per-tenant `accepted == completed` across replicas, and the class
+    /// totals sum to the queries served.
+    ledger_balanced: bool,
+    /// `GET /metrics` on the same socket returned 200 with both replica
+    /// and front-end series present.
+    scrape_ok: bool,
+}
+
+/// Drives the network front-end closed-loop over loopback: `clients` TCP
+/// connections, each submitting its share of `total` queries (rotating
+/// tenant classes) as fast as answers return. Everything crosses the real
+/// wire — framing, admission, answers, typed errors, the metrics scrape.
+fn net_point(
+    sirius: &Arc<Sirius>,
+    inputs: &[SiriusInput],
+    reference: &[(String, String, Option<String>)],
+    clients: usize,
+    total: usize,
+    workers: usize,
+) -> NetPoint {
+    // Hour-scale SLOs: admission never sheds, so every query measures the
+    // full remote round-trip.
+    let slo = Duration::from_secs(3600);
+    let classes = vec![
+        TenantClass::new("premium", 2, slo, 3),
+        TenantClass::new("standard", 1, slo, 2),
+        TenantClass::new("best_effort", 0, slo, 1),
+    ];
+    let cluster = SiriusCluster::start(
+        sirius,
+        ClusterConfig::new(NET_REPLICAS)
+            .with_route(RoutePolicy::RoundRobin)
+            .with_server(
+                ServerConfig::with_workers(workers)
+                    .with_queue_depth(total.max(16))
+                    .with_tenant_classes(classes),
+            ),
+    )
+    .expect("cluster starts");
+    let net = NetServer::serve(cluster, "127.0.0.1:0", NetConfig::default())
+        .expect("loopback listener binds");
+    let addr = net.local_addr();
+
+    let outputs_match = AtomicBool::new(true);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let outputs_match = &outputs_match;
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("loopback connect");
+                    let mut lat = Vec::new();
+                    let mut i = c;
+                    while i < total {
+                        let q = i % inputs.len();
+                        let class = NET_TENANTS[q % NET_TENANTS.len()];
+                        let t = Instant::now();
+                        let r = client
+                            .submit(&inputs[q], class, None)
+                            .expect("loopback query served");
+                        lat.push(t.elapsed());
+                        if payload(&r) != reference[q] {
+                            outputs_match.store(false, Ordering::Relaxed);
+                        }
+                        i += clients;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let scrape_ok = matches!(
+        sirius_server::http_get(addr, "/metrics"),
+        Ok((200, body)) if body.contains("net_frames_in") && body.contains("replica0_")
+    );
+    let snapshot = net.cluster().metrics_snapshot();
+    let frames_balanced = snapshot.counter("net.frames_in") == Some(total as u64)
+        && snapshot.counter("net.frames_out") == Some(total as u64)
+        && snapshot.counter("net.errors_protocol") == Some(0)
+        && snapshot.counter("net.handler_panics") == Some(0);
+    let mut ledger_balanced = true;
+    let mut accepted_total = 0u64;
+    for class in NET_TENANTS {
+        let accepted = net
+            .cluster()
+            .merged_counter(&snapshot, &format!("tenant.{class}.accepted"));
+        let completed = net
+            .cluster()
+            .merged_counter(&snapshot, &format!("tenant.{class}.completed"));
+        ledger_balanced &= accepted == completed;
+        accepted_total += accepted;
+    }
+    ledger_balanced &= accepted_total == total as u64;
+    net.shutdown();
+
+    NetPoint {
+        clients,
+        qps: total as f64 / wall,
+        stats: LatencyStats::from_samples(&latencies),
+        outputs_match: outputs_match.load(Ordering::Relaxed),
+        frames_balanced,
+        ledger_balanced,
+        scrape_ok,
+    }
 }
 
 fn stats_json(stats: &LatencyStats) -> String {
@@ -1689,6 +1842,20 @@ fn main() {
             >= affinity_at(n, RoutePolicy::RoundRobin) + AFFINITY_MARGIN
     });
 
+    // Loopback network sweep: closed-loop TCP clients against the framed
+    // front-end, every query crossing the real wire.
+    let mut net_points = Vec::new();
+    for &clients in &NET_CLIENTS {
+        eprintln!("net sweep: {clients} loopback clients ({arrivals} queries)...");
+        net_points.push(net_point(
+            &sirius, &inputs, &reference, clients, arrivals, workers,
+        ));
+    }
+    let net_outputs_match = net_points.iter().all(|p| p.outputs_match);
+    let net_frames_balanced = net_points.iter().all(|p| p.frames_balanced);
+    let net_ledger_balanced = net_points.iter().all(|p| p.ledger_balanced);
+    let net_scrape_ok = net_points.iter().all(|p| p.scrape_ok);
+
     println!("{{");
     println!("  \"bench\": \"server\",");
     println!("  \"cores\": {cores},");
@@ -1975,6 +2142,25 @@ fn main() {
     }
     println!(
         "  ], \"hash_beats_round_robin\": {hash_beats_rr}, \"outputs_match_serial\": {affinity_outputs_match} }},"
+    );
+    println!(
+        "  \"net_sweep\": {{ \"replicas\": {NET_REPLICAS}, \"queries_per_point\": {arrivals}, \"note\": \"closed-loop TCP clients over loopback against the framed front-end; every query crosses the wire (submit frame in, answer frame out) and each point scrapes GET /metrics on the same socket\", \"points\": ["
+    );
+    for (i, p) in net_points.iter().enumerate() {
+        let comma = if i + 1 < net_points.len() { "," } else { "" };
+        println!(
+            "    {{ \"clients\": {}, \"qps\": {:.2}, {}, \"outputs_match_serial\": {}, \"frames_balanced\": {}, \"ledger_balanced\": {}, \"scrape_ok\": {} }}{comma}",
+            p.clients,
+            p.qps,
+            stats_json(&p.stats),
+            p.outputs_match,
+            p.frames_balanced,
+            p.ledger_balanced,
+            p.scrape_ok
+        );
+    }
+    println!(
+        "  ], \"outputs_match_serial\": {net_outputs_match}, \"frames_balanced\": {net_frames_balanced}, \"ledger_balanced\": {net_ledger_balanced}, \"scrape_ok\": {net_scrape_ok} }},"
     );
     println!(
         "  \"saturation\": {{ \"total_queries\": {total}, \"staged_1worker_qps\": {:.2}, \"staged_qps\": {:.2}, \"speedup_vs_serial\": {:.2}, \"outputs_match_serial\": {} }}",

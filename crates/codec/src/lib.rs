@@ -48,6 +48,24 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Converts a container length to its `u32` wire form.
+///
+/// Every length-prefixed write routes through this check. Before it
+/// existed, `s.len() as u32` silently truncated lengths ≥ 2³² — the prefix
+/// would then disagree with the bytes that follow and every subsequent
+/// field in the stream would be misread. A length the format cannot
+/// represent is a programming error at the encode site, so it panics with
+/// the offending length rather than corrupting the frame stream.
+///
+/// # Panics
+///
+/// If `len` exceeds `u32::MAX`, the documented encode contract.
+fn wire_len(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!("sirius-codec: container length {len} exceeds the u32 length prefix")
+    })
+}
+
 /// Append-only binary encoder.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -116,22 +134,35 @@ impl Encoder {
     }
 
     /// Writes a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// If the string is longer than `u32::MAX` bytes (the length prefix
+    /// cannot represent it; see [`wire_len`]).
     pub fn str(&mut self, s: &str) -> &mut Self {
-        self.u32(s.len() as u32);
+        self.u32(wire_len(s.len()));
         self.buf.extend_from_slice(s.as_bytes());
         self
     }
 
     /// Writes a length-prefixed raw byte blob (e.g. a nested encoding).
+    ///
+    /// # Panics
+    ///
+    /// If the blob is longer than `u32::MAX` bytes.
     pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
-        self.u32(b.len() as u32);
+        self.u32(wire_len(b.len()));
         self.buf.extend_from_slice(b);
         self
     }
 
     /// Writes a length-prefixed `f32` slice.
+    ///
+    /// # Panics
+    ///
+    /// If the slice holds more than `u32::MAX` elements.
     pub fn f32_slice(&mut self, xs: &[f32]) -> &mut Self {
-        self.u32(xs.len() as u32);
+        self.u32(wire_len(xs.len()));
         for &x in xs {
             self.f32(x);
         }
@@ -139,8 +170,12 @@ impl Encoder {
     }
 
     /// Writes a length-prefixed `u32` slice.
+    ///
+    /// # Panics
+    ///
+    /// If the slice holds more than `u32::MAX` elements.
     pub fn u32_slice(&mut self, xs: &[u32]) -> &mut Self {
-        self.u32(xs.len() as u32);
+        self.u32(wire_len(xs.len()));
         for &x in xs {
             self.u32(x);
         }
@@ -148,8 +183,13 @@ impl Encoder {
     }
 
     /// Writes a length-prefixed list of strings.
+    ///
+    /// # Panics
+    ///
+    /// If the list holds more than `u32::MAX` strings (or any string
+    /// overflows its own prefix).
     pub fn str_slice<S: AsRef<str>>(&mut self, xs: &[S]) -> &mut Self {
-        self.u32(xs.len() as u32);
+        self.u32(wire_len(xs.len()));
         for x in xs {
             self.str(x.as_ref());
         }
@@ -278,6 +318,15 @@ impl<'a> Decoder<'a> {
     /// Reads a length-prefixed list of strings.
     pub fn str_vec(&mut self) -> Result<Vec<String>, DecodeError> {
         let n = self.u32()? as usize;
+        // Allocation preflight, like `f32_vec`/`u32_vec`: each string costs
+        // at least its own 4-byte length prefix, so a count the remaining
+        // bytes cannot possibly back is rejected before `collect` reserves
+        // `n` `String` slots. Without this, a 9-byte hostile frame claiming
+        // 2^32 − 1 zero-length strings allocated ~96 GiB of `Vec<String>`
+        // capacity before the bytes ran out.
+        if n.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(self.err(format!("string list length {n} exceeds remaining bytes")));
+        }
         (0..n).map(|_| self.str()).collect()
     }
 
@@ -453,6 +502,52 @@ mod tests {
     }
 
     #[test]
+    fn wire_len_is_exact_up_to_the_prefix_maximum() {
+        assert_eq!(wire_len(0), 0);
+        assert_eq!(wire_len(1), 1);
+        assert_eq!(wire_len(u32::MAX as usize), u32::MAX);
+    }
+
+    /// Regression: lengths ≥ 2^32 used to be written as `len as u32`,
+    /// silently truncating (a 2^32 + 3 byte blob wrote prefix 3) and
+    /// desynchronising every field after it. Every length-prefixed write —
+    /// `str`/`bytes`/`f32_slice`/`u32_slice`/`str_slice` — now routes
+    /// through `wire_len`, which panics with the offending length instead.
+    #[test]
+    #[should_panic(expected = "exceeds the u32 length prefix")]
+    #[cfg(target_pointer_width = "64")]
+    fn oversize_length_panics_instead_of_truncating() {
+        wire_len(u32::MAX as usize + 3);
+    }
+
+    /// Regression: `str_vec` lacked the length-vs-remaining preflight that
+    /// `f32_vec`/`u32_vec` have, so a tiny hostile frame claiming 2^31
+    /// zero-length strings reserved gigabytes of `Vec<String>` capacity
+    /// before decoding failed. The guard must reject the count up front —
+    /// instantly and without allocating.
+    #[test]
+    fn hostile_string_list_count_is_rejected_before_allocating() {
+        for claimed in [0x8000_0000u32, u32::MAX] {
+            let mut e = Encoder::new();
+            e.u32(claimed);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let err = d.str_vec().unwrap_err();
+            assert!(
+                err.message.contains("exceeds remaining bytes"),
+                "claimed {claimed}: {err}"
+            );
+        }
+        // A plausible count with insufficient backing bytes is also
+        // rejected by the preflight, not by running off the buffer midway.
+        let mut e = Encoder::new();
+        e.u32(10).u32(0); // claims 10 strings, supplies one empty one
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.str_vec().is_err());
+    }
+
+    #[test]
     fn random_bytes_never_panic() {
         let mut rng = Mix(0x5eed_0004);
         for _ in 0..512 {
@@ -461,6 +556,8 @@ mod tests {
             let mut d = Decoder::new(&bytes);
             let _ = d.str();
             let _ = d.f32_vec();
+            let _ = d.str_vec();
+            let _ = d.bytes_vec();
             let _ = d.u64();
             let _ = d.finish();
         }

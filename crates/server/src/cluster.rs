@@ -181,6 +181,23 @@ impl ClusterTicket {
             .wait()
             .map_err(|source| ClusterError::Replica { replica, source })
     }
+
+    /// Blocks until the query completes or `timeout` elapses. On timeout
+    /// the ticket is kept (the query is still in flight), mirroring
+    /// [`Ticket::wait_timeout`]; the network front-end uses this to bound
+    /// every connection's wait so a remote peer is always answered.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Replica`] wrapping the replica's error —
+    /// [`SiriusError::Timeout`](sirius::error::SiriusError::Timeout) when
+    /// `timeout` elapsed first.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<SiriusResponse, ClusterError> {
+        let replica = self.replica;
+        self.ticket
+            .wait_timeout(timeout)
+            .map_err(|source| ClusterError::Replica { replica, source })
+    }
 }
 
 /// N sharded replica runtimes behind one routing front-end. See the module

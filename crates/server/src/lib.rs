@@ -37,20 +37,26 @@
 pub mod batch;
 pub mod cluster;
 pub mod metrics;
+pub mod net;
 pub mod pool;
 pub mod qos;
 pub mod runtime;
 pub mod stream;
+pub mod wire;
 
 pub use batch::{spawn_batch_collector, BatchHandle, BatchPolicy, BatchedAsrStage};
 pub use cluster::{ClusterConfig, ClusterTicket, RoutePolicy, SiriusCluster};
 pub use metrics::{BatchObs, ServerMetrics, StageObs, StreamObs, STAGES};
+pub use net::{http_get, NetClient, NetClientError, NetConfig, NetMetrics, NetServer};
 pub use pool::{spawn_stage_pool, Job};
 pub use qos::{
     CacheKey, CachePolicy, CachedAnswer, ImageSignature, ResultCaches, TenantClass, TenantObs,
 };
 pub use runtime::{ServerConfig, SiriusServer, StageConfig, Ticket};
 pub use stream::StreamPolicy;
+pub use wire::{
+    read_frame, Frame, FrameRead, SubmitFrame, WireFault, MAX_FRAME_BODY, PROTOCOL_VERSION,
+};
 
 // The runtime shares one trained `Sirius` across every worker thread; this
 // compile-time assertion is the whole safety argument.

@@ -42,6 +42,18 @@
 //! | `tenant.{class}.cache_hit` | counter | classed queries answered from the result cache |
 //! | `tenant.{class}.in_flight` | gauge | admitted, not yet completed classed queries |
 //! | `tenant.{class}.sojourn_ns` | histogram | admission → completion per class |
+//! | `net.connections_opened` / `.connections_closed` | counter | TCP front-end connection lifecycle |
+//! | `net.active_connections` | gauge | connections being served right now |
+//! | `net.frames_in` / `.frames_out` | counter | well-formed frames read / frames written |
+//! | `net.bytes_in` / `.bytes_out` | counter | bytes crossing accepted connections |
+//! | `net.errors_protocol` | counter | violations answered with a typed error frame |
+//! | `net.read_timeouts` | counter | connections cut off by the read timeout |
+//! | `net.http_scrapes` | counter | successful `GET /metrics` responses |
+//! | `net.handler_panics` | counter | handler panics caught at the connection boundary |
+//!
+//! The `net.*` names ([`NetMetrics::register`](crate::NetMetrics::register))
+//! are never replica-prefixed: one front-end serves the whole cluster, so
+//! they sit beside the `replica{i}.*` series in the same registry.
 //!
 //! When several servers share one registry — the cluster front-end's
 //! layout — every name above additionally carries the instance's prefix:

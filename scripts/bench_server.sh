@@ -6,7 +6,8 @@
 # frontier, the streaming-ASR sweep over chunk size x offered load, the
 # sharded-cluster sweep over replica count x routing policy, the
 # multi-tenant cache sweep over offered load x result-cache capacity with
-# its consistent-hash affinity head-to-head, plus closed-loop saturation
+# its consistent-hash affinity head-to-head, the loopback TCP front-end
+# sweep over closed-loop client counts, plus closed-loop saturation
 # throughput). Recipe in EXPERIMENTS.md.
 #
 # Usage: scripts/bench_server.sh [QUERIES] [WORKERS]
@@ -66,6 +67,17 @@ assert affinity["outputs_match_serial"] is True, \
     "cache-affinity outputs diverged from serial"
 assert affinity["hash_beats_round_robin"] is True, \
     "consistent-hash affinity did not beat round-robin aggregate hit ratio"
+net = bench["net_sweep"]
+assert net["outputs_match_serial"] is True, \
+    "remote answers over the TCP front-end diverged from serial"
+assert net["frames_balanced"] is True, \
+    "net frame accounting did not balance (frames_in != frames_out != queries)"
+assert net["ledger_balanced"] is True, \
+    "per-tenant ledger did not balance across remote submissions"
+assert net["scrape_ok"] is True, \
+    "GET /metrics on the serving socket did not return valid Prometheus text"
+assert len(net["points"]) >= 4 and all(p["qps"] > 0 for p in net["points"]), \
+    "net sweep is missing closed-loop client points"
 print("==> outputs_match_serial and accounting checks passed")
 EOF
 echo "==> wrote BENCH_server.json"

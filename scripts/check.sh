@@ -49,6 +49,12 @@ cargo test --release -p sirius-server --test cluster -q
 echo "==> cargo test --release -p sirius-server --test qos -q (tenant-class admission + result-cache bit-identity gates)"
 cargo test --release -p sirius-server --test qos -q
 
+echo "==> cargo test --release -p sirius-server --test net -q (loopback network front-end + hostile-frame gates)"
+cargo test --release -p sirius-server --test net -q
+
+echo "==> cargo test --release -p sirius-codec -q (wire codec hardening gates)"
+cargo test --release -p sirius-codec -q
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
